@@ -1,0 +1,120 @@
+//! Mandelbrot line renderer — an extra farm workload with heavy work skew.
+//!
+//! The Ray Tracer's per-line work is fairly uniform; load-balancing
+//! policies only show their worth under skew, so the test suite and the
+//! ablation benches also farm this: per-line iteration counts vary by an
+//! order of magnitude between lines through the set's interior and lines
+//! through empty space.
+
+/// One computed line of the escape-time fractal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MandelLine {
+    /// Line index.
+    pub y: usize,
+    /// Escape iteration per pixel (`max_iter` = presumed interior).
+    pub iterations: Vec<u32>,
+    /// Total iterations executed — the work measure.
+    pub work: u64,
+}
+
+/// Classic view box of the set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct View {
+    /// Left edge (real axis).
+    pub x_min: f64,
+    /// Right edge.
+    pub x_max: f64,
+    /// Bottom edge (imaginary axis).
+    pub y_min: f64,
+    /// Top edge.
+    pub y_max: f64,
+    /// Escape-iteration cap.
+    pub max_iter: u32,
+}
+
+impl Default for View {
+    fn default() -> Self {
+        View { x_min: -2.0, x_max: 0.6, y_min: -1.2, y_max: 1.2, max_iter: 256 }
+    }
+}
+
+/// Computes line `y` of a `width`×`height` rendering of `view`.
+///
+/// # Panics
+///
+/// Panics if `y >= height` or a dimension is zero.
+pub fn mandel_line(view: View, width: usize, height: usize, y: usize) -> MandelLine {
+    assert!(width > 0 && height > 0, "image must be non-empty");
+    assert!(y < height, "line {y} outside image of height {height}");
+    let ci = view.y_min + (view.y_max - view.y_min) * (y as f64 + 0.5) / height as f64;
+    let mut iterations = Vec::with_capacity(width);
+    let mut work = 0u64;
+    for x in 0..width {
+        let cr = view.x_min + (view.x_max - view.x_min) * (x as f64 + 0.5) / width as f64;
+        let (mut zr, mut zi) = (0.0f64, 0.0f64);
+        let mut iter = 0;
+        while iter < view.max_iter && zr * zr + zi * zi <= 4.0 {
+            let next_zr = zr * zr - zi * zi + cr;
+            zi = 2.0 * zr * zi + ci;
+            zr = next_zr;
+            iter += 1;
+        }
+        work += u64::from(iter);
+        iterations.push(iter);
+    }
+    MandelLine { y, iterations, work }
+}
+
+/// Sums escape iterations over the whole image (sequential oracle).
+pub fn mandel_checksum(view: View, width: usize, height: usize) -> u64 {
+    (0..height).map(|y| mandel_line(view, width, height, y).work).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_points_hit_the_cap() {
+        // c = 0 is inside the set.
+        let view = View { x_min: -0.1, x_max: 0.1, y_min: -0.1, y_max: 0.1, max_iter: 64 };
+        let line = mandel_line(view, 5, 5, 2);
+        assert!(line.iterations.iter().all(|&i| i == 64), "{:?}", line.iterations);
+    }
+
+    #[test]
+    fn far_exterior_escapes_immediately() {
+        let view = View { x_min: 10.0, x_max: 11.0, y_min: 10.0, y_max: 11.0, max_iter: 64 };
+        let line = mandel_line(view, 5, 5, 0);
+        assert!(line.iterations.iter().all(|&i| i <= 1));
+    }
+
+    #[test]
+    fn work_is_sum_of_iterations() {
+        let line = mandel_line(View::default(), 64, 64, 32);
+        assert_eq!(line.work, line.iterations.iter().map(|&i| u64::from(i)).sum::<u64>());
+    }
+
+    #[test]
+    fn work_skew_across_lines_is_large() {
+        let view = View::default();
+        let works: Vec<u64> = (0..64).map(|y| mandel_line(view, 64, 64, y).work).collect();
+        let min = *works.iter().min().unwrap();
+        let max = *works.iter().max().unwrap();
+        assert!(max > min * 2, "expected skew, got min {min} max {max}");
+    }
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let a = mandel_checksum(View::default(), 32, 32);
+        let b = mandel_checksum(View::default(), 32, 32);
+        assert_eq!(a, b);
+        assert!(a > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside image")]
+    fn out_of_range_line_panics() {
+        mandel_line(View::default(), 4, 4, 4);
+    }
+}

@@ -1,0 +1,227 @@
+//! Line-oriented Whitted rendering with work accounting.
+
+use super::scene::Scene;
+use super::vec3::Vec3;
+
+/// One rendered image line — the farm's work unit and reply payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedLine {
+    /// The line index.
+    pub y: usize,
+    /// Per-pixel intensity (sum of RGB), length = image width.
+    pub pixels: Vec<f64>,
+    /// Ray–sphere intersection tests performed — the honest work measure.
+    pub intersection_tests: u64,
+}
+
+/// A fully rendered image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderedImage {
+    lines: Vec<RenderedLine>,
+}
+
+impl RenderedImage {
+    /// The rendered lines, top to bottom.
+    pub fn lines(&self) -> &[RenderedLine] {
+        &self.lines
+    }
+
+    /// JGF-style validation checksum: the sum of all pixel intensities.
+    pub fn checksum(&self) -> f64 {
+        self.lines.iter().map(|l| l.pixels.iter().sum::<f64>()).sum()
+    }
+
+    /// Total intersection tests across the image.
+    pub fn total_intersection_tests(&self) -> u64 {
+        self.lines.iter().map(|l| l.intersection_tests).sum()
+    }
+}
+
+struct Tracer<'s> {
+    scene: &'s Scene,
+    tests: u64,
+}
+
+const EPS: f64 = 1e-6;
+
+impl<'s> Tracer<'s> {
+    fn nearest_hit(&mut self, origin: Vec3, dir: Vec3) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, s) in self.scene.spheres.iter().enumerate() {
+            self.tests += 1;
+            if let Some(t) = s.intersect(origin, dir, EPS) {
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((i, t));
+                }
+            }
+        }
+        best
+    }
+
+    fn in_shadow(&mut self, point: Vec3, light_dir: Vec3, light_dist: f64) -> bool {
+        for s in &self.scene.spheres {
+            self.tests += 1;
+            if let Some(t) = s.intersect(point, light_dir, EPS) {
+                if t < light_dist {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn trace(&mut self, origin: Vec3, dir: Vec3, depth: u32) -> Vec3 {
+        let Some((idx, t)) = self.nearest_hit(origin, dir) else {
+            return self.scene.background;
+        };
+        let sphere = self.scene.spheres[idx];
+        let hit = origin + dir * t;
+        let normal = (hit - sphere.center).normalized();
+        // Flip the normal when hitting from inside.
+        let normal = if normal.dot(dir) > 0.0 { -normal } else { normal };
+
+        let mut intensity = self.scene.background.hadamard(sphere.color);
+        for light in &self.scene.lights {
+            let to_light = light.position - hit;
+            let light_dist = to_light.length();
+            let light_dir = to_light.normalized();
+            if self.in_shadow(hit + normal * EPS, light_dir, light_dist) {
+                continue;
+            }
+            let diffuse = normal.dot(light_dir).max(0.0) * sphere.kd;
+            let reflected = (-light_dir).reflect(normal);
+            let specular =
+                reflected.dot(dir).max(0.0).powf(sphere.shine) * sphere.ks;
+            intensity = intensity
+                + sphere.color * (diffuse * light.brightness)
+                + Vec3::new(1.0, 1.0, 1.0) * (specular * light.brightness);
+        }
+
+        if depth < self.scene.max_depth && sphere.reflectivity > 0.0 {
+            let bounce_dir = dir.reflect(normal).normalized();
+            let bounced = self.trace(hit + normal * EPS, bounce_dir, depth + 1);
+            intensity = intensity + bounced * sphere.reflectivity;
+        }
+        intensity
+    }
+}
+
+/// Renders image line `y` of a `width`×`height` view of `scene`.
+///
+/// # Panics
+///
+/// Panics if `y >= height` or either dimension is zero.
+pub fn render_line(scene: &Scene, width: usize, height: usize, y: usize) -> RenderedLine {
+    assert!(width > 0 && height > 0, "image must be non-empty");
+    assert!(y < height, "line {y} outside image of height {height}");
+    let cam = scene.camera;
+    let aspect = height as f64 / width as f64;
+    let mut tracer = Tracer { scene, tests: 0 };
+    let mut pixels = Vec::with_capacity(width);
+    for x in 0..width {
+        // Normalized device coords in [-1, 1], y flipped so line 0 is top.
+        let ndc_x = (x as f64 + 0.5) / width as f64 * 2.0 - 1.0;
+        let ndc_y = 1.0 - (y as f64 + 0.5) / height as f64 * 2.0;
+        let target = Vec3::new(
+            ndc_x * cam.view_half_width,
+            ndc_y * cam.view_half_width * aspect,
+            cam.position.z - cam.view_distance,
+        );
+        let dir = (target - cam.position).normalized();
+        let color = tracer.trace(cam.position, dir, 0);
+        pixels.push(color.sum());
+    }
+    RenderedLine { y, pixels, intersection_tests: tracer.tests }
+}
+
+/// Renders the whole image sequentially (the baseline the farm must
+/// agree with).
+pub fn render_image(scene: &Scene, width: usize, height: usize) -> RenderedImage {
+    RenderedImage {
+        lines: (0..height).map(|y| render_line(scene, width, height, y)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scene() -> Scene {
+        Scene::jgf(16)
+    }
+
+    #[test]
+    fn line_has_width_pixels_and_some_work() {
+        let line = render_line(&small_scene(), 40, 30, 10);
+        assert_eq!(line.pixels.len(), 40);
+        assert_eq!(line.y, 10);
+        assert!(line.intersection_tests > 0);
+    }
+
+    #[test]
+    fn image_is_not_all_background() {
+        let img = render_image(&small_scene(), 48, 48);
+        let bg = small_scene().background.sum();
+        let lit = img
+            .lines()
+            .iter()
+            .flat_map(|l| l.pixels.iter())
+            .filter(|&&p| (p - bg).abs() > 1e-9)
+            .count();
+        assert!(lit > 100, "spheres must be visible, got {lit} non-background pixels");
+    }
+
+    #[test]
+    fn shadows_and_shading_vary_intensity() {
+        let img = render_image(&small_scene(), 48, 48);
+        let mut values: Vec<f64> =
+            img.lines().iter().flat_map(|l| l.pixels.iter().copied()).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(values[values.len() - 1] > values[0] + 0.5, "dynamic range too flat");
+    }
+
+    #[test]
+    fn work_varies_by_line() {
+        // Lines crossing many spheres do more intersection tests once
+        // shadows/reflections kick in; uniform work would mean the
+        // accounting is fake.
+        let scene = small_scene();
+        let ops: Vec<u64> =
+            (0..32).map(|y| render_line(&scene, 32, 32, y).intersection_tests).collect();
+        let min = ops.iter().min().unwrap();
+        let max = ops.iter().max().unwrap();
+        assert!(max > min, "work accounting must vary across lines");
+    }
+
+    #[test]
+    fn more_spheres_mean_more_work() {
+        let small = render_image(&Scene::jgf(8), 24, 24).total_intersection_tests();
+        let large = render_image(&Scene::jgf(64), 24, 24).total_intersection_tests();
+        assert!(large > small * 4, "{large} vs {small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside image")]
+    fn line_out_of_range_panics() {
+        render_line(&small_scene(), 10, 10, 10);
+    }
+
+    #[test]
+    fn reflections_add_light() {
+        let mut matte = small_scene();
+        for s in &mut matte.spheres {
+            s.reflectivity = 0.0;
+        }
+        let mut shiny = matte.clone();
+        for s in &mut shiny.spheres {
+            s.reflectivity = 0.5;
+        }
+        let matte_img = render_image(&matte, 32, 32);
+        let shiny_img = render_image(&shiny, 32, 32);
+        assert!(shiny_img.checksum() > matte_img.checksum());
+        assert!(
+            shiny_img.total_intersection_tests() > matte_img.total_intersection_tests(),
+            "reflection rays cost work"
+        );
+    }
+}

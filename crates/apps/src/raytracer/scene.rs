@@ -1,0 +1,210 @@
+//! Scene description: spheres, lights, camera, and the JGF benchmark
+//! scene.
+
+use super::vec3::Vec3;
+
+/// A shaded sphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Center point.
+    pub center: Vec3,
+    /// Radius (> 0).
+    pub radius: f64,
+    /// Surface color.
+    pub color: Vec3,
+    /// Diffuse coefficient.
+    pub kd: f64,
+    /// Specular coefficient.
+    pub ks: f64,
+    /// Specular exponent.
+    pub shine: f64,
+    /// Reflection coefficient in `[0, 1]`.
+    pub reflectivity: f64,
+}
+
+impl Sphere {
+    /// Ray–sphere intersection: distance along the ray to the nearest hit
+    /// beyond `t_min`, if any.
+    pub fn intersect(&self, origin: Vec3, dir: Vec3, t_min: f64) -> Option<f64> {
+        let oc = origin - self.center;
+        let b = oc.dot(dir);
+        let c = oc.dot(oc) - self.radius * self.radius;
+        let disc = b * b - c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sqrt_disc = disc.sqrt();
+        let t1 = -b - sqrt_disc;
+        if t1 > t_min {
+            return Some(t1);
+        }
+        let t2 = -b + sqrt_disc;
+        if t2 > t_min {
+            return Some(t2);
+        }
+        None
+    }
+}
+
+/// A point light.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Light {
+    /// Position.
+    pub position: Vec3,
+    /// Brightness scale.
+    pub brightness: f64,
+}
+
+/// A pinhole camera looking down -Z from `position`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Eye position.
+    pub position: Vec3,
+    /// View-plane half-width in world units.
+    pub view_half_width: f64,
+    /// Distance from the eye to the view plane.
+    pub view_distance: f64,
+}
+
+/// A complete scene.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    /// The spheres.
+    pub spheres: Vec<Sphere>,
+    /// The lights.
+    pub lights: Vec<Light>,
+    /// The camera.
+    pub camera: Camera,
+    /// Background intensity.
+    pub background: Vec3,
+    /// Maximum reflection depth.
+    pub max_depth: u32,
+}
+
+impl Scene {
+    /// The Java-Grande-Forum benchmark scene shape: `n` spheres (64 in the
+    /// original) arranged in a 4×4×(n/16) grid, one point light, camera in
+    /// front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn jgf(n: usize) -> Scene {
+        assert!(n > 0, "scene needs at least one sphere");
+        let mut spheres = Vec::with_capacity(n);
+        for i in 0..n {
+            let gx = (i % 4) as f64;
+            let gy = ((i / 4) % 4) as f64;
+            let gz = (i / 16) as f64;
+            spheres.push(Sphere {
+                center: Vec3::new(gx * 4.0 - 6.0, gy * 4.0 - 6.0, -12.0 - gz * 5.0),
+                radius: 1.6,
+                color: Vec3::new(
+                    0.3 + 0.7 * (gx / 3.0),
+                    0.3 + 0.7 * (gy / 3.0),
+                    0.9 - 0.2 * (gz % 4.0) / 4.0,
+                ),
+                kd: 0.7,
+                ks: 0.3,
+                shine: 15.0,
+                reflectivity: 0.25,
+            });
+        }
+        Scene {
+            spheres,
+            lights: vec![Light { position: Vec3::new(12.0, 14.0, 6.0), brightness: 1.0 }],
+            camera: Camera {
+                position: Vec3::new(0.0, 0.0, 8.0),
+                view_half_width: 6.0,
+                view_distance: 7.0,
+            },
+            background: Vec3::new(0.05, 0.05, 0.08),
+            max_depth: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jgf_scene_has_requested_spheres() {
+        let s = Scene::jgf(64);
+        assert_eq!(s.spheres.len(), 64);
+        assert_eq!(s.lights.len(), 1);
+        assert!(s.max_depth >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sphere")]
+    fn empty_scene_panics() {
+        Scene::jgf(0);
+    }
+
+    #[test]
+    fn head_on_intersection_hits_front_surface() {
+        let s = Sphere {
+            center: Vec3::new(0.0, 0.0, -10.0),
+            radius: 2.0,
+            color: Vec3::ZERO,
+            kd: 0.0,
+            ks: 0.0,
+            shine: 1.0,
+            reflectivity: 0.0,
+        };
+        let t = s
+            .intersect(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), 1e-6)
+            .expect("must hit");
+        assert!((t - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_returns_none() {
+        let s = Sphere {
+            center: Vec3::new(0.0, 5.0, -10.0),
+            radius: 1.0,
+            color: Vec3::ZERO,
+            kd: 0.0,
+            ks: 0.0,
+            shine: 1.0,
+            reflectivity: 0.0,
+        };
+        assert!(s.intersect(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), 1e-6).is_none());
+    }
+
+    #[test]
+    fn ray_from_inside_hits_back_surface() {
+        let s = Sphere {
+            center: Vec3::ZERO,
+            radius: 3.0,
+            color: Vec3::ZERO,
+            kd: 0.0,
+            ks: 0.0,
+            shine: 1.0,
+            reflectivity: 0.0,
+        };
+        let t = s
+            .intersect(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 1e-6)
+            .expect("inside rays exit through the back");
+        assert!((t - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_min_skips_near_hits() {
+        let s = Sphere {
+            center: Vec3::new(0.0, 0.0, -10.0),
+            radius: 2.0,
+            color: Vec3::ZERO,
+            kd: 0.0,
+            ks: 0.0,
+            shine: 1.0,
+            reflectivity: 0.0,
+        };
+        // With t_min beyond the far surface there is no acceptable hit.
+        assert!(s.intersect(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), 100.0).is_none());
+        // With t_min between surfaces the far one is chosen.
+        let t = s.intersect(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0), 9.0).unwrap();
+        assert!((t - 12.0).abs() < 1e-9);
+    }
+}

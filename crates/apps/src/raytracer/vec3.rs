@@ -1,0 +1,141 @@
+//! Three-component vector algebra for the ray tracer.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A 3-vector of `f64` (points, directions, and RGB-ish intensities).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Builds a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Vec3 {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the vector is not (near) zero.
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        debug_assert!(len > 1e-12, "normalizing a zero vector");
+        self * (1.0 / len)
+    }
+
+    /// Component-wise scaling by another vector.
+    pub fn hadamard(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x * o.x, self.y * o.y, self.z * o.z)
+    }
+
+    /// Reflection of `self` (incoming direction) about unit normal `n`.
+    pub fn reflect(self, n: Vec3) -> Vec3 {
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// Sum of components (used for intensity checksums).
+    pub fn sum(self) -> f64 {
+        self.x + self.y + self.z
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * 1.0, a);
+        assert_eq!(-(-a), a);
+        assert_eq!(a + Vec3::ZERO, a);
+    }
+
+    #[test]
+    fn dot_and_length() {
+        let a = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.length(), 5.0);
+        assert_eq!(a.dot(Vec3::new(0.0, 0.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn normalized_has_unit_length() {
+        let n = Vec3::new(1.0, 2.0, -2.0).normalized();
+        assert!((n.length() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reflection_of_perpendicular_ray_inverts() {
+        let incoming = Vec3::new(0.0, -1.0, 0.0);
+        let normal = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(incoming.reflect(normal), Vec3::new(0.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn reflection_preserves_length() {
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        let n = Vec3::new(0.0, 1.0, 0.0);
+        assert!((v.reflect(n).length() - v.length()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_scales_componentwise() {
+        let a = Vec3::new(1.0, 2.0, 3.0).hadamard(Vec3::new(2.0, 0.5, 0.0));
+        assert_eq!(a, Vec3::new(2.0, 1.0, 0.0));
+        assert_eq!(a.sum(), 3.0);
+    }
+}

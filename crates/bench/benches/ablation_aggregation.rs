@@ -1,0 +1,28 @@
+//! E6 — method-call aggregation ablation (the Fig. 7 `maxCalls` knob),
+//! run on the real runtime.
+
+use parc_bench::ablation::aggregation_sweep;
+use parc_bench::report::banner;
+
+fn main() {
+    banner("E6 — method-call aggregation ablation (real runtime, 4096 async calls)");
+    let factors = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+    let points = aggregation_sweep(&factors, 4096);
+    println!(
+        "{:>10}{:>12}{:>12}{:>14}{:>14}",
+        "maxCalls", "messages", "batches", "calls/msg", "wall"
+    );
+    for p in &points {
+        println!(
+            "{:>10}{:>12}{:>12}{:>14.1}{:>14?}",
+            p.factor,
+            p.messages,
+            p.batches,
+            p.calls as f64 / p.messages as f64,
+            p.wall
+        );
+    }
+    println!();
+    println!("design claim (§3.1): aggregation \"reduces message overheads and");
+    println!("per-message latency\" — the message count divides by maxCalls.");
+}

@@ -1,0 +1,29 @@
+//! E1 — Fig. 8a: inter-node bandwidth, MPI vs Java RMI vs Mono.
+//!
+//! Prints the three curves over the paper's message-size axis. The shape
+//! to reproduce: MPI on top (near the 12.5 MB/s wire), Java RMI second,
+//! Mono third at large sizes but *ahead of RMI at small sizes* thanks to
+//! its lower per-call latency.
+
+use parc_bench::pingpong::{bandwidth_series, paper_size_axis};
+use parc_bench::report::{banner, fmt_mb_s, fmt_size, row};
+use parc_bench::stacks::StackModel;
+
+fn main() {
+    banner("Fig. 8a — inter-node bandwidth (MB/s) vs message size");
+    let sizes = paper_size_axis();
+    row(
+        "stack \\ size",
+        &sizes.iter().map(|&s| fmt_size(s)).collect::<Vec<_>>(),
+    );
+    for stack in StackModel::fig8a() {
+        let pts = bandwidth_series(&stack, &sizes);
+        row(
+            stack.name,
+            &pts.iter().map(|p| fmt_mb_s(p.mb_per_s)).collect::<Vec<_>>(),
+        );
+    }
+    println!();
+    println!("paper shape: MPI > Java RMI > Mono for large messages;");
+    println!("             Mono beats RMI below ~1 kB (lower per-call latency).");
+}

@@ -1,0 +1,26 @@
+//! E2 — Fig. 8b: Mono implementations compared.
+//!
+//! "Mono performance has radically increased from release 1.0.5" and the
+//! HTTP channel sits an order of magnitude below the TCP channel.
+
+use parc_bench::pingpong::{bandwidth_series, paper_size_axis};
+use parc_bench::report::{banner, fmt_mb_s, fmt_size, row};
+use parc_bench::stacks::StackModel;
+
+fn main() {
+    banner("Fig. 8b — Mono variants: bandwidth (MB/s) vs message size");
+    let sizes = paper_size_axis();
+    row(
+        "stack \\ size",
+        &sizes.iter().map(|&s| fmt_size(s)).collect::<Vec<_>>(),
+    );
+    for stack in StackModel::fig8b() {
+        let pts = bandwidth_series(&stack, &sizes);
+        row(
+            stack.name,
+            &pts.iter().map(|p| fmt_mb_s(p.mb_per_s)).collect::<Vec<_>>(),
+        );
+    }
+    println!();
+    println!("paper shape: Mono 1.1.7 (Tcp) >> Mono 1.0.5 (Tcp) > Mono 1.1.7 (Http).");
+}

@@ -1,0 +1,16 @@
+//! E3 — the inline latency comparison of §4.
+
+use parc_bench::latency::latency_table;
+use parc_bench::report::banner;
+
+fn main() {
+    banner("E3 — inter-node one-way latency (1 int payload)");
+    println!("{:<20}{:>14}{:>14}", "stack", "model (us)", "paper (us)");
+    for r in latency_table() {
+        let paper = r.paper_us.map_or_else(|| "~Mono".to_string(), |v| format!("{v:.0}"));
+        println!("{:<20}{:>14.1}{:>14}", r.stack, r.measured_us, paper);
+    }
+    println!();
+    println!("paper: \"Inter node latency in Mono is between the Java RMI and the");
+    println!("MPI latency (respectively, 520, 273 and 100us)\"; nio ~= Mono.");
+}

@@ -1,0 +1,61 @@
+//! M2 — criterion microbenchmarks of the channels and the PO layer:
+//! real-machine ping-pong over inproc and TCP-loopback, plus delegate
+//! dispatch and aggregation costs.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parc_core::{GrainConfig, ParcRuntime};
+use parc_remoting::dispatcher::FnInvokable;
+use parc_remoting::inproc::InprocNetwork;
+use parc_remoting::tcp::{TcpChannelProvider, TcpServerChannel};
+use parc_remoting::{Activator, ChannelProvider, Delegate, RemotingError};
+use parc_serial::Value;
+
+fn echo_invokable() -> Arc<dyn parc_remoting::Invokable> {
+    Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+        "echo" => Ok(args.first().cloned().unwrap_or(Value::Null)),
+        _ => Err(RemotingError::MethodNotFound { object: "Echo".into(), method: method.into() }),
+    }))
+}
+
+fn bench_channels(c: &mut Criterion) {
+    // Inproc channel round trip.
+    let net = InprocNetwork::new();
+    let ep = net.create_endpoint("bench").unwrap();
+    ep.objects().register_singleton("Echo", echo_invokable());
+    let inproc = Activator::get_object(&net, "inproc://bench/Echo").unwrap();
+    c.bench_function("inproc_call_roundtrip", |b| {
+        b.iter(|| inproc.call("echo", vec![Value::I32(1)]).unwrap());
+    });
+
+    // Real TCP loopback round trip.
+    let server = TcpServerChannel::bind("127.0.0.1:0").unwrap();
+    server.objects().register_singleton("Echo", echo_invokable());
+    let provider = TcpChannelProvider::new();
+    let uri: parc_remoting::ObjectUri = server.uri_for("Echo").parse().unwrap();
+    let chan = provider.open(&uri).unwrap();
+    let tcp = parc_remoting::RemoteObject::new(chan, "Echo");
+    c.bench_function("tcp_loopback_call_roundtrip", |b| {
+        b.iter(|| tcp.call("echo", vec![Value::I32(1)]).unwrap());
+    });
+
+    // Delegate begin/end invoke.
+    let delegate = Delegate::with_threads(2);
+    c.bench_function("delegate_begin_end_invoke", |b| {
+        b.iter(|| delegate.begin_invoke(|| 40 + 2).end_invoke());
+    });
+
+    // PO async post with aggregation 64 (amortized message cost).
+    let mut builder = ParcRuntime::builder();
+    builder.nodes(1).grain(GrainConfig { aggregation_factor: 64, ..GrainConfig::default() });
+    let rt = builder.build().unwrap();
+    rt.register_class("Echo", echo_invokable);
+    let po = rt.create("Echo").unwrap();
+    c.bench_function("po_post_aggregated_64", |b| {
+        b.iter(|| po.post("echo", vec![Value::I32(1)]).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

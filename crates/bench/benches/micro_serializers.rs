@@ -1,0 +1,37 @@
+//! M1 — criterion microbenchmarks of the serialization substrate: the
+//! real-machine costs behind the Fig. 8 per-byte model parameters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parc_serial::{BinaryFormatter, Formatter, JavaFormatter, SoapFormatter, Value};
+
+fn bench_serialize(c: &mut Criterion) {
+    let formatters: Vec<(&str, Box<dyn Formatter>)> = vec![
+        ("binary", Box::new(BinaryFormatter::new())),
+        ("java", Box::new(JavaFormatter::new())),
+        ("soap", Box::new(SoapFormatter::new())),
+    ];
+    let mut group = c.benchmark_group("serialize_i32_array");
+    for size in [64usize, 1024, 16384] {
+        let v = Value::I32Array((0..size as i32).collect());
+        group.throughput(Throughput::Bytes((size * 4) as u64));
+        for (name, f) in &formatters {
+            group.bench_with_input(BenchmarkId::new(*name, size), &v, |b, v| {
+                b.iter(|| f.serialize(std::hint::black_box(v)).unwrap());
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("roundtrip_call_frame");
+    let v = Value::I32Array((0..1024).collect());
+    for (name, f) in &formatters {
+        let bytes = f.serialize(&v).unwrap();
+        group.bench_with_input(BenchmarkId::new(*name, 1024), &bytes, |b, bytes| {
+            b.iter(|| f.deserialize(std::hint::black_box(bytes)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialize);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! E8 — §4's claim: "the performance penalty introduced by the ParC#
+//! platform is not noticeable" over raw remoting.
+
+use parc_bench::ablation::platform_overhead;
+use parc_bench::report::banner;
+
+fn main() {
+    banner("E8 — ParC# layer overhead vs raw remoting (real runtime)");
+    let calls = 2_000;
+    let (po, raw) = platform_overhead(calls);
+    let po_us = po.as_secs_f64() * 1e6 / calls as f64;
+    let raw_us = raw.as_secs_f64() * 1e6 / calls as f64;
+    println!("{calls} sync calls each:");
+    println!("  through PO (SCOOPP proxy):  {po_us:>8.2} us/call");
+    println!("  raw remoting proxy:         {raw_us:>8.2} us/call");
+    println!("  ratio:                      {:>8.2}x", po_us / raw_us);
+    println!();
+    println!("paper: \"the performance penalty introduced by the ParC# platform");
+    println!("is not noticeable (results not shown)\".");
+}

@@ -1,0 +1,48 @@
+//! E5 — sequential VM gap: Ray Tracer and prime sieve under three 2005
+//! virtual machines.
+//!
+//! The workloads run for real on this machine (so their relative cost is
+//! genuine); the VM factors then scale the reference runtimes onto the
+//! paper's testbed.
+
+use std::time::Instant;
+
+use parc_apps::raytracer::{render_image, Scene};
+use parc_apps::sieve::reference_primes;
+use parc_bench::report::banner;
+use parc_bench::seqgap::seq_gap_table;
+
+fn main() {
+    banner("E5 — sequential execution gap (modelled 2005 testbed seconds)");
+
+    // Run both kernels for real, to show they are real.
+    let t = Instant::now();
+    let img = render_image(&Scene::jgf(64), 200, 200);
+    let tracer_local = t.elapsed();
+    let t = Instant::now();
+    let primes = reference_primes(2_000_000);
+    let sieve_local = t.elapsed();
+    println!(
+        "local sanity: 200x200 render checksum {:.1} in {:?}; {} primes below 2e6 in {:?}",
+        img.checksum(),
+        tracer_local,
+        primes.len(),
+        sieve_local
+    );
+    println!();
+
+    // Paper-anchored reference runtimes (Java on the Athlon node).
+    let rows = seq_gap_table(100.0, 10.0);
+    println!("{:<16}{:<16}{:>14}{:>10}", "workload", "vm", "time (s)", "gap");
+    for r in rows {
+        println!(
+            "{:<16}{:<16}{:>14.1}{:>9.0}%",
+            r.workload.name(),
+            r.vm.name(),
+            r.modelled_secs,
+            (r.gap - 1.0) * 100.0
+        );
+    }
+    println!();
+    println!("paper: Mono +40% on the Ray Tracer, MS .NET +10%, sieve ~parity.");
+}

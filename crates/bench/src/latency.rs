@@ -1,0 +1,59 @@
+//! E3 — the inline latency comparison.
+//!
+//! §4: *"Inter node latency in Mono (not shown) is between the Java RMI
+//! and the MPI latency (respectively, 520, 273 and 100us). ... This
+//! latency is very close to the performance of the Java nio package."*
+
+use crate::stacks::StackModel;
+
+/// One row of the latency table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyRow {
+    /// Stack name.
+    pub stack: &'static str,
+    /// Modelled one-way latency at one int of payload, µs.
+    pub measured_us: f64,
+    /// The paper's reported value, µs (`None` where the paper gives only a
+    /// qualitative statement).
+    pub paper_us: Option<f64>,
+}
+
+/// Builds the latency table in the paper's order.
+pub fn latency_table() -> Vec<LatencyRow> {
+    let entry = |stack: StackModel, paper_us: Option<f64>| LatencyRow {
+        stack: stack.name,
+        measured_us: stack.one_way_ints(1).as_micros_f64(),
+        paper_us,
+    };
+    vec![
+        entry(StackModel::java_rmi(), Some(520.0)),
+        entry(StackModel::mono_117_tcp(), Some(273.0)),
+        entry(StackModel::mpi(), Some(100.0)),
+        entry(StackModel::java_nio(), None),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_quantified_row_is_within_five_percent_of_the_paper() {
+        for row in latency_table() {
+            if let Some(paper) = row.paper_us {
+                let rel = (row.measured_us - paper).abs() / paper;
+                assert!(rel < 0.05, "{}: {} vs paper {paper}", row.stack, row.measured_us);
+            }
+        }
+    }
+
+    #[test]
+    fn mono_sits_between_rmi_and_mpi() {
+        let t = latency_table();
+        let get = |name: &str| t.iter().find(|r| r.stack.contains(name)).unwrap().measured_us;
+        let rmi = get("RMI");
+        let mono = get("Mono");
+        let mpi = get("MPI");
+        assert!(mpi < mono && mono < rmi);
+    }
+}

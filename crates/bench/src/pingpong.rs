@@ -1,0 +1,119 @@
+//! The low-level ping-pong evaluation (Fig. 8a / Fig. 8b).
+//!
+//! §4: *"Low-level performance was evaluated by a ping-pong test, where
+//! messages with several sizes are exchanged between two nodes ... an
+//! array of integers is sent and received as the method parameter and
+//! return type."* [`bandwidth_series`] sweeps the paper's size axis
+//! (1 byte to 1 MB) and reports the effective payload bandwidth per stack.
+
+use crate::stacks::StackModel;
+
+/// One point on a Fig. 8 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthPoint {
+    /// Payload size in bytes (the x-axis).
+    pub payload_bytes: usize,
+    /// Effective bandwidth in MB/s (the y-axis).
+    pub mb_per_s: f64,
+    /// Round-trip time in microseconds.
+    pub rtt_us: f64,
+}
+
+/// The paper's message-size axis: 1 B … 1 MB, roughly one point per
+/// half-decade.
+pub fn paper_size_axis() -> Vec<usize> {
+    vec![
+        4,          // one int (the "0.001 kbytes" edge)
+        16,
+        64,
+        256,
+        1 << 10,    // 1 kB
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,    // 1 MB
+    ]
+}
+
+/// Sweeps a stack over the size axis.
+pub fn bandwidth_series(stack: &StackModel, sizes: &[usize]) -> Vec<BandwidthPoint> {
+    sizes
+        .iter()
+        .map(|&payload_bytes| {
+            let ints = (payload_bytes / 4).max(1);
+            BandwidthPoint {
+                payload_bytes: ints * 4,
+                mb_per_s: stack.bandwidth_mb_per_s(ints),
+                rtt_us: stack.round_trip_ints(ints).as_micros_f64(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_covers_the_axis() {
+        let pts = bandwidth_series(&StackModel::mpi(), &paper_size_axis());
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[0].payload_bytes, 4);
+        assert_eq!(pts[9].payload_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn bandwidth_grows_with_size_for_every_stack() {
+        let mut stacks = StackModel::fig8a();
+        stacks.extend(StackModel::fig8b());
+        for stack in stacks {
+            let pts = bandwidth_series(&stack, &paper_size_axis());
+            for w in pts.windows(2) {
+                assert!(
+                    w[1].mb_per_s >= w[0].mb_per_s * 0.999,
+                    "{}: bandwidth dipped between {} and {} bytes",
+                    stack.name,
+                    w[0].payload_bytes,
+                    w[1].payload_bytes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mpi_dominates_at_every_size() {
+        // Fig. 8a: the MPI curve sits above both remoting stacks across the
+        // whole axis.
+        let sizes = paper_size_axis();
+        let mpi = bandwidth_series(&StackModel::mpi(), &sizes);
+        let rmi = bandwidth_series(&StackModel::java_rmi(), &sizes);
+        let mono = bandwidth_series(&StackModel::mono_117_tcp(), &sizes);
+        for i in 0..sizes.len() {
+            assert!(mpi[i].mb_per_s > rmi[i].mb_per_s);
+            assert!(mpi[i].mb_per_s > mono[i].mb_per_s);
+        }
+    }
+
+    #[test]
+    fn mono_beats_rmi_on_small_messages_but_loses_on_large() {
+        // The crossover the paper narrates: Mono's lower per-call latency
+        // wins the left edge; Java's faster serializer wins the right.
+        let mono = StackModel::mono_117_tcp();
+        let rmi = StackModel::java_rmi();
+        let small = 4;
+        let large = 1 << 20;
+        let mono_small = bandwidth_series(&mono, &[small])[0].mb_per_s;
+        let rmi_small = bandwidth_series(&rmi, &[small])[0].mb_per_s;
+        let mono_large = bandwidth_series(&mono, &[large])[0].mb_per_s;
+        let rmi_large = bandwidth_series(&rmi, &[large])[0].mb_per_s;
+        assert!(mono_small > rmi_small, "small: mono {mono_small} vs rmi {rmi_small}");
+        assert!(rmi_large > mono_large, "large: rmi {rmi_large} vs mono {mono_large}");
+    }
+
+    #[test]
+    fn rtt_at_one_int_is_twice_the_one_way_latency() {
+        let pts = bandwidth_series(&StackModel::mono_117_tcp(), &[4]);
+        assert!((pts[0].rtt_us - 2.0 * 273.0).abs() < 25.0, "rtt {}", pts[0].rtt_us);
+    }
+}

@@ -1,0 +1,138 @@
+//! E5 — the sequential virtual-machine gap.
+//!
+//! §4: *"The C# sequential execution time in this particular application
+//! is 40% superior to the Java version (using the Microsoft virtual
+//! machine, on a Windows machine, it is only 10% superior) ... However,
+//! running another application, a prime number sieve, the Mono execution
+//! time is about the same as the JVM."*
+//!
+//! The gap is a JIT-quality property of 2005 VMs, so it enters the model
+//! as per-(VM, workload) factors; the *workloads* themselves are real (the
+//! tracer renders, the sieve sieves) and their reference runtimes anchor
+//! the table.
+
+/// A 2005 virtual machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vm {
+    /// Sun JVM 1.4.2 — the reference.
+    SunJvm,
+    /// Mono 1.1.7.
+    Mono,
+    /// Microsoft .NET on Windows.
+    MsNet,
+}
+
+impl Vm {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vm::SunJvm => "Sun JVM 1.4.2",
+            Vm::Mono => "Mono 1.1.7",
+            Vm::MsNet => "MS .NET",
+        }
+    }
+}
+
+/// A sequential workload of E5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// The JGF Ray Tracer (float-heavy, where Mono's 2005 JIT lagged).
+    RayTracer,
+    /// The prime sieve (integer/branch-heavy, where Mono matched).
+    PrimeSieve,
+}
+
+impl Workload {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::RayTracer => "Ray Tracer",
+            Workload::PrimeSieve => "Prime sieve",
+        }
+    }
+}
+
+/// The calibrated JIT factor: execution-time multiplier relative to the
+/// Sun JVM on the same workload.
+pub fn jit_factor(vm: Vm, workload: Workload) -> f64 {
+    match (vm, workload) {
+        (Vm::SunJvm, _) => 1.0,
+        // "40% superior" on the tracer; "about the same" on the sieve.
+        (Vm::Mono, Workload::RayTracer) => 1.4,
+        (Vm::Mono, Workload::PrimeSieve) => 1.02,
+        // "only 10% superior" under MS .NET.
+        (Vm::MsNet, Workload::RayTracer) => 1.1,
+        (Vm::MsNet, Workload::PrimeSieve) => 1.0,
+    }
+}
+
+/// A row of the E5 table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqGapRow {
+    /// Virtual machine.
+    pub vm: Vm,
+    /// Workload.
+    pub workload: Workload,
+    /// Modelled execution time in seconds.
+    pub modelled_secs: f64,
+    /// Gap vs the JVM baseline, as a ratio.
+    pub gap: f64,
+}
+
+/// Builds the table given the reference (JVM) runtimes of the two
+/// workloads.
+pub fn seq_gap_table(tracer_reference_secs: f64, sieve_reference_secs: f64) -> Vec<SeqGapRow> {
+    let mut rows = Vec::new();
+    for workload in [Workload::RayTracer, Workload::PrimeSieve] {
+        let reference = match workload {
+            Workload::RayTracer => tracer_reference_secs,
+            Workload::PrimeSieve => sieve_reference_secs,
+        };
+        for vm in [Vm::SunJvm, Vm::Mono, Vm::MsNet] {
+            let gap = jit_factor(vm, workload);
+            rows.push(SeqGapRow { vm, workload, modelled_secs: reference * gap, gap });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_gaps_match_the_paper() {
+        assert!((jit_factor(Vm::Mono, Workload::RayTracer) - 1.4).abs() < 1e-9);
+        assert!((jit_factor(Vm::MsNet, Workload::RayTracer) - 1.1).abs() < 1e-9);
+        assert_eq!(jit_factor(Vm::SunJvm, Workload::RayTracer), 1.0);
+    }
+
+    #[test]
+    fn sieve_is_near_parity_on_mono() {
+        let f = jit_factor(Vm::Mono, Workload::PrimeSieve);
+        assert!((0.95..=1.05).contains(&f), "about the same: {f}");
+    }
+
+    #[test]
+    fn table_scales_reference_times() {
+        let rows = seq_gap_table(100.0, 10.0);
+        assert_eq!(rows.len(), 6);
+        let mono_tracer = rows
+            .iter()
+            .find(|r| r.vm == Vm::Mono && r.workload == Workload::RayTracer)
+            .unwrap();
+        assert!((mono_tracer.modelled_secs - 140.0).abs() < 1e-9);
+        let jvm_sieve = rows
+            .iter()
+            .find(|r| r.vm == Vm::SunJvm && r.workload == Workload::PrimeSieve)
+            .unwrap();
+        assert_eq!(jvm_sieve.modelled_secs, 10.0);
+    }
+
+    #[test]
+    fn ordering_on_the_tracer_is_jvm_msnet_mono() {
+        let t = |vm| jit_factor(vm, Workload::RayTracer);
+        assert!(t(Vm::SunJvm) < t(Vm::MsNet));
+        assert!(t(Vm::MsNet) < t(Vm::Mono));
+    }
+}

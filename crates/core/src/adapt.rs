@@ -1,0 +1,181 @@
+//! Run-time grain-size adaptation.
+//!
+//! SCOOPP's run-time system ([9] in the paper) measures how expensive
+//! method calls actually are and removes parallelism when grains are too
+//! fine: short calls get *aggregated* into bigger messages, and when calls
+//! are so short that even shipping them is a loss, new objects get
+//! *agglomerated* locally. [`GrainAdapter`] is that controller: it tracks
+//! an exponentially weighted moving average (EWMA) of per-call service
+//! time, compares it with the per-message overhead of the transport, and
+//! yields the two knobs of [`crate::GrainConfig`].
+
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Controller state for one runtime.
+#[derive(Debug)]
+pub struct GrainAdapter {
+    inner: Mutex<State>,
+    /// Estimated fixed cost of one remote message (the ~273 µs of the
+    /// paper's Mono latency measurement, by default).
+    message_overhead: Duration,
+    /// Aggregation ceiling (Fig. 7's `maxCalls` upper bound).
+    max_aggregation: usize,
+}
+
+#[derive(Debug)]
+struct State {
+    ewma_call_secs: Option<f64>,
+    samples: u64,
+}
+
+/// EWMA smoothing factor: recent calls dominate after ~10 samples.
+const ALPHA: f64 = 0.2;
+
+impl GrainAdapter {
+    /// Creates an adapter with the given per-message overhead estimate.
+    pub fn new(message_overhead: Duration, max_aggregation: usize) -> GrainAdapter {
+        GrainAdapter {
+            inner: Mutex::new(State { ewma_call_secs: None, samples: 0 }),
+            message_overhead,
+            max_aggregation: max_aggregation.max(1),
+        }
+    }
+
+    /// An adapter tuned to the paper's measured Mono remoting overhead.
+    pub fn mono_default() -> GrainAdapter {
+        GrainAdapter::new(Duration::from_micros(273), 256)
+    }
+
+    /// Records one measured method-execution duration.
+    pub fn observe_call(&self, duration: Duration) {
+        let mut state = self.inner.lock();
+        let secs = duration.as_secs_f64();
+        state.ewma_call_secs = Some(match state.ewma_call_secs {
+            None => secs,
+            Some(prev) => prev + ALPHA * (secs - prev),
+        });
+        state.samples += 1;
+    }
+
+    /// Number of samples observed.
+    pub fn samples(&self) -> u64 {
+        self.inner.lock().samples
+    }
+
+    /// Current per-call cost estimate, if any call was observed.
+    pub fn estimated_call_cost(&self) -> Option<Duration> {
+        self.inner.lock().ewma_call_secs.map(Duration::from_secs_f64)
+    }
+
+    /// Recommended aggregation factor: pack enough calls per message that
+    /// the shipped work dominates the message overhead (target ≥ 4×), but
+    /// never beyond the configured ceiling.
+    ///
+    /// With no samples yet, the recommendation is 1 (no aggregation) —
+    /// adaptation only ever *removes* parallelism it has evidence against.
+    pub fn recommended_aggregation(&self) -> usize {
+        let Some(call) = self.inner.lock().ewma_call_secs else {
+            return 1;
+        };
+        if call <= 0.0 {
+            return self.max_aggregation;
+        }
+        let overhead = self.message_overhead.as_secs_f64();
+        let wanted = (4.0 * overhead / call).ceil();
+        if !wanted.is_finite() {
+            return self.max_aggregation;
+        }
+        (wanted as usize).clamp(1, self.max_aggregation)
+    }
+
+    /// Whether new objects should be agglomerated locally: true when a
+    /// call's work is smaller than the overhead of shipping it at the
+    /// maximum aggregation — i.e. parallelism cannot pay for itself.
+    pub fn should_agglomerate(&self) -> bool {
+        let Some(call) = self.inner.lock().ewma_call_secs else {
+            return false;
+        };
+        let per_call_overhead =
+            self.message_overhead.as_secs_f64() / self.max_aggregation as f64;
+        call < per_call_overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adapter() -> GrainAdapter {
+        GrainAdapter::new(Duration::from_micros(273), 256)
+    }
+
+    #[test]
+    fn no_samples_means_no_adaptation() {
+        let a = adapter();
+        assert_eq!(a.recommended_aggregation(), 1);
+        assert!(!a.should_agglomerate());
+        assert_eq!(a.estimated_call_cost(), None);
+    }
+
+    #[test]
+    fn coarse_grains_need_no_aggregation() {
+        let a = adapter();
+        for _ in 0..10 {
+            a.observe_call(Duration::from_millis(50));
+        }
+        assert_eq!(a.recommended_aggregation(), 1);
+        assert!(!a.should_agglomerate());
+    }
+
+    #[test]
+    fn fine_grains_get_aggregated() {
+        let a = adapter();
+        for _ in 0..10 {
+            a.observe_call(Duration::from_micros(50));
+        }
+        let k = a.recommended_aggregation();
+        assert!(k > 1, "50us calls against 273us overhead must aggregate, got {k}");
+        assert!(k <= 256);
+    }
+
+    #[test]
+    fn microscopic_grains_agglomerate() {
+        let a = adapter();
+        for _ in 0..10 {
+            a.observe_call(Duration::from_nanos(100));
+        }
+        assert_eq!(a.recommended_aggregation(), 256, "hits the ceiling");
+        assert!(a.should_agglomerate());
+    }
+
+    #[test]
+    fn ewma_tracks_a_regime_change() {
+        let a = adapter();
+        for _ in 0..50 {
+            a.observe_call(Duration::from_micros(1));
+        }
+        assert!(a.should_agglomerate());
+        for _ in 0..50 {
+            a.observe_call(Duration::from_millis(10));
+        }
+        assert!(!a.should_agglomerate(), "adapter must forget the old fine-grain regime");
+        assert_eq!(a.samples(), 100);
+    }
+
+    #[test]
+    fn zero_duration_calls_hit_the_ceiling() {
+        let a = adapter();
+        a.observe_call(Duration::ZERO);
+        assert_eq!(a.recommended_aggregation(), 256);
+        assert!(a.should_agglomerate());
+    }
+
+    #[test]
+    fn ceiling_is_respected() {
+        let a = GrainAdapter::new(Duration::from_millis(100), 8);
+        a.observe_call(Duration::from_nanos(1));
+        assert_eq!(a.recommended_aggregation(), 8);
+    }
+}

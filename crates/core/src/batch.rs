@@ -1,0 +1,189 @@
+//! The aggregate-call protocol — the generalized `processN` of Fig. 7.
+//!
+//! When a proxy object aggregates asynchronous calls, it ships one message
+//! whose method is [`BATCH_METHOD`] and whose single argument is a list of
+//! `Call{m, a}` structs. The paper's preprocessor generated a dedicated
+//! `processN` per method; here a generic [`BatchDispatcher`] wrapper
+//! unpacks any batch in order against the wrapped implementation object,
+//! so every IO accepts both plain and aggregated calls.
+
+use std::sync::Arc;
+
+use parc_remoting::{Invokable, RemotingError};
+use parc_serial::{StructValue, Value};
+
+/// Reserved method name for aggregate messages.
+pub const BATCH_METHOD: &str = "__batch";
+
+/// Encodes `(method, args)` pairs into the single batch argument.
+pub fn encode_batch(calls: &[(String, Vec<Value>)]) -> Value {
+    Value::List(
+        calls
+            .iter()
+            .map(|(m, a)| {
+                Value::Struct(
+                    StructValue::new("Call")
+                        .with_field("m", Value::Str(m.clone()))
+                        .with_field("a", Value::List(a.clone())),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a batch argument back into `(method, args)` pairs.
+///
+/// # Errors
+///
+/// [`RemotingError::BadArguments`] when the payload is not a batch.
+pub fn decode_batch(arg: &Value) -> Result<Vec<(String, Vec<Value>)>, RemotingError> {
+    let malformed = |detail: &str| RemotingError::BadArguments {
+        method: BATCH_METHOD.to_string(),
+        detail: detail.to_string(),
+    };
+    let items = arg.as_list().ok_or_else(|| malformed("batch is not a list"))?;
+    items
+        .iter()
+        .map(|item| {
+            let s = item.as_struct().filter(|s| s.name() == "Call")
+                .ok_or_else(|| malformed("batch entry is not a Call struct"))?;
+            let method = s
+                .field("m")
+                .and_then(Value::as_str)
+                .ok_or_else(|| malformed("batch entry missing method"))?
+                .to_string();
+            let args = match s.field("a") {
+                Some(Value::List(a)) => a.clone(),
+                _ => return Err(malformed("batch entry missing args")),
+            };
+            Ok((method, args))
+        })
+        .collect()
+}
+
+/// Wraps an implementation object so it also understands aggregate
+/// messages. Calls inside a batch run in order on the caller's dispatch
+/// thread; the batch returns `Null` (its members were asynchronous calls,
+/// which have no results by definition).
+pub struct BatchDispatcher {
+    inner: Arc<dyn Invokable>,
+}
+
+impl BatchDispatcher {
+    /// Wraps `inner`.
+    pub fn new(inner: Arc<dyn Invokable>) -> BatchDispatcher {
+        BatchDispatcher { inner }
+    }
+}
+
+impl Invokable for BatchDispatcher {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, RemotingError> {
+        if method != BATCH_METHOD {
+            return self.inner.invoke(method, args);
+        }
+        let batch_arg = args.first().ok_or(RemotingError::BadArguments {
+            method: BATCH_METHOD.to_string(),
+            detail: "missing batch argument".to_string(),
+        })?;
+        for (m, a) in decode_batch(batch_arg)? {
+            // A failure mid-batch aborts the rest — same as N one-way calls
+            // where call k crashed the server object.
+            self.inner.invoke(&m, &a)?;
+        }
+        Ok(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parc_remoting::dispatcher::FnInvokable;
+    use parking_lot::Mutex;
+
+    type CallLog = Arc<Mutex<Vec<(String, i32)>>>;
+
+    fn recorder() -> (CallLog, Arc<dyn Invokable>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        let obj: Arc<dyn Invokable> = Arc::new(FnInvokable(move |method: &str, args: &[Value]| {
+            if method == "boom" {
+                return Err(RemotingError::ServerFault { detail: "boom".into() });
+            }
+            log2.lock()
+                .push((method.to_string(), args.first().and_then(Value::as_i32).unwrap_or(-1)));
+            Ok(Value::I32(0))
+        }));
+        (log, obj)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let calls = vec![
+            ("a".to_string(), vec![Value::I32(1)]),
+            ("b".to_string(), vec![Value::I32(2), Value::Str("x".into())]),
+            ("c".to_string(), vec![]),
+        ];
+        assert_eq!(decode_batch(&encode_batch(&calls)).unwrap(), calls);
+    }
+
+    #[test]
+    fn batch_executes_in_order() {
+        let (log, obj) = recorder();
+        let d = BatchDispatcher::new(obj);
+        let calls: Vec<(String, Vec<Value>)> =
+            (0..10).map(|i| ("work".to_string(), vec![Value::I32(i)])).collect();
+        d.invoke(BATCH_METHOD, &[encode_batch(&calls)]).unwrap();
+        let seen: Vec<i32> = log.lock().iter().map(|(_, v)| *v).collect();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mixed_methods_preserve_order() {
+        let (log, obj) = recorder();
+        let d = BatchDispatcher::new(obj);
+        let calls = vec![
+            ("first".to_string(), vec![Value::I32(1)]),
+            ("second".to_string(), vec![Value::I32(2)]),
+            ("first".to_string(), vec![Value::I32(3)]),
+        ];
+        d.invoke(BATCH_METHOD, &[encode_batch(&calls)]).unwrap();
+        let names: Vec<String> = log.lock().iter().map(|(m, _)| m.clone()).collect();
+        assert_eq!(names, vec!["first", "second", "first"]);
+    }
+
+    #[test]
+    fn non_batch_calls_pass_through() {
+        let (log, obj) = recorder();
+        let d = BatchDispatcher::new(obj);
+        d.invoke("direct", &[Value::I32(7)]).unwrap();
+        assert_eq!(log.lock().as_slice(), &[("direct".to_string(), 7)]);
+    }
+
+    #[test]
+    fn failure_mid_batch_stops_the_rest() {
+        let (log, obj) = recorder();
+        let d = BatchDispatcher::new(obj);
+        let calls = vec![
+            ("ok".to_string(), vec![Value::I32(1)]),
+            ("boom".to_string(), vec![]),
+            ("never".to_string(), vec![Value::I32(3)]),
+        ];
+        assert!(d.invoke(BATCH_METHOD, &[encode_batch(&calls)]).is_err());
+        assert_eq!(log.lock().len(), 1);
+    }
+
+    #[test]
+    fn malformed_batches_rejected() {
+        let (_, obj) = recorder();
+        let d = BatchDispatcher::new(obj);
+        assert!(d.invoke(BATCH_METHOD, &[]).is_err());
+        assert!(d.invoke(BATCH_METHOD, &[Value::I32(1)]).is_err());
+        assert!(d
+            .invoke(BATCH_METHOD, &[Value::List(vec![Value::I32(1)])])
+            .is_err());
+        let no_args = Value::List(vec![Value::Struct(
+            StructValue::new("Call").with_field("m", Value::Str("x".into())),
+        )]);
+        assert!(d.invoke(BATCH_METHOD, &[no_args]).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Application dependence-graph tracking.
+//!
+//! §3.1: *"References to parallel objects may be copied or sent as a
+//! method argument, which may lead to cycles in a dependence graph. The
+//! application's dependence graph becomes a DAG when this feature is not
+//! used."* The runtime records creation and reference edges here, so
+//! tooling (and the tests) can check whether an application stayed a DAG —
+//! which matters because cyclic reference graphs defeat simple
+//! lifetime/termination reasoning.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// A concurrent dependence graph over parallel-object ids.
+#[derive(Debug, Default)]
+pub struct DependenceGraph {
+    inner: Mutex<Graph>,
+}
+
+#[derive(Debug, Default)]
+struct Graph {
+    /// object id -> label (class name)
+    nodes: HashMap<u64, String>,
+    /// directed edges: from depends-on/refers-to to
+    edges: HashMap<u64, Vec<u64>>,
+}
+
+impl DependenceGraph {
+    /// Creates an empty graph.
+    pub fn new() -> DependenceGraph {
+        DependenceGraph::default()
+    }
+
+    /// Records a parallel object.
+    pub fn add_object(&self, id: u64, class: impl Into<String>) {
+        let mut g = self.inner.lock();
+        g.nodes.entry(id).or_insert_with(|| class.into());
+        g.edges.entry(id).or_default();
+    }
+
+    /// Records that `from` holds a reference to `to` (created it, or
+    /// received its reference as a method argument).
+    pub fn add_reference(&self, from: u64, to: u64) {
+        let mut g = self.inner.lock();
+        g.edges.entry(from).or_default().push(to);
+        g.edges.entry(to).or_default();
+    }
+
+    /// Number of recorded objects.
+    pub fn len(&self) -> usize {
+        self.inner.lock().nodes.len()
+    }
+
+    /// True when no objects were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().nodes.is_empty()
+    }
+
+    /// Class label of an object, if recorded.
+    pub fn class_of(&self, id: u64) -> Option<String> {
+        self.inner.lock().nodes.get(&id).cloned()
+    }
+
+    /// True when the reference graph has no directed cycle — the paper's
+    /// "references not copied around" regime.
+    pub fn is_dag(&self) -> bool {
+        self.topological_order().is_some()
+    }
+
+    /// A topological order of the objects, or `None` if the graph is
+    /// cyclic. Ties are broken by ascending id, making the order
+    /// deterministic.
+    pub fn topological_order(&self) -> Option<Vec<u64>> {
+        let g = self.inner.lock();
+        let mut indegree: HashMap<u64, usize> = g.edges.keys().map(|&k| (k, 0)).collect();
+        for targets in g.edges.values() {
+            for &t in targets {
+                *indegree.entry(t).or_insert(0) += 1;
+            }
+        }
+        let mut ready: Vec<u64> =
+            indegree.iter().filter(|(_, &d)| d == 0).map(|(&k, _)| k).collect();
+        ready.sort_unstable();
+        let mut order = Vec::with_capacity(indegree.len());
+        while let Some(next) = ready.first().copied() {
+            ready.remove(0);
+            order.push(next);
+            let mut newly_ready = Vec::new();
+            if let Some(targets) = g.edges.get(&next) {
+                for &t in targets {
+                    let d = indegree.get_mut(&t).expect("edge target tracked");
+                    *d -= 1;
+                    if *d == 0 {
+                        newly_ready.push(t);
+                    }
+                }
+            }
+            newly_ready.sort_unstable();
+            // Merge keeping global determinism.
+            ready.extend(newly_ready);
+            ready.sort_unstable();
+        }
+        if order.len() == indegree.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// Objects involved in at least one cycle (empty for a DAG), sorted.
+    pub fn cyclic_objects(&self) -> Vec<u64> {
+        match self.topological_order() {
+            Some(_) => Vec::new(),
+            None => {
+                let g = self.inner.lock();
+                // Nodes that never become ready in Kahn's algorithm.
+                let mut indegree: HashMap<u64, usize> =
+                    g.edges.keys().map(|&k| (k, 0)).collect();
+                for targets in g.edges.values() {
+                    for &t in targets {
+                        *indegree.entry(t).or_insert(0) += 1;
+                    }
+                }
+                let mut removed = true;
+                while removed {
+                    removed = false;
+                    let zero: Vec<u64> = indegree
+                        .iter()
+                        .filter(|(_, &d)| d == 0)
+                        .map(|(&k, _)| k)
+                        .collect();
+                    for k in zero {
+                        indegree.remove(&k);
+                        removed = true;
+                        if let Some(targets) = g.edges.get(&k) {
+                            for t in targets {
+                                if let Some(d) = indegree.get_mut(t) {
+                                    *d = d.saturating_sub(1);
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut cyc: Vec<u64> = indegree.into_keys().collect();
+                cyc.sort_unstable();
+                cyc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creation_tree_is_a_dag() {
+        let g = DependenceGraph::new();
+        for id in 0..5 {
+            g.add_object(id, "Worker");
+        }
+        for id in 1..5 {
+            g.add_reference(0, id); // master created the workers
+        }
+        assert!(g.is_dag());
+        assert_eq!(g.topological_order().unwrap()[0], 0);
+        assert!(g.cyclic_objects().is_empty());
+    }
+
+    #[test]
+    fn copied_references_can_create_cycles() {
+        let g = DependenceGraph::new();
+        g.add_object(1, "A");
+        g.add_object(2, "B");
+        g.add_reference(1, 2);
+        assert!(g.is_dag());
+        // B receives a reference back to A as a method argument (§3.1).
+        g.add_reference(2, 1);
+        assert!(!g.is_dag());
+        assert_eq!(g.cyclic_objects(), vec![1, 2]);
+        assert_eq!(g.topological_order(), None);
+    }
+
+    #[test]
+    fn cycle_detection_is_local_to_the_cycle() {
+        let g = DependenceGraph::new();
+        for id in 0..4 {
+            g.add_object(id, "O");
+        }
+        g.add_reference(0, 1);
+        g.add_reference(1, 2);
+        g.add_reference(2, 1); // cycle 1<->2
+        g.add_reference(2, 3);
+        assert_eq!(g.cyclic_objects(), vec![1, 2, 3], "3 is downstream of the cycle");
+    }
+
+    #[test]
+    fn self_reference_is_a_cycle() {
+        let g = DependenceGraph::new();
+        g.add_object(7, "Selfish");
+        g.add_reference(7, 7);
+        assert!(!g.is_dag());
+    }
+
+    #[test]
+    fn topological_order_is_deterministic() {
+        let build = || {
+            let g = DependenceGraph::new();
+            for id in [3, 1, 2, 0] {
+                g.add_object(id, "N");
+            }
+            g.add_reference(0, 2);
+            g.add_reference(1, 2);
+            g.add_reference(2, 3);
+            g.topological_order().unwrap()
+        };
+        assert_eq!(build(), build());
+        assert_eq!(build(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn labels_and_sizes() {
+        let g = DependenceGraph::new();
+        assert!(g.is_empty());
+        g.add_object(1, "PrimeServer");
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.class_of(1).as_deref(), Some("PrimeServer"));
+        assert_eq!(g.class_of(9), None);
+    }
+
+    #[test]
+    fn duplicate_add_object_keeps_first_label() {
+        let g = DependenceGraph::new();
+        g.add_object(1, "First");
+        g.add_object(1, "Second");
+        assert_eq!(g.class_of(1).as_deref(), Some("First"));
+        assert_eq!(g.len(), 1);
+    }
+}

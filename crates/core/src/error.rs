@@ -1,0 +1,98 @@
+//! Error type for the SCOOPP runtime.
+
+use std::error::Error;
+use std::fmt;
+
+use parc_remoting::RemotingError;
+use parc_serial::SerialError;
+
+/// Failures raised by the ParC# runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParcError {
+    /// No class registered under the requested name.
+    UnknownClass {
+        /// The requested class name.
+        class: String,
+    },
+    /// The underlying remoting stack failed.
+    Remoting(RemotingError),
+    /// Marshalling failed inside the runtime itself.
+    Serial(SerialError),
+    /// Invalid runtime configuration.
+    Config {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A skeleton (farm/pipeline) protocol violation.
+    Skeleton {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ParcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParcError::UnknownClass { class } => {
+                write!(f, "no parallel-object class registered as {class:?}")
+            }
+            ParcError::Remoting(e) => write!(f, "remoting failure: {e}"),
+            ParcError::Serial(e) => write!(f, "marshalling failure: {e}"),
+            ParcError::Config { detail } => write!(f, "bad runtime configuration: {detail}"),
+            ParcError::Skeleton { detail } => write!(f, "skeleton protocol violation: {detail}"),
+        }
+    }
+}
+
+impl Error for ParcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParcError::Remoting(e) => Some(e),
+            ParcError::Serial(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RemotingError> for ParcError {
+    fn from(e: RemotingError) -> Self {
+        ParcError::Remoting(e)
+    }
+}
+
+impl From<SerialError> for ParcError {
+    fn from(e: SerialError) -> Self {
+        ParcError::Serial(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain() {
+        let e = ParcError::from(RemotingError::Timeout);
+        assert!(e.source().is_some());
+        assert!(ParcError::UnknownClass { class: "X".into() }.source().is_none());
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<ParcError>();
+    }
+
+    #[test]
+    fn displays_nonempty() {
+        for e in [
+            ParcError::UnknownClass { class: "C".into() },
+            ParcError::Remoting(RemotingError::Timeout),
+            ParcError::Serial(SerialError::BadMagic { expected: "binary" }),
+            ParcError::Config { detail: "d".into() },
+            ParcError::Skeleton { detail: "d".into() },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

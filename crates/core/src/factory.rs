@@ -1,0 +1,223 @@
+//! Remote object factories — Fig. 6's generated `RemoteFactory`.
+//!
+//! §3.2: *"On the C# prototype this functionality was separated from the
+//! OM code since object factories can be automatically registered in the
+//! boot code of each node."* Each node publishes one factory service
+//! (`__factory`); a `create(class)` call instantiates an implementation
+//! object from the shared class registry, wraps it in the batch adapter,
+//! registers it in the node's object table under a fresh name, and returns
+//! that name to the caller (which builds the PO around it).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parc_remoting::{Invokable, ObjectTable, RemotingError};
+use parc_serial::Value;
+use parking_lot::RwLock;
+
+use crate::batch::BatchDispatcher;
+use crate::om::OmState;
+
+/// The well-known name every node publishes its factory under.
+pub const FACTORY_OBJECT: &str = "__factory";
+
+/// A constructor for one parallel-object class.
+pub type ClassFactory = Arc<dyn Fn() -> Arc<dyn Invokable> + Send + Sync>;
+
+/// The runtime-wide class registry, shared by every node's factory.
+#[derive(Clone, Default)]
+pub struct ClassRegistry {
+    classes: Arc<RwLock<HashMap<String, ClassFactory>>>,
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> ClassRegistry {
+        ClassRegistry::default()
+    }
+
+    /// Registers (or replaces) a class constructor.
+    pub fn register(
+        &self,
+        class: impl Into<String>,
+        factory: impl Fn() -> Arc<dyn Invokable> + Send + Sync + 'static,
+    ) {
+        self.classes.write().insert(class.into(), Arc::new(factory));
+    }
+
+    /// Looks a constructor up.
+    pub fn get(&self, class: &str) -> Option<ClassFactory> {
+        self.classes.read().get(class).cloned()
+    }
+
+    /// Registered class names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.classes.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl std::fmt::Debug for ClassRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassRegistry").field("classes", &self.names()).finish()
+    }
+}
+
+static NEXT_IO_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The per-node factory service.
+pub struct FactoryService {
+    node: usize,
+    registry: ClassRegistry,
+    objects: ObjectTable,
+    om: Arc<OmState>,
+}
+
+impl FactoryService {
+    /// Creates the factory for `node`, registering IOs into `objects`.
+    pub fn new(
+        node: usize,
+        registry: ClassRegistry,
+        objects: ObjectTable,
+        om: Arc<OmState>,
+    ) -> FactoryService {
+        FactoryService { node, registry, objects, om }
+    }
+
+    fn create(&self, class: &str) -> Result<String, RemotingError> {
+        let factory = self.registry.get(class).ok_or_else(|| RemotingError::ObjectNotFound {
+            object: format!("class {class}"),
+        })?;
+        let io = factory();
+        let name = format!("io-{}-{}", self.node, NEXT_IO_ID.fetch_add(1, Ordering::Relaxed));
+        self.objects
+            .register_singleton(&name, Arc::new(BatchDispatcher::new(io)));
+        self.om.object_created();
+        Ok(name)
+    }
+
+    fn destroy(&self, name: &str) -> bool {
+        let removed = self.objects.unregister(name);
+        if removed {
+            self.om.object_destroyed();
+        }
+        removed
+    }
+}
+
+impl Invokable for FactoryService {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, RemotingError> {
+        match method {
+            "create" => {
+                let class = args.first().and_then(Value::as_str).ok_or_else(|| {
+                    RemotingError::BadArguments {
+                        method: "create".into(),
+                        detail: "expected a class name string".into(),
+                    }
+                })?;
+                self.create(class).map(Value::Str)
+            }
+            "destroy" => {
+                let name = args.first().and_then(Value::as_str).ok_or_else(|| {
+                    RemotingError::BadArguments {
+                        method: "destroy".into(),
+                        detail: "expected an object name string".into(),
+                    }
+                })?;
+                Ok(Value::Bool(self.destroy(name)))
+            }
+            _ => Err(RemotingError::MethodNotFound {
+                object: FACTORY_OBJECT.to_string(),
+                method: method.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{encode_batch, BATCH_METHOD};
+    use parc_remoting::dispatcher::FnInvokable;
+
+    fn service() -> (FactoryService, ObjectTable, Arc<OmState>) {
+        let registry = ClassRegistry::new();
+        registry.register("Echo", || {
+            Arc::new(FnInvokable(|_: &str, args: &[Value]| {
+                Ok(args.first().cloned().unwrap_or(Value::Null))
+            }))
+        });
+        let objects = ObjectTable::new();
+        let om = Arc::new(OmState::new());
+        let svc = FactoryService::new(0, registry, objects.clone(), Arc::clone(&om));
+        (svc, objects, om)
+    }
+
+    #[test]
+    fn create_registers_a_fresh_io() {
+        let (svc, objects, om) = service();
+        let name = svc.invoke("create", &[Value::Str("Echo".into())]).unwrap();
+        let name = name.as_str().unwrap().to_string();
+        assert!(objects.contains(&name));
+        assert_eq!(om.load(), 1);
+        // The IO answers calls.
+        let io = objects.resolve(&name).unwrap();
+        assert_eq!(io.invoke("echo", &[Value::I32(5)]).unwrap(), Value::I32(5));
+    }
+
+    #[test]
+    fn created_ios_understand_batches() {
+        let (svc, objects, _) = service();
+        let name = svc.invoke("create", &[Value::Str("Echo".into())]).unwrap();
+        let io = objects.resolve(name.as_str().unwrap()).unwrap();
+        let batch = encode_batch(&[("echo".into(), vec![Value::I32(1)])]);
+        assert_eq!(io.invoke(BATCH_METHOD, &[batch]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn names_are_unique_per_creation() {
+        let (svc, _, om) = service();
+        let a = svc.invoke("create", &[Value::Str("Echo".into())]).unwrap();
+        let b = svc.invoke("create", &[Value::Str("Echo".into())]).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(om.load(), 2);
+    }
+
+    #[test]
+    fn unknown_class_is_an_error() {
+        let (svc, _, _) = service();
+        assert!(svc.invoke("create", &[Value::Str("Ghost".into())]).is_err());
+        assert!(svc.invoke("create", &[Value::I32(1)]).is_err());
+        assert!(svc.invoke("create", &[]).is_err());
+    }
+
+    #[test]
+    fn destroy_unregisters_and_decrements_load() {
+        let (svc, objects, om) = service();
+        let name = svc.invoke("create", &[Value::Str("Echo".into())]).unwrap();
+        let name_s = name.as_str().unwrap().to_string();
+        assert_eq!(svc.invoke("destroy", &[name]).unwrap(), Value::Bool(true));
+        assert!(!objects.contains(&name_s));
+        assert_eq!(om.load(), 0);
+        assert_eq!(
+            svc.invoke("destroy", &[Value::Str(name_s)]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn registry_lists_classes() {
+        let registry = ClassRegistry::new();
+        registry.register("B", || -> Arc<dyn Invokable> {
+            Arc::new(FnInvokable(|_: &str, _: &[Value]| Ok(Value::Null)))
+        });
+        registry.register("A", || -> Arc<dyn Invokable> {
+            Arc::new(FnInvokable(|_: &str, _: &[Value]| Ok(Value::Null)))
+        });
+        assert_eq!(registry.names(), vec!["A", "B"]);
+        assert!(registry.get("A").is_some());
+        assert!(registry.get("C").is_none());
+    }
+}

@@ -1,0 +1,241 @@
+//! The farming skeleton — the decomposition of the paper's Ray Tracer.
+//!
+//! §4: *"This application was parallelised using a farming approach, where
+//! each worker renders several lines from the generated image."* A
+//! [`Farm`] creates one worker parallel object per node slot, distributes
+//! work items round-robin, and gathers results; item-level results keep
+//! their input order.
+
+use parc_serial::Value;
+
+use crate::error::ParcError;
+use crate::po::Po;
+use crate::runtime::ParcRuntime;
+
+/// A master/worker farm over one parallel-object class.
+pub struct Farm {
+    workers: Vec<Po>,
+}
+
+impl Farm {
+    /// Creates `workers` instances of `class`, spread across the runtime's
+    /// nodes (worker *i* on node *i mod nodes*).
+    ///
+    /// # Errors
+    ///
+    /// [`ParcError::UnknownClass`], [`ParcError::Config`] for zero
+    /// workers, or remoting failures.
+    pub fn new(runtime: &ParcRuntime, class: &str, workers: usize) -> Result<Farm, ParcError> {
+        if workers == 0 {
+            return Err(ParcError::Config { detail: "farm needs at least one worker".into() });
+        }
+        let workers = (0..workers)
+            .map(|i| runtime.create_on(class, i % runtime.nodes()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Farm { workers })
+    }
+
+    /// Builds a farm from existing parallel objects (e.g. agglomerated
+    /// ones in an ablation run).
+    ///
+    /// # Errors
+    ///
+    /// [`ParcError::Config`] when `workers` is empty.
+    pub fn from_workers(workers: Vec<Po>) -> Result<Farm, ParcError> {
+        if workers.is_empty() {
+            return Err(ParcError::Config { detail: "farm needs at least one worker".into() });
+        }
+        Ok(Farm { workers })
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when the farm has no workers (never, post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The worker proxies.
+    pub fn workers(&self) -> &[Po] {
+        &self.workers
+    }
+
+    /// Posts one asynchronous work item per entry of `items`, round-robin
+    /// over the workers (aggregation applies per worker).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn scatter(&self, method: &str, items: Vec<Vec<Value>>) -> Result<(), ParcError> {
+        for (i, args) in items.into_iter().enumerate() {
+            self.workers[i % self.workers.len()].post(method, args)?;
+        }
+        self.flush()
+    }
+
+    /// Flushes every worker's aggregation buffer.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn flush(&self) -> Result<(), ParcError> {
+        for w in &self.workers {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Synchronously maps `items` over the workers **in parallel** (one
+    /// thread per worker pulling from a shared queue — the delegate-based
+    /// overlap of Fig. 4) and returns results in input order.
+    ///
+    /// # Errors
+    ///
+    /// The first failure any worker hits.
+    pub fn map(&self, method: &str, items: Vec<Vec<Value>>) -> Result<Vec<Value>, ParcError> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = items.len();
+        // One slot per item; workers fill disjoint slots.
+        let results: Vec<parking_lot::Mutex<Option<Value>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let items_ref = &items;
+        let next_ref = &next;
+        let results_ref = &results;
+        let first_error: parking_lot::Mutex<Option<ParcError>> = parking_lot::Mutex::new(None);
+        let error_ref = &first_error;
+        std::thread::scope(|scope| {
+            for w in &self.workers {
+                scope.spawn(move || loop {
+                    let idx = next_ref.fetch_add(1, Ordering::SeqCst);
+                    if idx >= n {
+                        return;
+                    }
+                    match w.call(method, items_ref[idx].clone()) {
+                        Ok(v) => {
+                            *results_ref[idx].lock() = Some(v);
+                        }
+                        Err(e) => {
+                            error_ref.lock().get_or_insert(e);
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_error.into_inner() {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.into_inner().expect("every slot filled when no worker errored"))
+            .collect())
+    }
+
+    /// Gathers one synchronous call's result from every worker, in worker
+    /// order (e.g. per-worker totals after a `scatter`).
+    ///
+    /// # Errors
+    ///
+    /// The first failing worker's error.
+    pub fn gather(&self, method: &str, args: Vec<Value>) -> Result<Vec<Value>, ParcError> {
+        self.workers.iter().map(|w| w.call(method, args.clone())).collect()
+    }
+}
+
+impl std::fmt::Debug for Farm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Farm").field("workers", &self.workers.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GrainConfig;
+    use parc_remoting::dispatcher::FnInvokable;
+    use parc_remoting::RemotingError;
+    use std::sync::atomic::{AtomicI64, Ordering};
+    use std::sync::Arc;
+
+    fn farm_runtime(nodes: usize) -> ParcRuntime {
+        let mut b = ParcRuntime::builder();
+        b.nodes(nodes).grain(GrainConfig { aggregation_factor: 4, ..GrainConfig::default() });
+        let rt = b.build().unwrap();
+        rt.register_class("Squarer", || {
+            let sum = AtomicI64::new(0);
+            Arc::new(FnInvokable(move |method: &str, args: &[Value]| match method {
+                "square" => {
+                    let x = i64::from(args[0].as_i32().unwrap_or(0));
+                    Ok(Value::I64(x * x))
+                }
+                "accumulate" => {
+                    let x = i64::from(args[0].as_i32().unwrap_or(0));
+                    sum.fetch_add(x, Ordering::SeqCst);
+                    Ok(Value::Null)
+                }
+                "sum" => Ok(Value::I64(sum.load(Ordering::SeqCst))),
+                _ => Err(RemotingError::MethodNotFound {
+                    object: "Squarer".into(),
+                    method: method.into(),
+                }),
+            }))
+        });
+        rt
+    }
+
+    #[test]
+    fn workers_spread_over_nodes() {
+        let rt = farm_runtime(3);
+        let farm = Farm::new(&rt, "Squarer", 6).unwrap();
+        assert_eq!(farm.len(), 6);
+        let nodes: Vec<_> = farm.workers().iter().map(|w| w.node().unwrap()).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let rt = farm_runtime(2);
+        let farm = Farm::new(&rt, "Squarer", 4).unwrap();
+        let items: Vec<Vec<Value>> = (0..20).map(|i| vec![Value::I32(i)]).collect();
+        let out = farm.map("square", items).unwrap();
+        let squares: Vec<i64> = out.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(squares, (0..20).map(|i| i64::from(i) * i64::from(i)).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn scatter_gather_accumulates_everything() {
+        let rt = farm_runtime(2);
+        let farm = Farm::new(&rt, "Squarer", 3).unwrap();
+        let items: Vec<Vec<Value>> = (1..=10).map(|i| vec![Value::I32(i)]).collect();
+        farm.scatter("accumulate", items).unwrap();
+        let totals = farm.gather("sum", vec![]).unwrap();
+        let grand: i64 = totals.iter().map(|v| v.as_i64().unwrap()).sum();
+        assert_eq!(grand, 55);
+    }
+
+    #[test]
+    fn map_reports_worker_errors() {
+        let rt = farm_runtime(1);
+        let farm = Farm::new(&rt, "Squarer", 2).unwrap();
+        let err = farm.map("missing_method", vec![vec![], vec![]]).unwrap_err();
+        assert!(matches!(err, ParcError::Remoting(_)));
+    }
+
+    #[test]
+    fn empty_farm_rejected() {
+        let rt = farm_runtime(1);
+        assert!(matches!(Farm::new(&rt, "Squarer", 0), Err(ParcError::Config { .. })));
+        assert!(Farm::from_workers(vec![]).is_err());
+    }
+
+    #[test]
+    fn map_on_empty_items_is_empty() {
+        let rt = farm_runtime(1);
+        let farm = Farm::new(&rt, "Squarer", 2).unwrap();
+        assert!(farm.map("square", vec![]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! # parc-core — the ParC#/SCOOPP runtime (the paper's contribution)
+//!
+//! SCOOPP (Scalable Object Oriented Parallel Programming) structures a
+//! parallel application as **parallel objects** — active objects with their
+//! own logical thread of control, distributed across processing nodes and
+//! invoked through **asynchronous** (no return value) or **synchronous**
+//! (value-returning) method calls — plus **passive objects** that travel by
+//! copy. The ParC# contribution (§3) is implementing that model on the
+//! remoting stack and keeping ParC++'s *run-time grain-size adaptation*:
+//!
+//! * **method call aggregation** — delay and combine a series of
+//!   asynchronous calls into a single aggregate message, cutting
+//!   per-message overhead and latency ([`po::Po`] + the `__batch` protocol
+//!   in [`batch`], Fig. 7);
+//! * **object agglomeration** — when parallelism is excessive, create new
+//!   "parallel" objects locally so their calls execute synchronously and
+//!   serially ([`runtime::ParcRuntime::create`] deciding local vs remote,
+//!   Fig. 5);
+//! * an **object manager** (OM) per node cooperating on placement and load
+//!   balancing ([`om`]);
+//! * **remote factories** instantiating implementation objects (IO) on
+//!   demand ([`factory`], Fig. 6);
+//! * dynamic **grain-size adaptation** driven by measured call costs
+//!   ([`adapt`]);
+//! * dependence-graph tracking for the §3.1 observation that copying
+//!   parallel-object references can turn the application's DAG into a
+//!   cyclic graph ([`dag`]);
+//! * [`farm`] and [`pipeline`] skeletons — the two decompositions the
+//!   paper's evaluation uses (Ray Tracer farm, prime-sieve pipeline).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use parc_core::prelude::*;
+//! use parc_remoting::dispatcher::FnInvokable;
+//! use parc_serial::Value;
+//!
+//! # fn main() -> Result<(), ParcError> {
+//! let runtime = ParcRuntime::builder().nodes(2).build()?;
+//! runtime.register_class("Counter", || {
+//!     let hits = std::sync::atomic::AtomicI64::new(0);
+//!     Arc::new(FnInvokable(move |method: &str, _args: &[Value]| match method {
+//!         "bump" => { hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst); Ok(Value::Null) }
+//!         "total" => Ok(Value::I64(hits.load(std::sync::atomic::Ordering::SeqCst))),
+//!         _ => Err(parc_remoting::RemotingError::MethodNotFound {
+//!             object: "Counter".into(), method: method.into() }),
+//!     }))
+//! });
+//! let counter = runtime.create("Counter")?;
+//! for _ in 0..10 {
+//!     counter.post("bump", vec![])?;   // asynchronous, aggregated
+//! }
+//! counter.flush()?;
+//! assert_eq!(counter.call("total", vec![])?, Value::I64(10));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod adapt;
+pub mod batch;
+pub mod config;
+pub mod dag;
+pub mod error;
+pub mod factory;
+pub mod farm;
+pub mod om;
+pub mod pipeline;
+pub mod po;
+pub mod runtime;
+pub mod stats;
+
+pub use adapt::GrainAdapter;
+pub use config::{GrainConfig, Placement};
+pub use dag::DependenceGraph;
+pub use error::ParcError;
+pub use farm::Farm;
+pub use pipeline::Pipeline;
+pub use po::Po;
+pub use runtime::{ParcRuntime, RuntimeBuilder};
+pub use stats::RuntimeStats;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::config::{GrainConfig, Placement};
+    pub use crate::error::ParcError;
+    pub use crate::farm::Farm;
+    pub use crate::pipeline::Pipeline;
+    pub use crate::po::Po;
+    pub use crate::runtime::{ParcRuntime, RuntimeBuilder};
+}

@@ -1,0 +1,147 @@
+//! The object manager (OM) — one per processing node.
+//!
+//! §3.2: *"The application entry code creates one instance of the OM on
+//! each processing node. The OM controls the grain-size adaptation by
+//! instructing PO objects to perform method call aggregation and/or object
+//! agglomeration"*, and cooperates on placement and load balancing. Here
+//! the OM is a remoting-published service (`__om`) whose load counter the
+//! placement policies consult; grain-size instructions flow through the
+//! shared [`crate::GrainAdapter`].
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use parc_remoting::{Invokable, RemotingError};
+use parc_serial::Value;
+
+/// The well-known name every node publishes its OM under.
+pub const OM_OBJECT: &str = "__om";
+
+/// Node-local object-manager state (shared with the published service).
+#[derive(Debug, Default)]
+pub struct OmState {
+    /// Number of implementation objects hosted on the node.
+    hosted: AtomicI64,
+    /// Total method calls dispatched to this node's IOs (activity proxy).
+    dispatched: AtomicI64,
+}
+
+impl OmState {
+    /// Creates zeroed state.
+    pub fn new() -> OmState {
+        OmState::default()
+    }
+
+    /// Records an IO creation on this node.
+    pub fn object_created(&self) {
+        self.hosted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an IO destruction.
+    pub fn object_destroyed(&self) {
+        self.hosted.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records call activity.
+    pub fn call_dispatched(&self) {
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current load metric: hosted objects.
+    pub fn load(&self) -> i64 {
+        self.hosted.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime dispatched-call count.
+    pub fn dispatched(&self) -> i64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+}
+
+/// The published OM service: lets peers query load and push notifications,
+/// mirroring the OM cooperation of Fig. 3 (calls *c*).
+pub struct OmService {
+    node: usize,
+    state: Arc<OmState>,
+}
+
+impl OmService {
+    /// Creates the service for `node` over shared `state`.
+    pub fn new(node: usize, state: Arc<OmState>) -> OmService {
+        OmService { node, state }
+    }
+}
+
+impl Invokable for OmService {
+    fn invoke(&self, method: &str, _args: &[Value]) -> Result<Value, RemotingError> {
+        match method {
+            "load" => Ok(Value::I64(self.state.load())),
+            "dispatched" => Ok(Value::I64(self.state.dispatched())),
+            "node" => Ok(Value::I64(self.node as i64)),
+            "created" => {
+                self.state.object_created();
+                Ok(Value::Null)
+            }
+            "destroyed" => {
+                self.state.object_destroyed();
+                Ok(Value::Null)
+            }
+            _ => Err(RemotingError::MethodNotFound {
+                object: OM_OBJECT.to_string(),
+                method: method.to_string(),
+            }),
+        }
+        .inspect(|_| {
+            if method != "load" && method != "dispatched" && method != "node" {
+                // Mutations count as activity too.
+                self.state.call_dispatched();
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_tracks_creations_and_destructions() {
+        let state = Arc::new(OmState::new());
+        state.object_created();
+        state.object_created();
+        state.object_destroyed();
+        assert_eq!(state.load(), 1);
+    }
+
+    #[test]
+    fn service_answers_queries() {
+        let state = Arc::new(OmState::new());
+        let om = OmService::new(3, Arc::clone(&state));
+        assert_eq!(om.invoke("node", &[]).unwrap(), Value::I64(3));
+        assert_eq!(om.invoke("load", &[]).unwrap(), Value::I64(0));
+        om.invoke("created", &[]).unwrap();
+        assert_eq!(om.invoke("load", &[]).unwrap(), Value::I64(1));
+        om.invoke("destroyed", &[]).unwrap();
+        assert_eq!(om.invoke("load", &[]).unwrap(), Value::I64(0));
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let om = OmService::new(0, Arc::new(OmState::new()));
+        assert!(matches!(
+            om.invoke("frobnicate", &[]),
+            Err(RemotingError::MethodNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn dispatched_counts_mutations() {
+        let state = Arc::new(OmState::new());
+        let om = OmService::new(0, Arc::clone(&state));
+        om.invoke("created", &[]).unwrap();
+        om.invoke("destroyed", &[]).unwrap();
+        assert_eq!(state.dispatched(), 2);
+        om.invoke("load", &[]).unwrap();
+        assert_eq!(state.dispatched(), 2, "queries are not activity");
+    }
+}

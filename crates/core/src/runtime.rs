@@ -1,0 +1,649 @@
+//! The ParC# runtime: nodes, boot code, creation flow (Fig. 5).
+//!
+//! A [`ParcRuntime`] boots `n` nodes (in-process endpoints), publishing on
+//! each the object manager (`__om`) and the remote factory (`__factory`) —
+//! the paper's per-node boot code. [`ParcRuntime::create`] then implements
+//! the Fig. 5 constructor: either *agglomerate* (create the IO locally,
+//! notify the OM) or contact an OM-chosen node's factory to create the IO
+//! remotely, wrapping the result in a [`Po`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parc_remoting::channel::{ChannelProvider, RemoteObject};
+use parc_remoting::inproc::{InprocEndpoint, InprocNetwork};
+use parc_serial::Value;
+use parking_lot::Mutex;
+
+use crate::adapt::GrainAdapter;
+use crate::config::{GrainConfig, Placement};
+use crate::dag::DependenceGraph;
+use crate::error::ParcError;
+use crate::factory::{ClassRegistry, FactoryService, FACTORY_OBJECT};
+use crate::om::{OmService, OmState, OM_OBJECT};
+use crate::po::{Po, Target};
+use crate::stats::RuntimeStats;
+
+/// Builder for [`ParcRuntime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeBuilder {
+    nodes: usize,
+    grain: GrainConfig,
+    placement: Placement,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder { nodes: 1, grain: GrainConfig::default(), placement: Placement::default() }
+    }
+}
+
+impl RuntimeBuilder {
+    /// Number of processing nodes (≥ 1).
+    pub fn nodes(&mut self, n: usize) -> &mut Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Grain-size configuration.
+    pub fn grain(&mut self, grain: GrainConfig) -> &mut Self {
+        self.grain = grain;
+        self
+    }
+
+    /// Static aggregation factor shorthand (`maxCalls`).
+    pub fn aggregation(&mut self, factor: usize) -> &mut Self {
+        self.grain.aggregation_factor = factor;
+        self
+    }
+
+    /// Placement policy.
+    pub fn placement(&mut self, placement: Placement) -> &mut Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Boots the runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`ParcError::Config`] for invalid settings; remoting failures while
+    /// booting nodes.
+    pub fn build(&self) -> Result<ParcRuntime, ParcError> {
+        if self.nodes == 0 {
+            return Err(ParcError::Config { detail: "runtime needs at least one node".into() });
+        }
+        self.grain.validate()?;
+        let net = InprocNetwork::new();
+        let registry = ClassRegistry::new();
+        let mut endpoints = Vec::with_capacity(self.nodes);
+        let mut om_states = Vec::with_capacity(self.nodes);
+        for node in 0..self.nodes {
+            // One dispatch worker per node: calls to a node's IOs execute
+            // in arrival order, the serial-per-grain semantics the ParC++
+            // SO message loop provided (§3.2).
+            let ep = net.create_endpoint_with_workers(format!("node{node}"), 1)?;
+            let om_state = Arc::new(OmState::new());
+            ep.objects().register_singleton(
+                OM_OBJECT,
+                Arc::new(OmService::new(node, Arc::clone(&om_state))),
+            );
+            ep.objects().register_singleton(
+                FACTORY_OBJECT,
+                Arc::new(FactoryService::new(
+                    node,
+                    registry.clone(),
+                    ep.objects().clone(),
+                    Arc::clone(&om_state),
+                )),
+            );
+            endpoints.push(ep);
+            om_states.push(om_state);
+        }
+        Ok(ParcRuntime {
+            net,
+            endpoints,
+            registry,
+            om_states,
+            grain: self.grain,
+            placement: self.placement,
+            rr_counter: AtomicUsize::new(0),
+            rng: Mutex::new(seeded_rng(self.placement)),
+            next_object_id: AtomicU64::new(1),
+            created: AtomicU64::new(0),
+            adapter: Arc::new(GrainAdapter::mono_default()),
+            stats: RuntimeStats::new(),
+            dag: Arc::new(DependenceGraph::new()),
+        })
+    }
+}
+
+fn seeded_rng(placement: Placement) -> parc_sim_free::SplitMix64 {
+    match placement {
+        Placement::Random { seed } => parc_sim_free::SplitMix64::new(seed),
+        _ => parc_sim_free::SplitMix64::new(0x5eed),
+    }
+}
+
+/// Tiny local PRNG so `parc-core` does not depend on `parc-sim` for three
+/// lines of arithmetic (the `rand` dependency is reserved for workload
+/// generation, which wants distributions).
+mod parc_sim_free {
+    #[derive(Debug)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        pub fn new(seed: u64) -> SplitMix64 {
+            SplitMix64 { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        pub fn next_below(&mut self, bound: u64) -> u64 {
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+}
+
+/// The booted runtime.
+pub struct ParcRuntime {
+    net: InprocNetwork,
+    // Endpoints must stay alive for the runtime's lifetime.
+    #[allow(dead_code)]
+    endpoints: Vec<InprocEndpoint>,
+    registry: ClassRegistry,
+    om_states: Vec<Arc<OmState>>,
+    grain: GrainConfig,
+    placement: Placement,
+    rr_counter: AtomicUsize,
+    rng: Mutex<parc_sim_free::SplitMix64>,
+    next_object_id: AtomicU64,
+    created: AtomicU64,
+    adapter: Arc<GrainAdapter>,
+    stats: RuntimeStats,
+    dag: Arc<DependenceGraph>,
+}
+
+impl ParcRuntime {
+    /// Starts building a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Number of processing nodes.
+    pub fn nodes(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The in-process network carrying this runtime (for advanced wiring,
+    /// e.g. IOs holding references to other parallel objects).
+    pub fn network(&self) -> &InprocNetwork {
+        &self.net
+    }
+
+    /// Shared runtime counters.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// The grain-size adapter.
+    pub fn adapter(&self) -> &Arc<GrainAdapter> {
+        &self.adapter
+    }
+
+    /// The application dependence graph.
+    pub fn dag(&self) -> &Arc<DependenceGraph> {
+        &self.dag
+    }
+
+    /// The grain configuration the runtime was booted with.
+    pub fn grain(&self) -> GrainConfig {
+        self.grain
+    }
+
+    /// Registers a parallel-object class; `factory` runs on the node where
+    /// each instance is created.
+    pub fn register_class(
+        &self,
+        class: impl Into<String>,
+        factory: impl Fn() -> Arc<dyn parc_remoting::Invokable> + Send + Sync + 'static,
+    ) {
+        self.registry.register(class, factory);
+    }
+
+    /// Current load (hosted IOs) of each node.
+    pub fn node_loads(&self) -> Vec<i64> {
+        self.om_states.iter().map(|s| s.load()).collect()
+    }
+
+    fn should_agglomerate(&self) -> bool {
+        if self.grain.adaptive {
+            return self.adapter.should_agglomerate();
+        }
+        if self.grain.agglomeration_ratio <= 0.0 {
+            false
+        } else if self.grain.agglomeration_ratio >= 1.0 {
+            true
+        } else {
+            self.rng.lock().next_f64() < self.grain.agglomeration_ratio
+        }
+    }
+
+    fn place(&self) -> usize {
+        match self.placement {
+            Placement::RoundRobin => {
+                self.rr_counter.fetch_add(1, Ordering::Relaxed) % self.nodes()
+            }
+            Placement::Random { .. } => {
+                self.rng.lock().next_below(self.nodes() as u64) as usize
+            }
+            Placement::LeastLoaded => {
+                // Ask every OM for its load, as the cooperating OMs of
+                // Fig. 3 do (calls c), and take the least loaded.
+                let mut best = 0usize;
+                let mut best_load = i64::MAX;
+                for node in 0..self.nodes() {
+                    let load = self
+                        .om_remote(node)
+                        .and_then(|om| om.call("load", vec![]).map_err(ParcError::from))
+                        .ok()
+                        .and_then(|v| v.as_i64())
+                        .unwrap_or(i64::MAX);
+                    if load < best_load {
+                        best_load = load;
+                        best = node;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    fn om_remote(&self, node: usize) -> Result<RemoteObject, ParcError> {
+        let uri: parc_remoting::ObjectUri =
+            format!("inproc://node{node}/{OM_OBJECT}").parse()?;
+        let chan = self.net.open(&uri)?;
+        Ok(RemoteObject::new(chan, OM_OBJECT))
+    }
+
+    /// Creates a parallel object, letting the runtime decide between
+    /// agglomeration (local) and distribution (remote) — the generated
+    /// constructor of Fig. 5.
+    ///
+    /// # Errors
+    ///
+    /// [`ParcError::UnknownClass`]; remoting failures.
+    pub fn create(&self, class: &str) -> Result<Po, ParcError> {
+        if self.should_agglomerate() {
+            self.create_local(class)
+        } else {
+            let node = self.place();
+            self.create_on(class, node)
+        }
+    }
+
+    /// Forces local (agglomerated) creation.
+    ///
+    /// # Errors
+    ///
+    /// [`ParcError::UnknownClass`].
+    pub fn create_local(&self, class: &str) -> Result<Po, ParcError> {
+        let factory = self
+            .registry
+            .get(class)
+            .ok_or_else(|| ParcError::UnknownClass { class: class.to_string() })?;
+        let io = factory();
+        let id = self.new_object_id(class);
+        self.stats.record_local_creation();
+        self.created.fetch_add(1, Ordering::Relaxed);
+        Ok(Po::new(
+            id,
+            class.to_string(),
+            Target::Local(io),
+            self.grain.aggregation_factor,
+            self.grain.adaptive,
+            Arc::clone(&self.adapter),
+            self.stats.clone(),
+        ))
+    }
+
+    /// Forces distributed creation on a specific node.
+    ///
+    /// # Errors
+    ///
+    /// [`ParcError::UnknownClass`] (surfaced as a remote fault), bad node
+    /// index, or remoting failures.
+    pub fn create_on(&self, class: &str, node: usize) -> Result<Po, ParcError> {
+        if node >= self.nodes() {
+            return Err(ParcError::Config {
+                detail: format!("node {node} outside runtime of {} nodes", self.nodes()),
+            });
+        }
+        if self.registry.get(class).is_none() {
+            return Err(ParcError::UnknownClass { class: class.to_string() });
+        }
+        let uri: parc_remoting::ObjectUri =
+            format!("inproc://node{node}/{FACTORY_OBJECT}").parse()?;
+        let chan = self.net.open(&uri)?;
+        let factory = RemoteObject::new(Arc::clone(&chan), FACTORY_OBJECT);
+        let io_name = factory
+            .call("create", vec![Value::Str(class.to_string())])?
+            .as_str()
+            .ok_or(ParcError::Skeleton { detail: "factory returned a non-string".into() })?
+            .to_string();
+        let remote = RemoteObject::new(chan, io_name.clone());
+        let id = self.new_object_id(class);
+        self.stats.record_remote_creation();
+        self.created.fetch_add(1, Ordering::Relaxed);
+        Ok(Po::new(
+            id,
+            class.to_string(),
+            Target::Remote { remote, node, io_name },
+            self.grain.aggregation_factor,
+            self.grain.adaptive,
+            Arc::clone(&self.adapter),
+            self.stats.clone(),
+        ))
+    }
+
+    /// Builds a proxy to an already-created parallel object from its URI
+    /// (how a reference received as a method argument becomes callable).
+    ///
+    /// # Errors
+    ///
+    /// URI parse or channel failures.
+    pub fn proxy_from_uri(&self, uri: &str) -> Result<Po, ParcError> {
+        let parsed: parc_remoting::ObjectUri = uri.parse()?;
+        let node: usize = parsed
+            .authority()
+            .strip_prefix("node")
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParcError::Config {
+                detail: format!("uri authority {:?} is not a runtime node", parsed.authority()),
+            })?;
+        let chan = self.net.open(&parsed)?;
+        let remote = RemoteObject::new(chan, parsed.object());
+        let id = self.new_object_id("(proxy)");
+        Ok(Po::new(
+            id,
+            "(proxy)".to_string(),
+            Target::Remote { remote, node, io_name: parsed.object().to_string() },
+            self.grain.aggregation_factor,
+            self.grain.adaptive,
+            Arc::clone(&self.adapter),
+            self.stats.clone(),
+        ))
+    }
+
+    /// Records that `holder` received/holds a reference to `held`
+    /// (dependence-graph bookkeeping for §3.1).
+    pub fn record_reference(&self, holder: &Po, held: &Po) {
+        self.dag.add_reference(holder.id(), held.id());
+    }
+
+    /// Total parallel objects created so far.
+    pub fn objects_created(&self) -> u64 {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    fn new_object_id(&self, class: &str) -> u64 {
+        let id = self.next_object_id.fetch_add(1, Ordering::Relaxed);
+        self.dag.add_object(id, class);
+        id
+    }
+}
+
+impl std::fmt::Debug for ParcRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParcRuntime")
+            .field("nodes", &self.nodes())
+            .field("placement", &self.placement)
+            .field("grain", &self.grain)
+            .field("objects_created", &self.objects_created())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parc_remoting::dispatcher::FnInvokable;
+    use parc_remoting::RemotingError;
+    use std::sync::atomic::AtomicI64;
+    use std::time::Duration;
+
+    fn counter_class(runtime: &ParcRuntime) {
+        runtime.register_class("Counter", || {
+            let hits = AtomicI64::new(0);
+            Arc::new(FnInvokable(move |method: &str, args: &[Value]| match method {
+                "bump" => {
+                    hits.fetch_add(
+                        i64::from(args.first().and_then(Value::as_i32).unwrap_or(1)),
+                        Ordering::SeqCst,
+                    );
+                    Ok(Value::Null)
+                }
+                "total" => Ok(Value::I64(hits.load(Ordering::SeqCst))),
+                _ => Err(RemotingError::MethodNotFound {
+                    object: "Counter".into(),
+                    method: method.into(),
+                }),
+            }))
+        });
+    }
+
+    fn runtime(nodes: usize, grain: GrainConfig) -> ParcRuntime {
+        let mut b = ParcRuntime::builder();
+        b.nodes(nodes).grain(grain);
+        let rt = b.build().unwrap();
+        counter_class(&rt);
+        rt
+    }
+
+    #[test]
+    fn remote_sync_calls_roundtrip() {
+        let rt = runtime(2, GrainConfig::default());
+        let c = rt.create("Counter").unwrap();
+        assert!(!c.is_local());
+        c.call("bump", vec![Value::I32(5)]).unwrap();
+        assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(5));
+    }
+
+    #[test]
+    fn aggregation_batches_async_calls() {
+        let rt = runtime(1, GrainConfig { aggregation_factor: 8, ..GrainConfig::default() });
+        let c = rt.create("Counter").unwrap();
+        for _ in 0..7 {
+            c.post("bump", vec![Value::I32(1)]).unwrap();
+        }
+        assert_eq!(c.pending(), 7, "below maxCalls nothing ships");
+        c.post("bump", vec![Value::I32(1)]).unwrap();
+        assert_eq!(c.pending(), 0, "hitting maxCalls ships the batch");
+        // The synchronous call flushes leftovers and observes all bumps.
+        for _ in 0..3 {
+            c.post("bump", vec![Value::I32(1)]).unwrap();
+        }
+        assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(11));
+        assert_eq!(rt.stats().batches_sent(), 2);
+        assert_eq!(rt.stats().calls_in_batches(), 8 + 3);
+    }
+
+    #[test]
+    fn sync_call_preserves_program_order() {
+        let rt = runtime(1, GrainConfig { aggregation_factor: 100, ..GrainConfig::default() });
+        let c = rt.create("Counter").unwrap();
+        c.post("bump", vec![Value::I32(40)]).unwrap();
+        c.post("bump", vec![Value::I32(2)]).unwrap();
+        // Without the flush-before-call rule this would read 0.
+        assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(42));
+    }
+
+    #[test]
+    fn aggregation_factor_one_sends_plain_posts() {
+        let rt = runtime(1, GrainConfig::default());
+        let c = rt.create("Counter").unwrap();
+        c.post("bump", vec![Value::I32(1)]).unwrap();
+        c.post("bump", vec![Value::I32(1)]).unwrap();
+        assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(2));
+        assert_eq!(rt.stats().batches_sent(), 0, "factor 1 never batches");
+        assert_eq!(rt.stats().messages_sent(), 3);
+    }
+
+    #[test]
+    fn round_robin_spreads_objects() {
+        let rt = runtime(3, GrainConfig::default());
+        let nodes: Vec<Option<usize>> =
+            (0..6).map(|_| rt.create("Counter").unwrap().node()).collect();
+        assert_eq!(
+            nodes,
+            vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)]
+        );
+        assert_eq!(rt.node_loads(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn random_placement_is_seeded_and_in_range() {
+        let run = |seed| {
+            let mut b = ParcRuntime::builder();
+            b.nodes(4).placement(Placement::Random { seed });
+            let rt = b.build().unwrap();
+            counter_class(&rt);
+            (0..10)
+                .map(|_| rt.create("Counter").unwrap().node().unwrap())
+                .collect::<Vec<_>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same placement");
+        assert!(a.iter().all(|&n| n < 4));
+    }
+
+    #[test]
+    fn least_loaded_fills_gaps() {
+        let mut b = ParcRuntime::builder();
+        b.nodes(3).placement(Placement::LeastLoaded);
+        let rt = b.build().unwrap();
+        counter_class(&rt);
+        // Pre-load node 0 and node 1 via explicit placement.
+        let _a = rt.create_on("Counter", 0).unwrap();
+        let _b = rt.create_on("Counter", 0).unwrap();
+        let _c = rt.create_on("Counter", 1).unwrap();
+        let d = rt.create("Counter").unwrap();
+        assert_eq!(d.node(), Some(2), "least-loaded node wins");
+    }
+
+    #[test]
+    fn full_agglomeration_keeps_everything_local() {
+        let rt = runtime(4, GrainConfig { agglomeration_ratio: 1.0, ..GrainConfig::default() });
+        let c = rt.create("Counter").unwrap();
+        assert!(c.is_local());
+        assert_eq!(rt.stats().local_creations(), 1);
+        assert_eq!(rt.stats().remote_creations(), 0);
+        assert_eq!(rt.node_loads(), vec![0; 4]);
+        // Behaviour is unchanged.
+        c.post("bump", vec![Value::I32(2)]).unwrap();
+        assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(2));
+    }
+
+    #[test]
+    fn unknown_class_fails_fast_everywhere() {
+        let rt = runtime(1, GrainConfig::default());
+        assert!(matches!(
+            rt.create("Ghost"),
+            Err(ParcError::UnknownClass { .. })
+        ));
+        assert!(matches!(
+            rt.create_local("Ghost"),
+            Err(ParcError::UnknownClass { .. })
+        ));
+        assert!(matches!(
+            rt.create_on("Ghost", 0),
+            Err(ParcError::UnknownClass { .. })
+        ));
+    }
+
+    #[test]
+    fn create_on_bad_node_is_config_error() {
+        let rt = runtime(2, GrainConfig::default());
+        assert!(matches!(
+            rt.create_on("Counter", 9),
+            Err(ParcError::Config { .. })
+        ));
+    }
+
+    #[test]
+    fn proxy_from_uri_reaches_the_same_io() {
+        let rt = runtime(2, GrainConfig::default());
+        let original = rt.create("Counter").unwrap();
+        original.call("bump", vec![Value::I32(3)]).unwrap();
+        let uri = original.uri().unwrap();
+        let alias = rt.proxy_from_uri(&uri).unwrap();
+        assert_eq!(alias.call("total", vec![]).unwrap(), Value::I64(3));
+        assert_eq!(alias.node(), original.node());
+    }
+
+    #[test]
+    fn reference_recording_builds_the_dag() {
+        let rt = runtime(2, GrainConfig::default());
+        let a = rt.create("Counter").unwrap();
+        let b = rt.create("Counter").unwrap();
+        rt.record_reference(&a, &b);
+        assert!(rt.dag().is_dag());
+        rt.record_reference(&b, &a);
+        assert!(!rt.dag().is_dag(), "reference cycle detected per §3.1");
+    }
+
+    #[test]
+    fn dropping_a_po_flushes_its_buffer() {
+        let rt = runtime(1, GrainConfig { aggregation_factor: 100, ..GrainConfig::default() });
+        let observer = rt.create("Counter").unwrap();
+        let uri = observer.uri().unwrap();
+        {
+            let writer = rt.proxy_from_uri(&uri).unwrap();
+            writer.post("bump", vec![Value::I32(9)]).unwrap();
+            assert_eq!(writer.pending(), 1);
+        } // drop flushes
+        // One-way delivery is asynchronous; poll until visible.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if observer.call("total", vec![]).unwrap() == Value::I64(9) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "drop-flush never arrived");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn adaptive_runtime_agglomerates_fine_grains() {
+        let rt = runtime(
+            2,
+            GrainConfig { adaptive: true, ..GrainConfig::default() },
+        );
+        // Teach the adapter that calls are microscopic.
+        for _ in 0..20 {
+            rt.adapter().observe_call(Duration::from_nanos(50));
+        }
+        let po = rt.create("Counter").unwrap();
+        assert!(po.is_local(), "adaptive runtime must remove excess parallelism");
+        assert!(po.effective_aggregation() > 1);
+    }
+
+    #[test]
+    fn zero_nodes_is_config_error() {
+        let mut b = ParcRuntime::builder();
+        b.nodes(0);
+        assert!(matches!(b.build(), Err(ParcError::Config { .. })));
+    }
+}

@@ -1,0 +1,166 @@
+//! Runtime counters — the observable effect of grain-size adaptation.
+//!
+//! The ablation benches (E6/E7 in `DESIGN.md`) read these to show how
+//! aggregation divides message counts and agglomeration removes remote
+//! creations entirely.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe runtime counters. Cloning shares the counters.
+#[derive(Clone, Default)]
+pub struct RuntimeStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Default)]
+struct Counters {
+    async_calls: AtomicU64,
+    sync_calls: AtomicU64,
+    messages_sent: AtomicU64,
+    batches_sent: AtomicU64,
+    calls_in_batches: AtomicU64,
+    local_creations: AtomicU64,
+    remote_creations: AtomicU64,
+    local_fast_path_calls: AtomicU64,
+}
+
+impl RuntimeStats {
+    /// Creates zeroed counters.
+    pub fn new() -> RuntimeStats {
+        RuntimeStats::default()
+    }
+
+    pub(crate) fn record_async_call(&self) {
+        self.inner.async_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_sync_call(&self) {
+        self.inner.sync_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_message(&self) {
+        self.inner.messages_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, calls: u64) {
+        self.inner.batches_sent.fetch_add(1, Ordering::Relaxed);
+        self.inner.calls_in_batches.fetch_add(calls, Ordering::Relaxed);
+        self.record_message();
+    }
+
+    pub(crate) fn record_local_creation(&self) {
+        self.inner.local_creations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_remote_creation(&self) {
+        self.inner.remote_creations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_local_fast_path(&self) {
+        self.inner.local_fast_path_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Asynchronous (one-way) method calls issued by proxies.
+    pub fn async_calls(&self) -> u64 {
+        self.inner.async_calls.load(Ordering::Relaxed)
+    }
+
+    /// Synchronous (value-returning) method calls issued by proxies.
+    pub fn sync_calls(&self) -> u64 {
+        self.inner.sync_calls.load(Ordering::Relaxed)
+    }
+
+    /// Wire messages actually sent (aggregation makes this smaller than
+    /// `async_calls + sync_calls`).
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.messages_sent.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate messages sent.
+    pub fn batches_sent(&self) -> u64 {
+        self.inner.batches_sent.load(Ordering::Relaxed)
+    }
+
+    /// Calls delivered inside aggregate messages.
+    pub fn calls_in_batches(&self) -> u64 {
+        self.inner.calls_in_batches.load(Ordering::Relaxed)
+    }
+
+    /// Parallel objects agglomerated (created locally).
+    pub fn local_creations(&self) -> u64 {
+        self.inner.local_creations.load(Ordering::Relaxed)
+    }
+
+    /// Parallel objects created on a remote node via a factory.
+    pub fn remote_creations(&self) -> u64 {
+        self.inner.remote_creations.load(Ordering::Relaxed)
+    }
+
+    /// Calls served by the intra-grain fast path (PO → local IO, Fig. 3
+    /// call *b*).
+    pub fn local_fast_path_calls(&self) -> u64 {
+        self.inner.local_fast_path_calls.load(Ordering::Relaxed)
+    }
+
+    /// Mean calls per wire message — the aggregation payoff metric.
+    pub fn calls_per_message(&self) -> f64 {
+        let msgs = self.messages_sent();
+        if msgs == 0 {
+            0.0
+        } else {
+            (self.async_calls() + self.sync_calls()) as f64 / msgs as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for RuntimeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeStats")
+            .field("async_calls", &self.async_calls())
+            .field("sync_calls", &self.sync_calls())
+            .field("messages_sent", &self.messages_sent())
+            .field("batches_sent", &self.batches_sent())
+            .field("local_creations", &self.local_creations())
+            .field("remote_creations", &self.remote_creations())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = RuntimeStats::new();
+        s.record_async_call();
+        s.record_async_call();
+        s.record_sync_call();
+        s.record_batch(2);
+        s.record_message();
+        assert_eq!(s.async_calls(), 2);
+        assert_eq!(s.sync_calls(), 1);
+        assert_eq!(s.messages_sent(), 2);
+        assert_eq!(s.batches_sent(), 1);
+        assert_eq!(s.calls_in_batches(), 2);
+        assert!((s.calls_per_message() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let s = RuntimeStats::new();
+        let t = s.clone();
+        t.record_local_creation();
+        t.record_remote_creation();
+        t.record_local_fast_path();
+        assert_eq!(s.local_creations(), 1);
+        assert_eq!(s.remote_creations(), 1);
+        assert_eq!(s.local_fast_path_calls(), 1);
+    }
+
+    #[test]
+    fn zero_messages_means_zero_ratio() {
+        assert_eq!(RuntimeStats::new().calls_per_message(), 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Collectives: barrier, broadcast, reduce, allreduce, gather, scatter.
+//!
+//! The paper lists "broadcasts and reductions" among MPI's primitive set.
+//! Algorithms are simple rooted-linear implementations — adequate for the
+//! thread-backed world, and their message counts are what the cost models
+//! in `parc-bench` reason about.
+
+use crate::comm::{Communicator, ANY_TAG};
+use crate::error::MpiError;
+
+/// Reduction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise product.
+    Prod,
+}
+
+impl Op {
+    fn fold(self, a: f64, b: f64) -> f64 {
+        match self {
+            Op::Sum => a + b,
+            Op::Min => a.min(b),
+            Op::Max => a.max(b),
+            Op::Prod => a * b,
+        }
+    }
+}
+
+/// Internal tags reserved for collectives (well above user tags).
+const TAG_BCAST: i32 = 1_000_001;
+const TAG_REDUCE: i32 = 1_000_002;
+const TAG_GATHER: i32 = 1_000_003;
+const TAG_SCATTER: i32 = 1_000_004;
+const TAG_ALLREDUCE: i32 = 1_000_005;
+
+impl Communicator {
+    /// Synchronizes all ranks (`MPI_Barrier`).
+    pub fn barrier(&self) {
+        self.world_barrier();
+    }
+
+    /// Broadcasts `data` from `root` to every rank (`MPI_Bcast`); each rank
+    /// returns the broadcast payload.
+    ///
+    /// # Errors
+    ///
+    /// [`MpiError::BadRank`] / receive failures.
+    pub fn bcast(&self, root: usize, data: Option<Vec<u8>>) -> Result<Vec<u8>, MpiError> {
+        if self.rank() == root {
+            let payload = data.ok_or(MpiError::LengthMismatch { expected: 1, got: 0 })?;
+            for dest in 0..self.size() {
+                if dest != root {
+                    self.send(dest, TAG_BCAST, payload.clone())?;
+                }
+            }
+            Ok(payload)
+        } else {
+            Ok(self.recv(root, TAG_BCAST)?.0)
+        }
+    }
+
+    /// Element-wise reduction of equal-length `f64` vectors to `root`
+    /// (`MPI_Reduce`). Non-root ranks get `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`MpiError::LengthMismatch`] if contributions disagree in length;
+    /// receive failures.
+    pub fn reduce_f64(
+        &self,
+        root: usize,
+        contribution: &[f64],
+        op: Op,
+    ) -> Result<Option<Vec<f64>>, MpiError> {
+        if self.rank() == root {
+            let mut acc = contribution.to_vec();
+            for _ in 0..self.size() - 1 {
+                let (data, _) = self.recv_f64(crate::ANY_SOURCE, TAG_REDUCE)?;
+                if data.len() != acc.len() {
+                    return Err(MpiError::LengthMismatch { expected: acc.len(), got: data.len() });
+                }
+                for (a, b) in acc.iter_mut().zip(data) {
+                    *a = op.fold(*a, b);
+                }
+            }
+            Ok(Some(acc))
+        } else {
+            self.send_f64(root, TAG_REDUCE, contribution)?;
+            Ok(None)
+        }
+    }
+
+    /// Reduction delivered to every rank (`MPI_Allreduce`): reduce to rank
+    /// 0, then broadcast.
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::reduce_f64`].
+    pub fn allreduce_f64(&self, contribution: &[f64], op: Op) -> Result<Vec<f64>, MpiError> {
+        let reduced = self.reduce_f64(0, contribution, op)?;
+        if self.rank() == 0 {
+            let payload = reduced.expect("root holds the reduction");
+            for dest in 1..self.size() {
+                self.send_f64(dest, TAG_ALLREDUCE, &payload)?;
+            }
+            Ok(payload)
+        } else {
+            Ok(self.recv_f64(0, TAG_ALLREDUCE)?.0)
+        }
+    }
+
+    /// Gathers each rank's bytes at `root` (`MPI_Gather`), in rank order.
+    /// Non-root ranks get `None`.
+    ///
+    /// # Errors
+    ///
+    /// Receive failures.
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> Result<Option<Vec<Vec<u8>>>, MpiError> {
+        if self.rank() == root {
+            let mut slots: Vec<Option<Vec<u8>>> = (0..self.size()).map(|_| None).collect();
+            slots[root] = Some(data);
+            for _ in 0..self.size() - 1 {
+                let (payload, status) = self.recv(crate::ANY_SOURCE, TAG_GATHER)?;
+                slots[status.source] = Some(payload);
+            }
+            Ok(Some(slots.into_iter().map(|s| s.expect("every rank contributed")).collect()))
+        } else {
+            self.send(root, TAG_GATHER, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Scatters one chunk per rank from `root` (`MPI_Scatter`); every rank
+    /// returns its chunk.
+    ///
+    /// # Errors
+    ///
+    /// [`MpiError::LengthMismatch`] if the root does not supply exactly one
+    /// chunk per rank; receive failures.
+    pub fn scatter(
+        &self,
+        root: usize,
+        chunks: Option<Vec<Vec<u8>>>,
+    ) -> Result<Vec<u8>, MpiError> {
+        if self.rank() == root {
+            let chunks = chunks.ok_or(MpiError::LengthMismatch { expected: self.size(), got: 0 })?;
+            if chunks.len() != self.size() {
+                return Err(MpiError::LengthMismatch {
+                    expected: self.size(),
+                    got: chunks.len(),
+                });
+            }
+            let mut own = Vec::new();
+            for (dest, chunk) in chunks.into_iter().enumerate() {
+                if dest == root {
+                    own = chunk;
+                } else {
+                    self.send(dest, TAG_SCATTER, chunk)?;
+                }
+            }
+            Ok(own)
+        } else {
+            Ok(self.recv(root, TAG_SCATTER)?.0)
+        }
+    }
+
+    /// True if `tag` is reserved for collectives (user code must stay
+    /// below).
+    pub fn is_reserved_tag(tag: i32) -> bool {
+        (TAG_BCAST..=TAG_ALLREDUCE).contains(&tag) || tag == ANY_TAG
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::World;
+
+    #[test]
+    fn bcast_reaches_every_rank() {
+        let out = World::run(4, |comm| {
+            let data = if comm.rank() == 1 { Some(vec![9, 8, 7]) } else { None };
+            comm.bcast(1, data).unwrap()
+        });
+        assert!(out.iter().all(|v| v == &vec![9, 8, 7]));
+    }
+
+    #[test]
+    fn reduce_sums_elementwise() {
+        let out = World::run(3, |comm| {
+            let mine = vec![comm.rank() as f64, 1.0];
+            comm.reduce_f64(0, &mine, Op::Sum).unwrap()
+        });
+        assert_eq!(out[0], Some(vec![3.0, 3.0]));
+        assert_eq!(out[1], None);
+    }
+
+    #[test]
+    fn reduce_min_max_prod() {
+        for (op, expected) in [(Op::Min, 0.0), (Op::Max, 3.0), (Op::Prod, 0.0)] {
+            let out = World::run(4, move |comm| {
+                comm.reduce_f64(0, &[comm.rank() as f64], op).unwrap()
+            });
+            assert_eq!(out[0], Some(vec![expected]), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn allreduce_delivers_everywhere() {
+        let out = World::run(4, |comm| {
+            comm.allreduce_f64(&[comm.rank() as f64], Op::Max).unwrap()[0]
+        });
+        assert_eq!(out, vec![3.0; 4]);
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        let out = World::run(3, |comm| {
+            comm.gather(2, vec![comm.rank() as u8]).unwrap()
+        });
+        assert_eq!(out[2], Some(vec![vec![0], vec![1], vec![2]]));
+        assert_eq!(out[0], None);
+    }
+
+    #[test]
+    fn scatter_hands_each_rank_its_chunk() {
+        let out = World::run(3, |comm| {
+            let chunks = if comm.rank() == 0 {
+                Some(vec![vec![10], vec![11], vec![12]])
+            } else {
+                None
+            };
+            comm.scatter(0, chunks).unwrap()[0]
+        });
+        assert_eq!(out, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn scatter_wrong_chunk_count_errors() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.scatter(0, Some(vec![vec![1]])).is_err()
+            } else {
+                // Rank 1 would block forever waiting for its chunk; skip.
+                true
+            }
+        });
+        assert!(out[0]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        World::run(4, |comm| {
+            before.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier, every rank must have incremented.
+            assert_eq!(before.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn reduce_length_mismatch_detected() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.reduce_f64(0, &[1.0, 2.0], Op::Sum).is_err()
+            } else {
+                comm.send_f64(0, 1_000_002, &[1.0]).is_ok()
+            }
+        });
+        assert!(out[0] && out[1]);
+    }
+}

@@ -1,0 +1,355 @@
+//! The communicator and the thread-backed process world.
+//!
+//! `World::run(n, f)` launches `n` rank-numbered "processes" (threads),
+//! each holding a [`Communicator`] over shared tag-matched mailboxes, and
+//! joins them. Unlike most 2005-era MPI implementations — which the paper
+//! notes "are not thread safe" — the communicator here is `Send + Sync`;
+//! the historical restriction is a property of the paper's baselines, not
+//! something worth reproducing as a bug.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::MpiError;
+use crate::p2p::Status;
+
+/// Wildcard source for [`Communicator::recv`].
+pub const ANY_SOURCE: usize = usize::MAX;
+
+/// Wildcard tag for [`Communicator::recv`].
+pub const ANY_TAG: i32 = i32::MIN;
+
+/// How long a blocking receive waits before declaring deadlock.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+pub(crate) struct Pending {
+    pub src: usize,
+    pub tag: i32,
+    pub data: Vec<u8>,
+}
+
+#[derive(Default)]
+pub(crate) struct Mailbox {
+    queue: Mutex<Vec<Pending>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    pub(crate) fn deliver(&self, msg: Pending) {
+        self.queue.lock().push(msg);
+        self.arrived.notify_all();
+    }
+
+    /// Blocks until a message matching `(src, tag)` arrives, FIFO among
+    /// matches (MPI's non-overtaking guarantee per (source, tag) pair).
+    pub(crate) fn take(
+        &self,
+        src: usize,
+        tag: i32,
+        timeout: Duration,
+    ) -> Option<(usize, i32, Vec<u8>)> {
+        let matches =
+            |m: &Pending| (src == ANY_SOURCE || m.src == src) && (tag == ANY_TAG || m.tag == tag);
+        let mut queue = self.queue.lock();
+        loop {
+            if let Some(idx) = queue.iter().position(matches) {
+                let msg = queue.remove(idx);
+                return Some((msg.src, msg.tag, msg.data));
+            }
+            if self.arrived.wait_for(&mut queue, timeout).timed_out() {
+                return None;
+            }
+        }
+    }
+}
+
+/// A process's handle on the world: its rank, the world size, and the
+/// mailboxes of every peer.
+#[derive(Clone)]
+pub struct Communicator {
+    rank: usize,
+    mailboxes: Arc<Vec<Mailbox>>,
+    barrier: Arc<std::sync::Barrier>,
+}
+
+impl Communicator {
+    /// This process's rank (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<(), MpiError> {
+        if rank < self.size() {
+            Ok(())
+        } else {
+            Err(MpiError::BadRank { rank, size: self.size() })
+        }
+    }
+
+    /// Blocking standard-mode send (`MPI_Send`). Buffered: completes as
+    /// soon as the payload is enqueued at the destination.
+    ///
+    /// # Errors
+    ///
+    /// [`MpiError::BadRank`] for an invalid destination.
+    pub fn send(&self, dest: usize, tag: i32, data: Vec<u8>) -> Result<(), MpiError> {
+        self.check_rank(dest)?;
+        self.mailboxes[dest].deliver(Pending { src: self.rank, tag, data });
+        Ok(())
+    }
+
+    /// Blocking receive (`MPI_Recv`); `src`/`tag` accept [`ANY_SOURCE`] /
+    /// [`ANY_TAG`].
+    ///
+    /// # Errors
+    ///
+    /// [`MpiError::BadRank`] for an invalid source,
+    /// [`MpiError::Timeout`] on deadlock.
+    pub fn recv(&self, src: usize, tag: i32) -> Result<(Vec<u8>, Status), MpiError> {
+        self.recv_with_timeout(src, tag, RECV_TIMEOUT)
+    }
+
+    /// Blocking receive with an explicit deadline — useful to assert that
+    /// a would-be deadlock is detected without waiting out the default
+    /// guard.
+    ///
+    /// # Errors
+    ///
+    /// [`MpiError::BadRank`] for an invalid source,
+    /// [`MpiError::Timeout`] when no matching message arrives in time.
+    pub fn recv_with_timeout(
+        &self,
+        src: usize,
+        tag: i32,
+        timeout: Duration,
+    ) -> Result<(Vec<u8>, Status), MpiError> {
+        if src != ANY_SOURCE {
+            self.check_rank(src)?;
+        }
+        match self.mailboxes[self.rank].take(src, tag, timeout) {
+            Some((actual_src, actual_tag, data)) => {
+                let status = Status { source: actual_src, tag: actual_tag, bytes: data.len() };
+                Ok((data, status))
+            }
+            None => Err(MpiError::Timeout { rank: self.rank, source: src, tag }),
+        }
+    }
+
+    /// Typed convenience: send an `i32` slice.
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::send`].
+    pub fn send_i32(&self, dest: usize, tag: i32, data: &[i32]) -> Result<(), MpiError> {
+        let mut buf = crate::pack::PackBuffer::new();
+        buf.pack_i32(data);
+        self.send(dest, tag, buf.into_bytes())
+    }
+
+    /// Typed convenience: receive an `i32` vector (length inferred from the
+    /// payload).
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::recv`].
+    pub fn recv_i32(&self, src: usize, tag: i32) -> Result<(Vec<i32>, Status), MpiError> {
+        let (data, status) = self.recv(src, tag)?;
+        let count = data.len() / 4;
+        let mut buf = crate::pack::PackBuffer::from_bytes(data);
+        Ok((buf.unpack_i32(count)?, status))
+    }
+
+    /// Typed convenience: send an `f64` slice.
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::send`].
+    pub fn send_f64(&self, dest: usize, tag: i32, data: &[f64]) -> Result<(), MpiError> {
+        let mut buf = crate::pack::PackBuffer::new();
+        buf.pack_f64(data);
+        self.send(dest, tag, buf.into_bytes())
+    }
+
+    /// Typed convenience: receive an `f64` vector.
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::recv`].
+    pub fn recv_f64(&self, src: usize, tag: i32) -> Result<(Vec<f64>, Status), MpiError> {
+        let (data, status) = self.recv(src, tag)?;
+        let count = data.len() / 8;
+        let mut buf = crate::pack::PackBuffer::from_bytes(data);
+        Ok((buf.unpack_f64(count)?, status))
+    }
+
+    pub(crate) fn world_barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+impl std::fmt::Debug for Communicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("rank", &self.rank)
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+/// The process launcher (`mpirun`).
+#[derive(Debug)]
+pub struct World;
+
+impl World {
+    /// Runs `f` on `n` rank-numbered threads and returns their results in
+    /// rank order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or if any rank panics (the panic is propagated).
+    pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Communicator) -> T + Send + Sync,
+    {
+        assert!(n > 0, "world needs at least one process");
+        let mailboxes = Arc::new((0..n).map(|_| Mailbox::default()).collect::<Vec<_>>());
+        let barrier = Arc::new(std::sync::Barrier::new(n));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|rank| {
+                    let comm = Communicator {
+                        rank,
+                        mailboxes: Arc::clone(&mailboxes),
+                        barrier: Arc::clone(&barrier),
+                    };
+                    let f = &f;
+                    scope.spawn(move || f(comm))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_and_size_are_correct() {
+        let out = World::run(3, |comm| (comm.rank(), comm.size()));
+        assert_eq!(out, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn ping_pong_between_two_ranks() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_i32(1, 7, &[1, 2, 3]).unwrap();
+                let (data, status) = comm.recv_i32(1, 8).unwrap();
+                assert_eq!(status.source, 1);
+                data
+            } else {
+                let (mut data, _) = comm.recv_i32(0, 7).unwrap();
+                data.iter_mut().for_each(|x| *x *= 10);
+                comm.send_i32(0, 8, &data).unwrap();
+                data
+            }
+        });
+        assert_eq!(out[0], vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn tag_matching_reorders() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, vec![b'a']).unwrap();
+                comm.send(1, 2, vec![b'b']).unwrap();
+                Vec::new()
+            } else {
+                // Receive tag 2 first although tag 1 arrived first.
+                let (b, _) = comm.recv(0, 2).unwrap();
+                let (a, _) = comm.recv(0, 1).unwrap();
+                vec![b[0], a[0]]
+            }
+        });
+        assert_eq!(out[1], vec![b'b', b'a']);
+    }
+
+    #[test]
+    fn any_source_any_tag() {
+        let out = World::run(3, |comm| {
+            if comm.rank() == 2 {
+                let mut sources = Vec::new();
+                for _ in 0..2 {
+                    let (_, status) = comm.recv(ANY_SOURCE, ANY_TAG).unwrap();
+                    sources.push(status.source);
+                }
+                sources.sort_unstable();
+                sources
+            } else {
+                comm.send(2, comm.rank() as i32, vec![0]).unwrap();
+                Vec::new()
+            }
+        });
+        assert_eq!(out[2], vec![0, 1]);
+    }
+
+    #[test]
+    fn fifo_per_source_and_tag() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..20i32 {
+                    comm.send_i32(1, 5, &[i]).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..20)
+                    .map(|_| comm.recv_i32(0, 5).unwrap().0[0])
+                    .collect::<Vec<_>>()
+            }
+        });
+        assert_eq!(out[1], (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bad_rank_is_error() {
+        World::run(2, |comm| {
+            assert!(matches!(
+                comm.send(5, 0, vec![]),
+                Err(MpiError::BadRank { rank: 5, size: 2 })
+            ));
+            assert!(comm.recv(9, 0).is_err());
+        });
+    }
+
+    #[test]
+    fn f64_payloads_roundtrip() {
+        let out = World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_f64(1, 0, &[1.5, -2.25]).unwrap();
+                Vec::new()
+            } else {
+                comm.recv_f64(0, 0).unwrap().0
+            }
+        });
+        assert_eq!(out[1], vec![1.5, -2.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn empty_world_panics() {
+        World::run(0, |_| ());
+    }
+}

@@ -1,0 +1,58 @@
+//! MPI datatypes — the element descriptors pack/unpack and typed
+//! send/receive helpers use.
+
+use std::fmt;
+
+/// Element type of a typed MPI buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Datatype {
+    /// `MPI_BYTE`.
+    Byte,
+    /// `MPI_INT` (32-bit).
+    Int,
+    /// `MPI_DOUBLE` (64-bit IEEE).
+    Double,
+}
+
+impl Datatype {
+    /// Size of one element in bytes.
+    pub fn size(self) -> usize {
+        match self {
+            Datatype::Byte => 1,
+            Datatype::Int => 4,
+            Datatype::Double => 8,
+        }
+    }
+
+    /// The MPI-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Datatype::Byte => "MPI_BYTE",
+            Datatype::Int => "MPI_INT",
+            Datatype::Double => "MPI_DOUBLE",
+        }
+    }
+}
+
+impl fmt::Display for Datatype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_the_wire() {
+        assert_eq!(Datatype::Byte.size(), 1);
+        assert_eq!(Datatype::Int.size(), 4);
+        assert_eq!(Datatype::Double.size(), 8);
+    }
+
+    #[test]
+    fn names_are_mpi_style() {
+        assert_eq!(Datatype::Int.to_string(), "MPI_INT");
+    }
+}

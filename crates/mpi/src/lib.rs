@@ -1,0 +1,41 @@
+//! # parc-mpi — the message-passing baseline
+//!
+//! The paper's fastest baseline is MPICH 1.2.6 over 100 Mbit Ethernet:
+//! *"MPI requires explicit packing and unpacking of messages"* and its
+//! well-optimised transport beats both remoting stacks on raw bandwidth
+//! (Fig. 8a). This crate is a from-scratch MPI subset with exactly the
+//! properties the comparison needs:
+//!
+//! * a [`World`] of rank-numbered processes (threads) with tag-matched
+//!   point-to-point [`Communicator::send`]/[`Communicator::recv`],
+//!   non-blocking [`Communicator::isend`]/[`Communicator::irecv`] +
+//!   [`Request`]s;
+//! * explicit [`PackBuffer`] pack/unpack (`MPI_Pack` style) — the
+//!   programmer burden the paper contrasts with object serialization;
+//! * collectives: barrier, broadcast, reduce, allreduce, gather, scatter;
+//! * raw byte payloads — no per-message descriptors, the reason the MPI
+//!   curve sits on the wire limit in Fig. 8a.
+//!
+//! ```
+//! use parc_mpi::{World, Op};
+//!
+//! let sums = World::run(4, |comm| {
+//!     let mine = vec![comm.rank() as f64];
+//!     comm.allreduce_f64(&mine, Op::Sum).unwrap()[0]
+//! });
+//! assert_eq!(sums, vec![6.0, 6.0, 6.0, 6.0]); // 0+1+2+3 on every rank
+//! ```
+
+pub mod collective;
+pub mod comm;
+pub mod datatype;
+pub mod error;
+pub mod p2p;
+pub mod pack;
+
+pub use collective::Op;
+pub use comm::{Communicator, World, ANY_SOURCE, ANY_TAG};
+pub use datatype::Datatype;
+pub use error::MpiError;
+pub use p2p::{Request, Status};
+pub use pack::PackBuffer;

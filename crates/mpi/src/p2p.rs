@@ -1,0 +1,141 @@
+//! Non-blocking point-to-point: `MPI_Isend` / `MPI_Irecv` / `MPI_Wait`.
+//!
+//! The paper cites MPI's "blocking and unblocking sends and receives" as
+//! part of the primitive set. In this implementation sends are buffered, so
+//! `isend` completes immediately; `irecv` returns a [`Request`] whose
+//! `wait` performs the matched receive (run it from the same rank's
+//! thread, as MPI requires).
+
+use crate::comm::Communicator;
+use crate::error::MpiError;
+
+/// Delivery metadata (`MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Actual source rank.
+    pub source: usize,
+    /// Actual tag.
+    pub tag: i32,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// A pending non-blocking operation.
+#[derive(Debug)]
+pub enum Request {
+    /// A buffered send: already complete.
+    SendDone,
+    /// A posted receive waiting to be matched.
+    Recv {
+        /// Communicator the receive was posted on.
+        comm: Communicator,
+        /// Expected source (or [`crate::ANY_SOURCE`]).
+        src: usize,
+        /// Expected tag (or [`crate::ANY_TAG`]).
+        tag: i32,
+    },
+}
+
+impl Request {
+    /// Completes the operation (`MPI_Wait`), returning the payload for
+    /// receives and an empty vector for sends.
+    ///
+    /// # Errors
+    ///
+    /// Receive failures ([`MpiError::Timeout`], [`MpiError::BadRank`]).
+    pub fn wait(self) -> Result<(Vec<u8>, Option<Status>), MpiError> {
+        match self {
+            Request::SendDone => Ok((Vec::new(), None)),
+            Request::Recv { comm, src, tag } => {
+                let (data, status) = comm.recv(src, tag)?;
+                Ok((data, Some(status)))
+            }
+        }
+    }
+
+    /// True if `wait` will not block (`MPI_Test`, approximately).
+    pub fn is_ready(&self) -> bool {
+        matches!(self, Request::SendDone)
+    }
+}
+
+impl Communicator {
+    /// Non-blocking send (`MPI_Isend`): buffered, completes immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`MpiError::BadRank`].
+    pub fn isend(&self, dest: usize, tag: i32, data: Vec<u8>) -> Result<Request, MpiError> {
+        self.send(dest, tag, data)?;
+        Ok(Request::SendDone)
+    }
+
+    /// Non-blocking receive (`MPI_Irecv`): posts the receive; match happens
+    /// at `wait`.
+    pub fn irecv(&self, src: usize, tag: i32) -> Request {
+        Request::Recv { comm: self.clone(), src, tag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::World;
+
+    #[test]
+    fn isend_completes_immediately() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                let req = comm.isend(1, 0, vec![1, 2, 3]).unwrap();
+                assert!(req.is_ready());
+                let (empty, status) = req.wait().unwrap();
+                assert!(empty.is_empty());
+                assert!(status.is_none());
+            } else {
+                let (data, _) = comm.recv(0, 0).unwrap();
+                assert_eq!(data, vec![1, 2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn irecv_wait_matches() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, vec![42]).unwrap();
+            } else {
+                let req = comm.irecv(0, 9);
+                assert!(!req.is_ready());
+                let (data, status) = req.wait().unwrap();
+                assert_eq!(data, vec![42]);
+                assert_eq!(status.unwrap().tag, 9);
+            }
+        });
+    }
+
+    #[test]
+    fn overlapping_requests_complete_in_any_order() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..4 {
+                    comm.isend(1, i, vec![i as u8]).unwrap();
+                }
+            } else {
+                let reqs: Vec<Request> = (0..4).rev().map(|i| comm.irecv(0, i)).collect();
+                let mut got: Vec<u8> = reqs
+                    .into_iter()
+                    .map(|r| r.wait().unwrap().0[0])
+                    .collect();
+                got.sort_unstable();
+                assert_eq!(got, vec![0, 1, 2, 3]);
+            }
+        });
+    }
+
+    #[test]
+    fn isend_to_bad_rank_errors() {
+        World::run(1, |comm| {
+            assert!(comm.isend(3, 0, vec![]).is_err());
+        });
+    }
+}

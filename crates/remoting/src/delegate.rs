@@ -1,0 +1,220 @@
+//! Delegates and asynchronous method invocation.
+//!
+//! §2 of the paper: *"C# Remoting also includes support for asynchronous
+//! method invocation through delegates. A delegate can perform a method
+//! call in background and provides a mechanism to get the remote method
+//! return value, if required. In Java, a similar functionality must be
+//! explicitly programmed using threads."*
+//!
+//! [`Delegate::begin_invoke`] runs a closure on a shared [`ThreadPool`] and
+//! hands back an [`AsyncResult`]; [`AsyncResult::end_invoke`] blocks for —
+//! and returns — the value, mirroring `IAsyncResult`/`EndInvoke`. This is
+//! the mechanism the generated PO code of Fig. 4 uses for asynchronous
+//! remote calls.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::RemotingError;
+use crate::threadpool::ThreadPool;
+
+struct Slot<T> {
+    value: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+/// A pending asynchronous invocation (`IAsyncResult` analogue).
+pub struct AsyncResult<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> AsyncResult<T> {
+    fn new() -> (AsyncResult<T>, AsyncResult<T>) {
+        let slot = Arc::new(Slot { value: Mutex::new(None), ready: Condvar::new() });
+        (AsyncResult { slot: Arc::clone(&slot) }, AsyncResult { slot })
+    }
+
+    fn complete(&self, value: T) {
+        let mut guard = self.slot.value.lock();
+        *guard = Some(value);
+        self.slot.ready.notify_all();
+    }
+
+    /// True once the invocation finished (`IAsyncResult.IsCompleted`).
+    pub fn is_completed(&self) -> bool {
+        self.slot.value.lock().is_some()
+    }
+
+    /// Blocks until the result is available and returns it
+    /// (`Delegate.EndInvoke`).
+    pub fn end_invoke(self) -> T {
+        let mut guard = self.slot.value.lock();
+        loop {
+            if let Some(value) = guard.take() {
+                return value;
+            }
+            self.slot.ready.wait(&mut guard);
+        }
+    }
+
+    /// Blocks up to `timeout` for the result.
+    ///
+    /// # Errors
+    ///
+    /// [`RemotingError::Timeout`] if the invocation did not finish in time;
+    /// the `AsyncResult` is consumed either way.
+    pub fn end_invoke_timeout(self, timeout: Duration) -> Result<T, RemotingError> {
+        let mut guard = self.slot.value.lock();
+        loop {
+            if let Some(value) = guard.take() {
+                return Ok(value);
+            }
+            if self.slot.ready.wait_for(&mut guard, timeout).timed_out() {
+                return guard.take().ok_or(RemotingError::Timeout);
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for AsyncResult<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncResult").field("completed", &self.is_completed()).finish()
+    }
+}
+
+/// Factory for asynchronous invocations over a shared pool.
+///
+/// In C# every delegate type carries `BeginInvoke`; here one `Delegate`
+/// value wraps the pool and `begin_invoke` accepts any closure.
+#[derive(Clone)]
+pub struct Delegate {
+    pool: Arc<ThreadPool>,
+}
+
+impl Delegate {
+    /// Creates a delegate backed by `pool`.
+    pub fn new(pool: Arc<ThreadPool>) -> Delegate {
+        Delegate { pool }
+    }
+
+    /// Creates a delegate with its own pool of `threads` workers.
+    pub fn with_threads(threads: usize) -> Delegate {
+        Delegate::new(Arc::new(ThreadPool::new(threads)))
+    }
+
+    /// The backing pool.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// Starts `f` in the background (`BeginInvoke`); the returned
+    /// [`AsyncResult`] yields its value.
+    pub fn begin_invoke<T, F>(&self, f: F) -> AsyncResult<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (theirs, ours) = AsyncResult::new();
+        self.pool.submit(move || {
+            ours.complete(f());
+        });
+        theirs
+    }
+}
+
+impl std::fmt::Debug for Delegate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Delegate").field("threads", &self.pool.threads()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn begin_end_invoke_returns_value() {
+        let delegate = Delegate::with_threads(2);
+        let ar = delegate.begin_invoke(|| 6 * 7);
+        assert_eq!(ar.end_invoke(), 42);
+    }
+
+    #[test]
+    fn invocations_overlap_with_caller() {
+        let delegate = Delegate::with_threads(1);
+        let ar = delegate.begin_invoke(|| {
+            std::thread::sleep(Duration::from_millis(10));
+            "done"
+        });
+        // Caller continues immediately...
+        let side_work = 1 + 1;
+        assert_eq!(side_work, 2);
+        // ...and collects the value later.
+        assert_eq!(ar.end_invoke(), "done");
+    }
+
+    #[test]
+    fn is_completed_transitions() {
+        let delegate = Delegate::with_threads(1);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let ar = delegate.begin_invoke(move || {
+            g.wait();
+            5
+        });
+        assert!(!ar.is_completed());
+        gate.wait();
+        assert_eq!(ar.end_invoke(), 5);
+    }
+
+    #[test]
+    fn timeout_fires_when_slow() {
+        let delegate = Delegate::with_threads(1);
+        let ar = delegate.begin_invoke(|| {
+            std::thread::sleep(Duration::from_millis(200));
+            1
+        });
+        assert!(matches!(
+            ar.end_invoke_timeout(Duration::from_millis(5)),
+            Err(RemotingError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn timeout_returns_value_when_fast() {
+        let delegate = Delegate::with_threads(1);
+        let ar = delegate.begin_invoke(|| 9);
+        assert_eq!(ar.end_invoke_timeout(Duration::from_secs(5)).unwrap(), 9);
+    }
+
+    #[test]
+    fn many_concurrent_invocations_all_complete() {
+        let delegate = Delegate::with_threads(4);
+        let counter = Arc::new(AtomicU32::new(0));
+        let results: Vec<_> = (0..64)
+            .map(|i| {
+                let c = Arc::clone(&counter);
+                delegate.begin_invoke(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    i * 2
+                })
+            })
+            .collect();
+        let sum: u32 = results.into_iter().map(AsyncResult::end_invoke).sum();
+        assert_eq!(sum, (0..64).map(|i| i * 2).sum());
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn shared_pool_between_delegates() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let d1 = Delegate::new(Arc::clone(&pool));
+        let d2 = Delegate::new(pool);
+        let a = d1.begin_invoke(|| 1);
+        let b = d2.begin_invoke(|| 2);
+        assert_eq!(a.end_invoke() + b.end_invoke(), 3);
+    }
+}

@@ -1,0 +1,142 @@
+//! Server-side dispatch: from decoded [`CallMessage`]s to object method
+//! invocations.
+//!
+//! In .NET remoting the server-side stack is reflective; here, server
+//! objects implement [`Invokable`] (usually via the generated dispatcher of
+//! [`crate::remote_interface!`]) and [`dispatch`] routes a call through an
+//! [`ObjectTable`]. This function is shared by every channel — inproc, TCP
+//! and HTTP differ only in framing and formatter.
+
+use std::sync::Arc;
+
+use parc_serial::Value;
+
+use crate::error::RemotingError;
+use crate::message::{CallMessage, ReturnMessage};
+use crate::wellknown::ObjectTable;
+
+/// A server object reachable by name: given a method name and marshalled
+/// arguments, produce a marshalled result.
+///
+/// Implementations must be thread-safe — the channels dispatch concurrent
+/// calls from multiple connections, exactly like .NET singleton objects,
+/// which "must be prepared for concurrent access". Use interior mutability
+/// for state.
+pub trait Invokable: Send + Sync {
+    /// Invokes `method` with `args`.
+    ///
+    /// # Errors
+    ///
+    /// [`RemotingError::MethodNotFound`] for unknown methods,
+    /// [`RemotingError::BadArguments`] for marshalling mismatches, or any
+    /// error the method itself produces.
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, RemotingError>;
+}
+
+impl<T: Invokable + ?Sized> Invokable for Arc<T> {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, RemotingError> {
+        (**self).invoke(method, args)
+    }
+}
+
+/// Routes one call through the table, producing a reply (unless one-way).
+///
+/// Faults never poison the channel: every error becomes a fault
+/// [`ReturnMessage`] for two-way calls and is silently dropped for one-way
+/// calls (matching fire-and-forget delegate semantics).
+pub fn dispatch(table: &ObjectTable, call: &CallMessage) -> Option<ReturnMessage> {
+    let outcome = table
+        .resolve(&call.object)
+        .and_then(|obj| obj.invoke(&call.method, &call.args));
+    if call.oneway {
+        return None;
+    }
+    Some(match outcome {
+        Ok(value) => ReturnMessage::ok(call.call_id, value),
+        // Unwrap server faults so the client does not double-wrap the
+        // prefix when it re-raises the fault as its own ServerFault.
+        Err(RemotingError::ServerFault { detail }) => ReturnMessage::fault(call.call_id, detail),
+        Err(e) => ReturnMessage::fault(call.call_id, e.to_string()),
+    })
+}
+
+/// Convenience [`Invokable`] built from a closure — handy in tests and for
+/// tiny service objects.
+pub struct FnInvokable<F>(pub F);
+
+impl<F> Invokable for FnInvokable<F>
+where
+    F: Fn(&str, &[Value]) -> Result<Value, RemotingError> + Send + Sync,
+{
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, RemotingError> {
+        (self.0)(method, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wellknown::ObjectTable;
+
+    fn echo_table() -> ObjectTable {
+        let table = ObjectTable::new();
+        table.register_singleton(
+            "Echo",
+            Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+                "echo" => Ok(args.first().cloned().unwrap_or(Value::Null)),
+                "boom" => Err(RemotingError::ServerFault { detail: "kaboom".into() }),
+                _ => Err(RemotingError::MethodNotFound {
+                    object: "Echo".into(),
+                    method: method.into(),
+                }),
+            })),
+        );
+        table
+    }
+
+    #[test]
+    fn dispatch_routes_to_method() {
+        let table = echo_table();
+        let call = CallMessage::new("Echo", "echo", vec![Value::I32(5)]);
+        let reply = dispatch(&table, &call).unwrap();
+        assert_eq!(reply.result, Ok(Value::I32(5)));
+    }
+
+    #[test]
+    fn unknown_object_is_fault_not_crash() {
+        let table = echo_table();
+        let call = CallMessage::new("Nope", "echo", vec![]);
+        let reply = dispatch(&table, &call).unwrap();
+        let err = reply.result.unwrap_err();
+        assert!(err.contains("Nope"), "{err}");
+    }
+
+    #[test]
+    fn unknown_method_is_fault() {
+        let table = echo_table();
+        let reply = dispatch(&table, &CallMessage::new("Echo", "frobnicate", vec![])).unwrap();
+        assert!(reply.result.is_err());
+    }
+
+    #[test]
+    fn server_error_becomes_fault_reply() {
+        let table = echo_table();
+        let reply = dispatch(&table, &CallMessage::new("Echo", "boom", vec![])).unwrap();
+        assert!(reply.result.unwrap_err().contains("kaboom"));
+    }
+
+    #[test]
+    fn oneway_calls_get_no_reply_even_on_error() {
+        let table = echo_table();
+        assert!(dispatch(&table, &CallMessage::one_way("Echo", "echo", vec![])).is_none());
+        assert!(dispatch(&table, &CallMessage::one_way("Nope", "echo", vec![])).is_none());
+    }
+
+    #[test]
+    fn reply_echoes_call_id() {
+        let table = echo_table();
+        let mut call = CallMessage::new("Echo", "echo", vec![]);
+        call.call_id = 777;
+        assert_eq!(dispatch(&table, &call).unwrap().call_id, 777);
+    }
+}

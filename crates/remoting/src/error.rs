@@ -1,0 +1,155 @@
+//! Error type for the remoting stack.
+
+use std::error::Error;
+use std::fmt;
+
+use parc_serial::SerialError;
+
+/// Error raised by channels, dispatch, proxies, or the activator.
+///
+/// This is the Rust analogue of .NET's `RemotingException` — with the
+/// difference the paper highlights for C# over Java: callers are not forced
+/// to wrap every invocation in try/catch, they get a `Result` they can
+/// propagate with `?`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemotingError {
+    /// The target object name is not registered at the endpoint.
+    ObjectNotFound {
+        /// Requested object name.
+        object: String,
+    },
+    /// The object exists but has no such method.
+    MethodNotFound {
+        /// Target object name.
+        object: String,
+        /// Requested method.
+        method: String,
+    },
+    /// Argument marshalling failed (wrong count or shape).
+    BadArguments {
+        /// Target method.
+        method: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The server method itself reported a failure.
+    ServerFault {
+        /// Server-provided failure description.
+        detail: String,
+    },
+    /// (De)serialization failure on either side.
+    Serial(SerialError),
+    /// The transport failed (socket error, endpoint gone, channel closed).
+    Transport {
+        /// What the transport reported.
+        detail: String,
+    },
+    /// No endpoint is registered under the URI's authority.
+    EndpointNotFound {
+        /// The authority (host/node name) that failed to resolve.
+        endpoint: String,
+    },
+    /// The URI could not be parsed or used with this channel.
+    BadUri {
+        /// The offending URI text.
+        uri: String,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// A reply did not arrive in time.
+    Timeout,
+    /// The object's lifetime lease expired and it was collected.
+    LeaseExpired {
+        /// The collected object's name.
+        object: String,
+    },
+}
+
+impl fmt::Display for RemotingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemotingError::ObjectNotFound { object } => {
+                write!(f, "no remote object registered as {object:?}")
+            }
+            RemotingError::MethodNotFound { object, method } => {
+                write!(f, "object {object:?} has no method {method:?}")
+            }
+            RemotingError::BadArguments { method, detail } => {
+                write!(f, "bad arguments for {method:?}: {detail}")
+            }
+            RemotingError::ServerFault { detail } => write!(f, "server fault: {detail}"),
+            RemotingError::Serial(e) => write!(f, "serialization failed: {e}"),
+            RemotingError::Transport { detail } => write!(f, "transport failure: {detail}"),
+            RemotingError::EndpointNotFound { endpoint } => {
+                write!(f, "no endpoint named {endpoint:?}")
+            }
+            RemotingError::BadUri { uri, detail } => write!(f, "bad uri {uri:?}: {detail}"),
+            RemotingError::Timeout => write!(f, "remote call timed out"),
+            RemotingError::LeaseExpired { object } => {
+                write!(f, "lease expired for object {object:?}")
+            }
+        }
+    }
+}
+
+impl Error for RemotingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RemotingError::Serial(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SerialError> for RemotingError {
+    fn from(e: SerialError) -> Self {
+        RemotingError::Serial(e)
+    }
+}
+
+impl From<std::io::Error> for RemotingError {
+    fn from(e: std::io::Error) -> Self {
+        RemotingError::Transport { detail: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<RemotingError>();
+    }
+
+    #[test]
+    fn serial_error_is_source() {
+        let inner = SerialError::BadMagic { expected: "binary" };
+        let e = RemotingError::from(inner.clone());
+        assert_eq!(
+            e.source().expect("serial errors carry a source").to_string(),
+            inner.to_string()
+        );
+        assert!(RemotingError::Timeout.source().is_none());
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs = [
+            RemotingError::ObjectNotFound { object: "x".into() },
+            RemotingError::MethodNotFound { object: "x".into(), method: "m".into() },
+            RemotingError::BadArguments { method: "m".into(), detail: "d".into() },
+            RemotingError::ServerFault { detail: "d".into() },
+            RemotingError::Serial(SerialError::BadMagic { expected: "binary" }),
+            RemotingError::Transport { detail: "d".into() },
+            RemotingError::EndpointNotFound { endpoint: "n".into() },
+            RemotingError::BadUri { uri: "u".into(), detail: "d".into() },
+            RemotingError::Timeout,
+            RemotingError::LeaseExpired { object: "o".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The HTTP channel: SOAP formatter over HTTP/1.1-style framing — Mono's
+//! `HttpChannel`.
+//!
+//! Fig. 8b shows this channel an order of magnitude slower than the TCP
+//! channel; the cost is honest here too: every call becomes a `POST` with
+//! text headers and a SOAP (XML-ish) body, inflating both bytes and parse
+//! work. Connections are persistent (keep-alive); one request/response at a
+//! time per connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parc_serial::SoapFormatter;
+use parking_lot::Mutex;
+
+use crate::channel::{ChannelProvider, ClientChannel};
+use crate::dispatcher::dispatch;
+use crate::error::RemotingError;
+use crate::message::{CallMessage, ReturnMessage};
+use crate::uri::{ObjectUri, Scheme};
+use crate::wellknown::ObjectTable;
+
+/// Maximum accepted body size.
+pub const MAX_BODY: usize = 64 << 20;
+
+/// Writes an HTTP request carrying `body`.
+fn write_request(stream: &mut impl Write, object: &str, body: &[u8]) -> std::io::Result<()> {
+    write!(
+        stream,
+        "POST /{object} HTTP/1.1\r\nHost: remoting\r\nContent-Type: text/xml; charset=utf-8\r\nSOAPAction: \"#invoke\"\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes an HTTP response with `status` and `body`.
+fn write_response(stream: &mut impl Write, status: &str, body: &[u8]) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: text/xml; charset=utf-8\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Reads one HTTP message (request or response): returns `(first_line,
+/// body)`, or `None` on clean EOF before the first byte.
+fn read_message(reader: &mut impl BufRead) -> std::io::Result<Option<(String, Vec<u8>)>> {
+    let mut first_line = String::new();
+    if reader.read_line(&mut first_line)? == 0 {
+        return Ok(None);
+    }
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside headers",
+            ));
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let len = content_length.ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "missing content-length")
+    })?;
+    if len > MAX_BODY {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Some((first_line.trim_end().to_string(), body)))
+}
+
+/// Server half of the HTTP channel.
+pub struct HttpServerChannel {
+    addr: SocketAddr,
+    objects: ObjectTable,
+    stop: Arc<AtomicBool>,
+}
+
+impl HttpServerChannel {
+    /// Binds and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind(addr: &str) -> Result<HttpServerChannel, RemotingError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let objects = ObjectTable::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_objects = objects.clone();
+        let accept_stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name(format!("http-accept-{local}"))
+            .spawn(move || accept_loop(listener, accept_objects, accept_stop))
+            .expect("spawning http accept thread");
+        Ok(HttpServerChannel { addr: local, objects, stop })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The published-object table.
+    pub fn objects(&self) -> &ObjectTable {
+        &self.objects
+    }
+
+    /// An `http://` URI for an object on this server.
+    pub fn uri_for(&self, object: &str) -> String {
+        format!("http://{}/{}", self.addr, object)
+    }
+}
+
+impl Drop for HttpServerChannel {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl std::fmt::Debug for HttpServerChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServerChannel").field("addr", &self.addr).finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, objects: ObjectTable, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let objects = objects.clone();
+        let stop = Arc::clone(&stop);
+        let _ = std::thread::Builder::new()
+            .name("http-conn".into())
+            .spawn(move || serve_connection(stream, objects, stop));
+    }
+}
+
+fn serve_connection(stream: TcpStream, objects: ObjectTable, stop: Arc<AtomicBool>) {
+    let formatter = SoapFormatter::new();
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let (_request_line, body) = match read_message(&mut reader) {
+            Ok(Some(msg)) => msg,
+            Ok(None) | Err(_) => return,
+        };
+        // A stopped server closes instead of answering.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match CallMessage::decode(&formatter, &body) {
+            Ok(call) => match dispatch(&objects, &call) {
+                Some(reply) => {
+                    let Ok(bytes) = reply.encode(&formatter) else { return };
+                    if write_response(&mut writer, "200 OK", &bytes).is_err() {
+                        return;
+                    }
+                }
+                // One-way over HTTP still acknowledges receipt.
+                None => {
+                    if write_response(&mut writer, "202 Accepted", b"").is_err() {
+                        return;
+                    }
+                }
+            },
+            Err(e) => {
+                let fault = ReturnMessage::fault(0, e.to_string());
+                let Ok(bytes) = fault.encode(&formatter) else { return };
+                if write_response(&mut writer, "500 Internal Server Error", &bytes).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Client half of the HTTP channel.
+pub struct HttpClientChannel {
+    connection: Mutex<(BufReader<TcpStream>, TcpStream)>,
+    formatter: SoapFormatter,
+}
+
+impl HttpClientChannel {
+    /// Connects (keep-alive) to a server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> Result<HttpClientChannel, RemotingError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClientChannel {
+            connection: Mutex::new((BufReader::new(stream), writer)),
+            formatter: SoapFormatter::new(),
+        })
+    }
+
+    fn exchange(&self, msg: &CallMessage) -> Result<(String, Vec<u8>), RemotingError> {
+        let body = msg.encode(&self.formatter)?;
+        let mut guard = self.connection.lock();
+        let (reader, writer) = &mut *guard;
+        write_request(writer, &msg.object, &body)?;
+        read_message(reader)?
+            .ok_or(RemotingError::Transport { detail: "server closed connection".into() })
+    }
+}
+
+impl ClientChannel for HttpClientChannel {
+    fn call(&self, msg: &CallMessage) -> Result<ReturnMessage, RemotingError> {
+        let (_status, body) = self.exchange(msg)?;
+        Ok(ReturnMessage::decode(&self.formatter, &body)?)
+    }
+
+    fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
+        // HTTP always answers; a one-way call reads its 202 and discards it.
+        let (status, _body) = self.exchange(msg)?;
+        if status.contains("202") || status.contains("200") {
+            Ok(())
+        } else {
+            Err(RemotingError::Transport { detail: format!("unexpected status {status:?}") })
+        }
+    }
+
+    fn scheme(&self) -> &'static str {
+        "http"
+    }
+}
+
+impl std::fmt::Debug for HttpClientChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpClientChannel").finish_non_exhaustive()
+    }
+}
+
+/// Channel provider resolving `http://host:port/Object` URIs.
+#[derive(Default)]
+pub struct HttpChannelProvider {
+    cache: Mutex<std::collections::HashMap<String, Arc<HttpClientChannel>>>,
+}
+
+impl HttpChannelProvider {
+    /// Creates a provider with an empty connection cache.
+    pub fn new() -> HttpChannelProvider {
+        HttpChannelProvider::default()
+    }
+}
+
+impl ChannelProvider for HttpChannelProvider {
+    fn open(&self, uri: &ObjectUri) -> Result<Arc<dyn ClientChannel>, RemotingError> {
+        if uri.scheme() != Scheme::Http {
+            return Err(RemotingError::BadUri {
+                uri: uri.to_string(),
+                detail: "http provider only serves http:// uris".into(),
+            });
+        }
+        let mut cache = self.cache.lock();
+        if let Some(chan) = cache.get(uri.authority()) {
+            return Ok(Arc::clone(chan) as Arc<dyn ClientChannel>);
+        }
+        let chan = Arc::new(HttpClientChannel::connect(uri.authority())?);
+        cache.insert(uri.authority().to_string(), Arc::clone(&chan));
+        Ok(chan)
+    }
+}
+
+impl std::fmt::Debug for HttpChannelProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpChannelProvider")
+            .field("cached", &self.cache.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activator::Activator;
+    use crate::dispatcher::FnInvokable;
+    use parc_serial::Value;
+
+    fn start_server() -> HttpServerChannel {
+        let server = HttpServerChannel::bind("127.0.0.1:0").unwrap();
+        server.objects().register_singleton(
+            "Svc",
+            Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+                "double" => Ok(Value::I32(args[0].as_i32().unwrap_or(0) * 2)),
+                "text" => Ok(Value::Str("<xml> & such".into())),
+                _ => Err(RemotingError::MethodNotFound {
+                    object: "Svc".into(),
+                    method: method.into(),
+                }),
+            })),
+        );
+        server
+    }
+
+    #[test]
+    fn soap_call_over_http_roundtrips() {
+        let server = start_server();
+        let provider = HttpChannelProvider::new();
+        let proxy = Activator::get_object(&provider, &server.uri_for("Svc")).unwrap();
+        assert_eq!(proxy.call("double", vec![Value::I32(21)]).unwrap(), Value::I32(42));
+    }
+
+    #[test]
+    fn markup_content_survives_soap_escaping() {
+        let server = start_server();
+        let provider = HttpChannelProvider::new();
+        let proxy = Activator::get_object(&provider, &server.uri_for("Svc")).unwrap();
+        assert_eq!(
+            proxy.call("text", vec![]).unwrap(),
+            Value::Str("<xml> & such".into())
+        );
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests() {
+        let server = start_server();
+        let provider = HttpChannelProvider::new();
+        let proxy = Activator::get_object(&provider, &server.uri_for("Svc")).unwrap();
+        for i in 0..50 {
+            assert_eq!(proxy.call("double", vec![Value::I32(i)]).unwrap(), Value::I32(i * 2));
+        }
+    }
+
+    #[test]
+    fn oneway_post_gets_202_and_connection_survives() {
+        let server = start_server();
+        let provider = HttpChannelProvider::new();
+        let proxy = Activator::get_object(&provider, &server.uri_for("Svc")).unwrap();
+        proxy.post("double", vec![Value::I32(1)]).unwrap();
+        assert_eq!(proxy.call("double", vec![Value::I32(2)]).unwrap(), Value::I32(4));
+    }
+
+    #[test]
+    fn fault_travels_back_as_server_fault() {
+        let server = start_server();
+        let provider = HttpChannelProvider::new();
+        let proxy = Activator::get_object(&provider, &server.uri_for("Svc")).unwrap();
+        assert!(matches!(
+            proxy.call("nope", vec![]),
+            Err(RemotingError::ServerFault { .. })
+        ));
+    }
+
+    #[test]
+    fn http_message_codec_roundtrips() {
+        let mut buf = Vec::new();
+        write_request(&mut buf, "Obj", b"<body/>").unwrap();
+        let mut reader = BufReader::new(std::io::Cursor::new(buf));
+        let (line, body) = read_message(&mut reader).unwrap().unwrap();
+        assert!(line.starts_with("POST /Obj HTTP/1.1"));
+        assert_eq!(body, b"<body/>");
+        assert!(read_message(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_content_length_is_error() {
+        let raw = b"POST / HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut reader = BufReader::new(std::io::Cursor::new(raw.to_vec()));
+        assert!(read_message(&mut reader).is_err());
+    }
+
+    #[test]
+    fn wrong_scheme_rejected_by_provider() {
+        let provider = HttpChannelProvider::new();
+        let uri: ObjectUri = "tcp://h:1/x".parse().unwrap();
+        assert!(matches!(provider.open(&uri), Err(RemotingError::BadUri { .. })));
+    }
+}

@@ -1,0 +1,396 @@
+//! In-process channel: real threads, real queues, real serialized bytes —
+//! no sockets.
+//!
+//! An [`InprocNetwork`] is a registry of named endpoints inside one
+//! process. Each endpoint runs a dispatcher thread plus a worker pool, so
+//! concurrency semantics match the socket channels: calls from many client
+//! threads interleave on the server exactly as they would across machines.
+//! Payloads still pass through the binary formatter, so marshalling costs
+//! and wire sizes are identical to the TCP channel — only the wire itself
+//! is a queue.
+//!
+//! This is the channel the single-machine SCOOPP runtime and most tests
+//! use; URIs look like `inproc://node0/PrimeServer`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parc_serial::BinaryFormatter;
+use parking_lot::RwLock;
+
+use crate::channel::{ChannelProvider, ClientChannel};
+use crate::dispatcher::dispatch;
+use crate::error::RemotingError;
+use crate::message::CallMessage;
+use crate::threadpool::ThreadPool;
+use crate::uri::{ObjectUri, Scheme};
+use crate::wellknown::ObjectTable;
+
+/// Default reply timeout for in-process calls. Generous — a stuck server
+/// object is a bug, not a slow network.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct Envelope {
+    bytes: Vec<u8>,
+    reply: Option<Sender<Vec<u8>>>,
+}
+
+struct EndpointShared {
+    tx: Sender<Envelope>,
+    bytes_received: AtomicU64,
+    messages_received: AtomicU64,
+}
+
+/// Registry of in-process endpoints.
+#[derive(Clone, Default)]
+pub struct InprocNetwork {
+    endpoints: Arc<RwLock<HashMap<String, Arc<EndpointShared>>>>,
+}
+
+impl InprocNetwork {
+    /// Creates an empty network.
+    pub fn new() -> InprocNetwork {
+        InprocNetwork::default()
+    }
+
+    /// Creates and starts an endpoint with a default-sized worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`RemotingError::Transport`] if the name is already taken.
+    pub fn create_endpoint(&self, name: impl Into<String>) -> Result<InprocEndpoint, RemotingError> {
+        self.create_endpoint_with_workers(name, 4)
+    }
+
+    /// Creates and starts an endpoint with `workers` dispatch threads.
+    ///
+    /// # Errors
+    ///
+    /// [`RemotingError::Transport`] if the name is already taken.
+    pub fn create_endpoint_with_workers(
+        &self,
+        name: impl Into<String>,
+        workers: usize,
+    ) -> Result<InprocEndpoint, RemotingError> {
+        let name = name.into();
+        let (tx, rx) = unbounded::<Envelope>();
+        let shared = Arc::new(EndpointShared {
+            tx,
+            bytes_received: AtomicU64::new(0),
+            messages_received: AtomicU64::new(0),
+        });
+        {
+            let mut endpoints = self.endpoints.write();
+            if endpoints.contains_key(&name) {
+                return Err(RemotingError::Transport {
+                    detail: format!("endpoint {name:?} already exists"),
+                });
+            }
+            endpoints.insert(name.clone(), Arc::clone(&shared));
+        }
+        let objects = ObjectTable::new();
+        let pump_objects = objects.clone();
+        let pump_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name(format!("inproc-{name}"))
+            .spawn(move || pump(rx, pump_objects, pump_shared, workers))
+            .expect("spawning inproc endpoint thread");
+        Ok(InprocEndpoint {
+            name,
+            objects,
+            network: self.clone(),
+            thread: Some(thread),
+        })
+    }
+
+    /// Names of live endpoints (sorted).
+    pub fn endpoint_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.endpoints.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total bytes delivered to `endpoint` so far (diagnostics/benchmarks).
+    pub fn bytes_received(&self, endpoint: &str) -> Option<u64> {
+        self.endpoints
+            .read()
+            .get(endpoint)
+            .map(|e| e.bytes_received.load(Ordering::Relaxed))
+    }
+
+    /// Total messages delivered to `endpoint` so far.
+    pub fn messages_received(&self, endpoint: &str) -> Option<u64> {
+        self.endpoints
+            .read()
+            .get(endpoint)
+            .map(|e| e.messages_received.load(Ordering::Relaxed))
+    }
+
+    fn remove(&self, name: &str) {
+        self.endpoints.write().remove(name);
+    }
+}
+
+impl std::fmt::Debug for InprocNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InprocNetwork").field("endpoints", &self.endpoint_names()).finish()
+    }
+}
+
+/// Dispatcher loop: decode, route via the shared dispatch logic, reply.
+fn pump(rx: Receiver<Envelope>, objects: ObjectTable, shared: Arc<EndpointShared>, workers: usize) {
+    let pool = ThreadPool::new(workers.max(1));
+    let formatter = BinaryFormatter::new();
+    while let Ok(envelope) = rx.recv() {
+        shared.bytes_received.fetch_add(envelope.bytes.len() as u64, Ordering::Relaxed);
+        shared.messages_received.fetch_add(1, Ordering::Relaxed);
+        let objects = objects.clone();
+        pool.submit(move || {
+            let reply = match CallMessage::decode(&formatter, &envelope.bytes) {
+                Ok(call) => dispatch(&objects, &call),
+                Err(e) => {
+                    // Undecodable frame: fault with id 0 if a reply channel
+                    // exists; otherwise drop.
+                    Some(crate::message::ReturnMessage::fault(0, e.to_string()))
+                }
+            };
+            if let (Some(reply), Some(tx)) = (reply, envelope.reply) {
+                if let Ok(bytes) = reply.encode(&formatter) {
+                    let _ = tx.send(bytes);
+                }
+            }
+        });
+    }
+    pool.shutdown();
+}
+
+/// A live in-process endpoint (server side). Dropping it unregisters the
+/// endpoint and stops its dispatcher once queued work drains.
+pub struct InprocEndpoint {
+    name: String,
+    objects: ObjectTable,
+    network: InprocNetwork,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl InprocEndpoint {
+    /// The endpoint's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The endpoint's published-object table.
+    pub fn objects(&self) -> &ObjectTable {
+        &self.objects
+    }
+}
+
+impl Drop for InprocEndpoint {
+    fn drop(&mut self) {
+        // Unregister, dropping the network's sender; when the last client
+        // channel drops its sender clone too, the pump exits.
+        self.network.remove(&self.name);
+        // Do not join: clients may still hold senders. The pump exits when
+        // every sender is gone; detach the thread.
+        let _ = self.thread.take();
+    }
+}
+
+impl std::fmt::Debug for InprocEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InprocEndpoint").field("name", &self.name).finish()
+    }
+}
+
+/// Client side of an in-process channel.
+pub struct InprocClient {
+    tx: Sender<Envelope>,
+    timeout: Duration,
+}
+
+impl InprocClient {
+    fn send(&self, msg: &CallMessage, reply: Option<Sender<Vec<u8>>>) -> Result<(), RemotingError> {
+        let bytes = msg.encode(&BinaryFormatter::new())?;
+        self.tx
+            .send(Envelope { bytes, reply })
+            .map_err(|_| RemotingError::Transport { detail: "endpoint stopped".into() })
+    }
+}
+
+impl ClientChannel for InprocClient {
+    fn call(&self, msg: &CallMessage) -> Result<crate::message::ReturnMessage, RemotingError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.send(msg, Some(reply_tx))?;
+        let bytes = reply_rx
+            .recv_timeout(self.timeout)
+            .map_err(|_| RemotingError::Timeout)?;
+        Ok(crate::message::ReturnMessage::decode(&BinaryFormatter::new(), &bytes)?)
+    }
+
+    fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
+        self.send(msg, None)
+    }
+
+    fn scheme(&self) -> &'static str {
+        "inproc"
+    }
+}
+
+impl ChannelProvider for InprocNetwork {
+    fn open(&self, uri: &ObjectUri) -> Result<Arc<dyn ClientChannel>, RemotingError> {
+        if uri.scheme() != Scheme::Inproc {
+            return Err(RemotingError::BadUri {
+                uri: uri.to_string(),
+                detail: "inproc network only serves inproc:// uris".into(),
+            });
+        }
+        let endpoints = self.endpoints.read();
+        let shared = endpoints.get(uri.authority()).ok_or_else(|| {
+            RemotingError::EndpointNotFound { endpoint: uri.authority().to_string() }
+        })?;
+        Ok(Arc::new(InprocClient { tx: shared.tx.clone(), timeout: DEFAULT_TIMEOUT }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::RemoteObject;
+    use crate::dispatcher::FnInvokable;
+    use parc_serial::Value;
+
+    fn adder_network() -> (InprocNetwork, InprocEndpoint) {
+        let net = InprocNetwork::new();
+        let ep = net.create_endpoint("node0").unwrap();
+        ep.objects().register_singleton(
+            "Adder",
+            Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+                "add" => {
+                    let a = args[0].as_i32().unwrap_or(0);
+                    let b = args[1].as_i32().unwrap_or(0);
+                    Ok(Value::I32(a + b))
+                }
+                "sleepy" => {
+                    std::thread::sleep(Duration::from_millis(20));
+                    Ok(Value::Null)
+                }
+                _ => Err(RemotingError::MethodNotFound {
+                    object: "Adder".into(),
+                    method: method.into(),
+                }),
+            })),
+        );
+        (net, ep)
+    }
+
+    fn proxy(net: &InprocNetwork, uri: &str) -> RemoteObject {
+        let uri: ObjectUri = uri.parse().unwrap();
+        let chan = net.open(&uri).unwrap();
+        RemoteObject::new(chan, uri.object())
+    }
+
+    #[test]
+    fn sync_call_roundtrips() {
+        let (net, _ep) = adder_network();
+        let adder = proxy(&net, "inproc://node0/Adder");
+        assert_eq!(
+            adder.call("add", vec![Value::I32(2), Value::I32(3)]).unwrap(),
+            Value::I32(5)
+        );
+    }
+
+    #[test]
+    fn unknown_endpoint_fails_at_open() {
+        let (net, _ep) = adder_network();
+        let uri: ObjectUri = "inproc://ghost/Adder".parse().unwrap();
+        assert!(matches!(
+            net.open(&uri),
+            Err(RemotingError::EndpointNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_object_is_server_fault() {
+        let (net, _ep) = adder_network();
+        let ghost = proxy(&net, "inproc://node0/Ghost");
+        assert!(matches!(
+            ghost.call("add", vec![]),
+            Err(RemotingError::ServerFault { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_scheme_rejected() {
+        let (net, _ep) = adder_network();
+        let uri: ObjectUri = "tcp://node0:1/Adder".parse().unwrap();
+        assert!(matches!(net.open(&uri), Err(RemotingError::BadUri { .. })));
+    }
+
+    #[test]
+    fn duplicate_endpoint_rejected() {
+        let net = InprocNetwork::new();
+        let _a = net.create_endpoint("dup").unwrap();
+        assert!(net.create_endpoint("dup").is_err());
+    }
+
+    #[test]
+    fn endpoint_drop_unregisters() {
+        let net = InprocNetwork::new();
+        {
+            let _ep = net.create_endpoint("transient").unwrap();
+            assert_eq!(net.endpoint_names(), vec!["transient"]);
+        }
+        assert!(net.endpoint_names().is_empty());
+    }
+
+    #[test]
+    fn concurrent_calls_from_many_threads() {
+        let (net, _ep) = adder_network();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let net = net.clone();
+                scope.spawn(move || {
+                    let adder = proxy(&net, "inproc://node0/Adder");
+                    for i in 0..50 {
+                        let v = adder
+                            .call("add", vec![Value::I32(t), Value::I32(i)])
+                            .unwrap();
+                        assert_eq!(v, Value::I32(t + i));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn oneway_posts_are_counted_but_unreplied() {
+        let (net, _ep) = adder_network();
+        let adder = proxy(&net, "inproc://node0/Adder");
+        for _ in 0..10 {
+            adder.post("sleepy", vec![]).unwrap();
+        }
+        // Give the pool a moment to drain, then check delivery counters.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while net.messages_received("node0").unwrap() < 10 {
+            assert!(std::time::Instant::now() < deadline, "posts never delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(net.bytes_received("node0").unwrap() > 0);
+    }
+
+    #[test]
+    fn calls_race_with_posts_safely() {
+        let (net, _ep) = adder_network();
+        let adder = proxy(&net, "inproc://node0/Adder");
+        for i in 0..20 {
+            adder.post("sleepy", vec![]).unwrap();
+            assert_eq!(
+                adder.call("add", vec![Value::I32(i), Value::I32(1)]).unwrap(),
+                Value::I32(i + 1)
+            );
+        }
+    }
+}

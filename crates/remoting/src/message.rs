@@ -1,0 +1,267 @@
+//! The remoting wire protocol: call and return messages.
+//!
+//! Messages are represented as [`Value`] structs and pushed through a
+//! [`Formatter`], so the bytes each channel puts on the wire are real —
+//! the benchmark harness measures them directly.
+
+use parc_serial::{Formatter, SerialError, StructValue, Value};
+
+use crate::error::RemotingError;
+
+/// A method invocation travelling to a server object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallMessage {
+    /// Published name of the target object.
+    pub object: String,
+    /// Method to invoke.
+    pub method: String,
+    /// Correlation id (echoed in the reply).
+    pub call_id: u64,
+    /// One-way flag: `true` means no reply is produced — the transport of
+    /// the paper's asynchronous method invocations.
+    pub oneway: bool,
+    /// Marshalled arguments.
+    pub args: Vec<Value>,
+}
+
+impl CallMessage {
+    /// Creates a two-way (synchronous) call.
+    pub fn new(object: impl Into<String>, method: impl Into<String>, args: Vec<Value>) -> Self {
+        CallMessage {
+            object: object.into(),
+            method: method.into(),
+            call_id: 0,
+            oneway: false,
+            args,
+        }
+    }
+
+    /// Creates a one-way (asynchronous, no-reply) call.
+    pub fn one_way(object: impl Into<String>, method: impl Into<String>, args: Vec<Value>) -> Self {
+        CallMessage { oneway: true, ..CallMessage::new(object, method, args) }
+    }
+
+    /// Encodes into a wire [`Value`].
+    pub fn to_value(&self) -> Value {
+        Value::Struct(
+            StructValue::new("Call")
+                .with_field("obj", Value::Str(self.object.clone()))
+                .with_field("method", Value::Str(self.method.clone()))
+                .with_field("id", Value::I64(self.call_id as i64))
+                .with_field("oneway", Value::Bool(self.oneway))
+                .with_field("args", Value::List(self.args.clone())),
+        )
+    }
+
+    /// Decodes from a wire [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError::Parse`] when the value is not a well-formed call.
+    pub fn from_value(value: &Value) -> Result<CallMessage, SerialError> {
+        let s = expect_struct(value, "Call")?;
+        Ok(CallMessage {
+            object: expect_str(s, "obj")?,
+            method: expect_str(s, "method")?,
+            call_id: expect_i64(s, "id")? as u64,
+            oneway: expect_bool(s, "oneway")?,
+            args: match s.field("args") {
+                Some(Value::List(items)) => items.clone(),
+                _ => return Err(shape_err("args list")),
+            },
+        })
+    }
+
+    /// Serializes through a formatter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates formatter failures.
+    pub fn encode(&self, f: &dyn Formatter) -> Result<Vec<u8>, SerialError> {
+        f.serialize(&self.to_value())
+    }
+
+    /// Deserializes through a formatter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates formatter failures and shape errors.
+    pub fn decode(f: &dyn Formatter, bytes: &[u8]) -> Result<CallMessage, SerialError> {
+        CallMessage::from_value(&f.deserialize(bytes)?)
+    }
+}
+
+/// A reply travelling back to the caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReturnMessage {
+    /// Correlation id copied from the call.
+    pub call_id: u64,
+    /// The outcome: a marshalled return value, or a fault description.
+    pub result: Result<Value, String>,
+}
+
+impl ReturnMessage {
+    /// Creates a success reply.
+    pub fn ok(call_id: u64, value: Value) -> Self {
+        ReturnMessage { call_id, result: Ok(value) }
+    }
+
+    /// Creates a fault reply.
+    pub fn fault(call_id: u64, detail: impl Into<String>) -> Self {
+        ReturnMessage { call_id, result: Err(detail.into()) }
+    }
+
+    /// Encodes into a wire [`Value`].
+    pub fn to_value(&self) -> Value {
+        let mut s = StructValue::new("Return")
+            .with_field("id", Value::I64(self.call_id as i64))
+            .with_field("ok", Value::Bool(self.result.is_ok()));
+        match &self.result {
+            Ok(v) => s.push_field("value", v.clone()),
+            Err(e) => s.push_field("error", Value::Str(e.clone())),
+        }
+        Value::Struct(s)
+    }
+
+    /// Decodes from a wire [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError::Parse`] when the value is not a well-formed reply.
+    pub fn from_value(value: &Value) -> Result<ReturnMessage, SerialError> {
+        let s = expect_struct(value, "Return")?;
+        let call_id = expect_i64(s, "id")? as u64;
+        let ok = expect_bool(s, "ok")?;
+        let result = if ok {
+            Ok(s.field("value").cloned().ok_or_else(|| shape_err("value field"))?)
+        } else {
+            Err(expect_str(s, "error")?)
+        };
+        Ok(ReturnMessage { call_id, result })
+    }
+
+    /// Serializes through a formatter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates formatter failures.
+    pub fn encode(&self, f: &dyn Formatter) -> Result<Vec<u8>, SerialError> {
+        f.serialize(&self.to_value())
+    }
+
+    /// Deserializes through a formatter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates formatter failures and shape errors.
+    pub fn decode(f: &dyn Formatter, bytes: &[u8]) -> Result<ReturnMessage, SerialError> {
+        ReturnMessage::from_value(&f.deserialize(bytes)?)
+    }
+
+    /// Converts the reply into the caller-facing result.
+    ///
+    /// # Errors
+    ///
+    /// [`RemotingError::ServerFault`] when the server reported a fault.
+    pub fn into_result(self) -> Result<Value, RemotingError> {
+        self.result.map_err(|detail| RemotingError::ServerFault { detail })
+    }
+}
+
+fn shape_err(what: &str) -> SerialError {
+    SerialError::Parse { detail: format!("malformed message: missing {what}") }
+}
+
+fn expect_struct<'v>(value: &'v Value, name: &str) -> Result<&'v StructValue, SerialError> {
+    match value.as_struct() {
+        Some(s) if s.name() == name => Ok(s),
+        _ => Err(SerialError::Parse { detail: format!("expected {name} message") }),
+    }
+}
+
+fn expect_str(s: &StructValue, field: &str) -> Result<String, SerialError> {
+    s.field(field).and_then(Value::as_str).map(str::to_string).ok_or_else(|| shape_err(field))
+}
+
+fn expect_i64(s: &StructValue, field: &str) -> Result<i64, SerialError> {
+    s.field(field).and_then(Value::as_i64).ok_or_else(|| shape_err(field))
+}
+
+fn expect_bool(s: &StructValue, field: &str) -> Result<bool, SerialError> {
+    s.field(field).and_then(Value::as_bool).ok_or_else(|| shape_err(field))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parc_serial::{BinaryFormatter, JavaFormatter, SoapFormatter};
+
+    fn sample_call() -> CallMessage {
+        let mut c = CallMessage::new("PrimeServer", "process", vec![Value::I32Array(vec![1, 2, 3])]);
+        c.call_id = 42;
+        c
+    }
+
+    #[test]
+    fn call_roundtrips_through_all_formats() {
+        let call = sample_call();
+        let formats: [&dyn Formatter; 3] =
+            [&BinaryFormatter::new(), &SoapFormatter::new(), &JavaFormatter::new()];
+        for f in formats {
+            let bytes = call.encode(f).unwrap();
+            assert_eq!(CallMessage::decode(f, &bytes).unwrap(), call, "format {}", f.name());
+        }
+    }
+
+    #[test]
+    fn oneway_flag_survives() {
+        let call = CallMessage::one_way("O", "m", vec![]);
+        assert!(call.oneway);
+        let f = BinaryFormatter::new();
+        assert!(CallMessage::decode(&f, &call.encode(&f).unwrap()).unwrap().oneway);
+    }
+
+    #[test]
+    fn return_ok_roundtrips() {
+        let ret = ReturnMessage::ok(7, Value::F64(2.5));
+        let f = BinaryFormatter::new();
+        let back = ReturnMessage::decode(&f, &ret.encode(&f).unwrap()).unwrap();
+        assert_eq!(back, ret);
+        assert_eq!(back.into_result().unwrap(), Value::F64(2.5));
+    }
+
+    #[test]
+    fn return_fault_roundtrips_and_surfaces_as_server_fault() {
+        let ret = ReturnMessage::fault(9, "divide by zero");
+        let f = BinaryFormatter::new();
+        let back = ReturnMessage::decode(&f, &ret.encode(&f).unwrap()).unwrap();
+        assert_eq!(back.call_id, 9);
+        match back.into_result() {
+            Err(RemotingError::ServerFault { detail }) => assert_eq!(detail, "divide by zero"),
+            other => panic!("expected server fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_rejects_return_shape_and_vice_versa() {
+        let f = BinaryFormatter::new();
+        let call_bytes = sample_call().encode(&f).unwrap();
+        assert!(ReturnMessage::decode(&f, &call_bytes).is_err());
+        let ret_bytes = ReturnMessage::ok(1, Value::Null).encode(&f).unwrap();
+        assert!(CallMessage::decode(&f, &ret_bytes).is_err());
+    }
+
+    #[test]
+    fn missing_fields_are_parse_errors() {
+        let v = Value::Struct(StructValue::new("Call").with_field("obj", Value::Str("x".into())));
+        assert!(CallMessage::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn soap_call_is_much_bigger_than_binary_call() {
+        let call = sample_call();
+        let b = call.encode(&BinaryFormatter::new()).unwrap().len();
+        let s = call.encode(&SoapFormatter::new()).unwrap().len();
+        assert!(s > 2 * b, "soap {s} vs binary {b}");
+    }
+}

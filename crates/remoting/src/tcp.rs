@@ -1,0 +1,377 @@
+//! The TCP channel: binary formatter over framed sockets — Mono's
+//! `TcpChannel`.
+//!
+//! Frames are a 4-byte big-endian length followed by the formatter payload.
+//! The server accepts connections on a loopback-or-LAN socket and serves
+//! each connection from its own thread (requests on one connection are
+//! handled in order; concurrency comes from multiple connections, as in
+//! real remoting where each client proxy holds its own connection).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parc_serial::BinaryFormatter;
+use parking_lot::Mutex;
+
+use crate::channel::{ChannelProvider, ClientChannel};
+use crate::dispatcher::dispatch;
+use crate::error::RemotingError;
+use crate::message::{CallMessage, ReturnMessage};
+use crate::uri::{ObjectUri, Scheme};
+use crate::wellknown::ObjectTable;
+
+/// Upper bound on a single frame; larger frames indicate corruption.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Default socket read timeout.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Writes one length-prefixed frame.
+pub(crate) fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+pub(crate) fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Server half of the TCP channel.
+pub struct TcpServerChannel {
+    addr: SocketAddr,
+    objects: ObjectTable,
+    stop: Arc<AtomicBool>,
+}
+
+impl TcpServerChannel {
+    /// Binds and starts accepting. Use `"127.0.0.1:0"` to let the OS pick a
+    /// port, then read it back with [`TcpServerChannel::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind(addr: &str) -> Result<TcpServerChannel, RemotingError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let objects = ObjectTable::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_objects = objects.clone();
+        let accept_stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name(format!("tcp-accept-{local}"))
+            .spawn(move || accept_loop(listener, accept_objects, accept_stop))
+            .expect("spawning tcp accept thread");
+        Ok(TcpServerChannel { addr: local, objects, stop })
+    }
+
+    /// The bound address (host:port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The published-object table served on this socket.
+    pub fn objects(&self) -> &ObjectTable {
+        &self.objects
+    }
+
+    /// A `tcp://` URI for an object on this server.
+    pub fn uri_for(&self, object: &str) -> String {
+        format!("tcp://{}/{}", self.addr, object)
+    }
+}
+
+impl Drop for TcpServerChannel {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the listener so the accept loop observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl std::fmt::Debug for TcpServerChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServerChannel").field("addr", &self.addr).finish()
+    }
+}
+
+fn accept_loop(listener: TcpListener, objects: ObjectTable, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let objects = objects.clone();
+        let stop = Arc::clone(&stop);
+        let _ = std::thread::Builder::new()
+            .name("tcp-conn".into())
+            .spawn(move || serve_connection(stream, objects, stop));
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, objects: ObjectTable, stop: Arc<AtomicBool>) {
+    let formatter = BinaryFormatter::new();
+    let _ = stream.set_nodelay(true);
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        // A stopped server closes its connections instead of serving new
+        // requests (clients observe EOF -> transport error).
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let reply = match CallMessage::decode(&formatter, &frame) {
+            Ok(call) => dispatch(&objects, &call),
+            Err(e) => Some(ReturnMessage::fault(0, e.to_string())),
+        };
+        if let Some(reply) = reply {
+            let Ok(bytes) = reply.encode(&formatter) else { return };
+            if write_frame(&mut stream, &bytes).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Client half of the TCP channel: one connection, calls serialized on it.
+pub struct TcpClientChannel {
+    stream: Mutex<TcpStream>,
+    formatter: BinaryFormatter,
+}
+
+impl TcpClientChannel {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> Result<TcpClientChannel, RemotingError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+        Ok(TcpClientChannel { stream: Mutex::new(stream), formatter: BinaryFormatter::new() })
+    }
+}
+
+impl ClientChannel for TcpClientChannel {
+    fn call(&self, msg: &CallMessage) -> Result<ReturnMessage, RemotingError> {
+        let bytes = msg.encode(&self.formatter)?;
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, &bytes)?;
+        let reply = read_frame(&mut *stream)?
+            .ok_or(RemotingError::Transport { detail: "server closed connection".into() })?;
+        Ok(ReturnMessage::decode(&self.formatter, &reply)?)
+    }
+
+    fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
+        let bytes = msg.encode(&self.formatter)?;
+        let mut stream = self.stream.lock();
+        write_frame(&mut *stream, &bytes)?;
+        Ok(())
+    }
+
+    fn scheme(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+impl std::fmt::Debug for TcpClientChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpClientChannel").finish_non_exhaustive()
+    }
+}
+
+/// Channel provider resolving `tcp://host:port/Object` URIs, with one
+/// cached connection per authority.
+#[derive(Default)]
+pub struct TcpChannelProvider {
+    cache: Mutex<std::collections::HashMap<String, Arc<TcpClientChannel>>>,
+}
+
+impl TcpChannelProvider {
+    /// Creates a provider with an empty connection cache.
+    pub fn new() -> TcpChannelProvider {
+        TcpChannelProvider::default()
+    }
+}
+
+impl ChannelProvider for TcpChannelProvider {
+    fn open(&self, uri: &ObjectUri) -> Result<Arc<dyn ClientChannel>, RemotingError> {
+        if uri.scheme() != Scheme::Tcp {
+            return Err(RemotingError::BadUri {
+                uri: uri.to_string(),
+                detail: "tcp provider only serves tcp:// uris".into(),
+            });
+        }
+        let mut cache = self.cache.lock();
+        if let Some(chan) = cache.get(uri.authority()) {
+            return Ok(Arc::clone(chan) as Arc<dyn ClientChannel>);
+        }
+        let chan = Arc::new(TcpClientChannel::connect(uri.authority())?);
+        cache.insert(uri.authority().to_string(), Arc::clone(&chan));
+        Ok(chan)
+    }
+}
+
+impl std::fmt::Debug for TcpChannelProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpChannelProvider")
+            .field("cached", &self.cache.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activator::Activator;
+    use crate::dispatcher::FnInvokable;
+    use parc_serial::Value;
+
+    fn start_echo_server() -> TcpServerChannel {
+        let server = TcpServerChannel::bind("127.0.0.1:0").unwrap();
+        server.objects().register_singleton(
+            "Echo",
+            Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+                "echo" => Ok(args.first().cloned().unwrap_or(Value::Null)),
+                "len" => Ok(Value::I32(
+                    args.first().and_then(Value::as_i32_array).map_or(-1, |a| a.len() as i32),
+                )),
+                _ => Err(RemotingError::MethodNotFound {
+                    object: "Echo".into(),
+                    method: method.into(),
+                }),
+            })),
+        );
+        server
+    }
+
+    #[test]
+    fn roundtrip_over_real_sockets() {
+        let server = start_echo_server();
+        let provider = TcpChannelProvider::new();
+        let proxy = Activator::get_object(&provider, &server.uri_for("Echo")).unwrap();
+        assert_eq!(
+            proxy.call("echo", vec![Value::Str("over tcp".into())]).unwrap(),
+            Value::Str("over tcp".into())
+        );
+    }
+
+    #[test]
+    fn large_payload_roundtrips() {
+        let server = start_echo_server();
+        let provider = TcpChannelProvider::new();
+        let proxy = Activator::get_object(&provider, &server.uri_for("Echo")).unwrap();
+        let big: Vec<i32> = (0..200_000).collect();
+        assert_eq!(
+            proxy.call("len", vec![Value::I32Array(big)]).unwrap(),
+            Value::I32(200_000)
+        );
+    }
+
+    #[test]
+    fn concurrent_clients_each_with_own_connection() {
+        let server = start_echo_server();
+        let uri = server.uri_for("Echo");
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let uri = uri.clone();
+                scope.spawn(move || {
+                    // Fresh provider per thread = fresh connection.
+                    let provider = TcpChannelProvider::new();
+                    let proxy = Activator::get_object(&provider, &uri).unwrap();
+                    for i in 0..20 {
+                        let v = proxy.call("echo", vec![Value::I32(t * 100 + i)]).unwrap();
+                        assert_eq!(v, Value::I32(t * 100 + i));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn provider_caches_connections_per_authority() {
+        let server = start_echo_server();
+        let provider = TcpChannelProvider::new();
+        let uri_a: ObjectUri = server.uri_for("Echo").parse().unwrap();
+        let a = provider.open(&uri_a).unwrap();
+        let b = provider.open(&uri_a).unwrap();
+        assert!(Arc::ptr_eq(
+            &(a as Arc<dyn ClientChannel>),
+            &(b as Arc<dyn ClientChannel>)
+        ));
+    }
+
+    #[test]
+    fn fault_propagates_over_tcp() {
+        let server = start_echo_server();
+        let provider = TcpChannelProvider::new();
+        let proxy = Activator::get_object(&provider, &server.uri_for("Echo")).unwrap();
+        assert!(matches!(
+            proxy.call("missing", vec![]),
+            Err(RemotingError::ServerFault { .. })
+        ));
+    }
+
+    #[test]
+    fn connecting_to_dead_port_fails() {
+        // Bind and immediately drop to obtain a (very likely) dead port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        assert!(TcpClientChannel::connect(&addr.to_string()).is_err());
+    }
+
+    #[test]
+    fn posts_are_fire_and_forget() {
+        let server = start_echo_server();
+        let provider = TcpChannelProvider::new();
+        let proxy = Activator::get_object(&provider, &server.uri_for("Echo")).unwrap();
+        // Posting to a missing method must not error locally nor poison the
+        // connection for the next call.
+        proxy.post("missing", vec![]).unwrap();
+        assert_eq!(proxy.call("echo", vec![Value::I32(1)]).unwrap(), Value::I32(1));
+    }
+
+    #[test]
+    fn frame_codec_roundtrips() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

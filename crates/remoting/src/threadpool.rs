@@ -1,0 +1,194 @@
+//! A real bounded thread pool — the execution engine behind delegates and
+//! server-side dispatch.
+//!
+//! Mono's runtime serves both remoting dispatch and `BeginInvoke` delegates
+//! from a bounded managed pool; the paper blames exactly that bound for the
+//! Fig. 9 starvation. This is the *real* (wall-clock) counterpart of
+//! the `ThreadPoolModel` in `parc-sim`: a fixed set of worker threads
+//! draining a shared queue, with graceful shutdown on drop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+type Task = Box<dyn FnOnce() + Send>;
+
+#[derive(Default)]
+struct Counters {
+    queued: AtomicUsize,
+    executed: AtomicUsize,
+}
+
+/// Fixed-size worker pool.
+pub struct ThreadPool {
+    // `None` only during shutdown; dropping the sole sender disconnects the
+    // queue and lets the workers exit.
+    tx: Option<Sender<Task>>,
+    counters: Arc<Counters>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> ThreadPool {
+        assert!(threads > 0, "thread pool needs at least one worker");
+        let (tx, rx) = unbounded::<Task>();
+        let counters = Arc::new(Counters::default());
+        let workers = (0..threads)
+            .map(|i| {
+                let rx: Receiver<Task> = rx.clone();
+                let counters = Arc::clone(&counters);
+                std::thread::Builder::new()
+                    .name(format!("parc-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            counters.queued.fetch_sub(1, Ordering::SeqCst);
+                            task();
+                            counters.executed.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        ThreadPool { tx: Some(tx), counters, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Tasks accepted but not yet started.
+    pub fn queued(&self) -> usize {
+        self.counters.queued.load(Ordering::SeqCst)
+    }
+
+    /// Tasks fully executed.
+    pub fn executed(&self) -> usize {
+        self.counters.executed.load(Ordering::SeqCst)
+    }
+
+    /// Submits a task for execution.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        self.counters.queued.fetch_add(1, Ordering::SeqCst);
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Box::new(task))
+            .expect("workers alive");
+    }
+
+    /// Waits for all queued tasks to finish and joins the workers.
+    pub fn shutdown(mut self) {
+        self.join_workers();
+    }
+
+    fn join_workers(&mut self) {
+        // Dropping the only sender closes the queue once drained.
+        self.tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.join_workers();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.workers.len())
+            .field("queued", &self.queued())
+            .field("executed", &self.executed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    #[test]
+    fn tasks_all_execute() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_waits_for_queued_tasks() {
+        let counter = Arc::new(AtomicU32::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.submit(move || {
+                    std::thread::sleep(Duration::from_millis(1));
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn tasks_run_concurrently() {
+        let pool = ThreadPool::new(4);
+        let gate = Arc::new(std::sync::Barrier::new(4));
+        let hit = Arc::new(AtomicU32::new(0));
+        for _ in 0..4 {
+            let gate = Arc::clone(&gate);
+            let hit = Arc::clone(&hit);
+            pool.submit(move || {
+                // Deadlocks unless all four tasks run in parallel.
+                gate.wait();
+                hit.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(hit.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn executed_counter_tracks() {
+        let pool = ThreadPool::new(1);
+        for _ in 0..5 {
+            pool.submit(|| {});
+        }
+        // Wait for the queue to drain, then check the counter.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.executed() < 5 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.queued(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = ThreadPool::new(0);
+    }
+}

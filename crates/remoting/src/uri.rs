@@ -1,0 +1,172 @@
+//! Object URIs — `tcp://host:port/Name`, `http://host:port/Name`,
+//! `inproc://node/Name`.
+//!
+//! The paper's clients obtain proxies with
+//! `Activator.GetObject(typeof(T), "tcp://localhost:1050/DivideServer")`;
+//! [`ObjectUri`] is the parsed form of that string.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::RemotingError;
+
+/// Transport scheme of an object URI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Binary formatter over framed TCP (Mono `TcpChannel`).
+    Tcp,
+    /// SOAP formatter over HTTP-style framing (Mono `HttpChannel`).
+    Http,
+    /// In-process channel (threads + queues), for single-machine runtimes
+    /// and tests.
+    Inproc,
+}
+
+impl Scheme {
+    /// The scheme's URI prefix.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Tcp => "tcp",
+            Scheme::Http => "http",
+            Scheme::Inproc => "inproc",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A parsed remote-object address.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectUri {
+    scheme: Scheme,
+    authority: String,
+    object: String,
+}
+
+impl ObjectUri {
+    /// Builds a URI from parts.
+    ///
+    /// # Errors
+    ///
+    /// [`RemotingError::BadUri`] if `authority` or `object` is empty or
+    /// `object` contains `/`.
+    pub fn new(
+        scheme: Scheme,
+        authority: impl Into<String>,
+        object: impl Into<String>,
+    ) -> Result<ObjectUri, RemotingError> {
+        let authority = authority.into();
+        let object = object.into();
+        if authority.is_empty() {
+            return Err(RemotingError::BadUri {
+                uri: format!("{scheme}://{authority}/{object}"),
+                detail: "empty authority".into(),
+            });
+        }
+        if object.is_empty() || object.contains('/') {
+            return Err(RemotingError::BadUri {
+                uri: format!("{scheme}://{authority}/{object}"),
+                detail: "object name must be a single non-empty path segment".into(),
+            });
+        }
+        Ok(ObjectUri { scheme, authority, object })
+    }
+
+    /// The transport scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Host:port (tcp/http) or node name (inproc).
+    pub fn authority(&self) -> &str {
+        &self.authority
+    }
+
+    /// The published object name.
+    pub fn object(&self) -> &str {
+        &self.object
+    }
+}
+
+impl FromStr for ObjectUri {
+    type Err = RemotingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = |detail: &str| RemotingError::BadUri { uri: s.to_string(), detail: detail.into() };
+        let (scheme_str, rest) = s.split_once("://").ok_or_else(|| bad("missing ://"))?;
+        let scheme = match scheme_str {
+            "tcp" => Scheme::Tcp,
+            "http" => Scheme::Http,
+            "inproc" => Scheme::Inproc,
+            _ => return Err(bad("unknown scheme")),
+        };
+        let (authority, object) = rest.split_once('/').ok_or_else(|| bad("missing object path"))?;
+        ObjectUri::new(scheme, authority, object)
+    }
+}
+
+impl fmt::Display for ObjectUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}/{}", self.scheme, self.authority, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        let uri: ObjectUri = "tcp://localhost:1050/DivideServer".parse().unwrap();
+        assert_eq!(uri.scheme(), Scheme::Tcp);
+        assert_eq!(uri.authority(), "localhost:1050");
+        assert_eq!(uri.object(), "DivideServer");
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in [
+            "tcp://localhost:1050/DivideServer",
+            "http://10.0.0.1:8080/factory.soap",
+            "inproc://node3/PrimeServer",
+        ] {
+            let uri: ObjectUri = s.parse().unwrap();
+            assert_eq!(uri.to_string(), s);
+            assert_eq!(uri.to_string().parse::<ObjectUri>().unwrap(), uri);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in [
+            "",
+            "tcp://",
+            "tcp://host",          // no object
+            "tcp:///obj",          // empty authority
+            "tcp://host/",         // empty object
+            "ftp://host/obj",      // unknown scheme
+            "tcp//host/obj",       // missing colon
+        ] {
+            assert!(s.parse::<ObjectUri>().is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn nested_path_rejected() {
+        assert!(ObjectUri::new(Scheme::Tcp, "h:1", "a/b").is_err());
+        // ...but a parse of "tcp://h/a/b" splits at the first slash, making
+        // object "a/b", which is invalid too.
+        assert!("tcp://h/a/b".parse::<ObjectUri>().is_err());
+    }
+
+    #[test]
+    fn soap_suffix_names_are_fine() {
+        // The paper registers factories as "factory.soap".
+        let uri = ObjectUri::new(Scheme::Http, "host:80", "factory.soap").unwrap();
+        assert_eq!(uri.object(), "factory.soap");
+    }
+}

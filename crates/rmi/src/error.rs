@@ -1,0 +1,102 @@
+//! `RemoteException` — the checked exception RMI forces on every call.
+
+use std::error::Error;
+use std::fmt;
+
+use parc_serial::SerialError;
+
+/// The RMI failure type. Every remote method in the Java model declares it,
+/// and the paper counts that ceremony against RMI; here it is simply the
+/// error arm of each call's `Result`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemoteException {
+    /// Nothing bound under the requested name.
+    NotBound {
+        /// The looked-up name.
+        name: String,
+    },
+    /// The object reference is stale (unexported or registry gone).
+    NoSuchObject {
+        /// The dead reference id.
+        obj_id: u64,
+    },
+    /// The target method does not exist on the remote object.
+    NoSuchMethod {
+        /// Requested method name.
+        method: String,
+    },
+    /// Marshalling failed.
+    Marshal(SerialError),
+    /// Argument shapes did not match the remote signature.
+    Unmarshal {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The remote method threw.
+    ServerError {
+        /// Server-side failure description.
+        detail: String,
+    },
+    /// URL parse failure in `Naming`.
+    MalformedUrl {
+        /// The offending URL.
+        url: String,
+    },
+}
+
+impl fmt::Display for RemoteException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteException::NotBound { name } => write!(f, "name {name:?} not bound"),
+            RemoteException::NoSuchObject { obj_id } => {
+                write!(f, "no exported object with id {obj_id}")
+            }
+            RemoteException::NoSuchMethod { method } => {
+                write!(f, "remote object has no method {method:?}")
+            }
+            RemoteException::Marshal(e) => write!(f, "marshal failure: {e}"),
+            RemoteException::Unmarshal { detail } => write!(f, "unmarshal failure: {detail}"),
+            RemoteException::ServerError { detail } => write!(f, "remote server error: {detail}"),
+            RemoteException::MalformedUrl { url } => write!(f, "malformed rmi url {url:?}"),
+        }
+    }
+}
+
+impl Error for RemoteException {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RemoteException::Marshal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SerialError> for RemoteException {
+    fn from(e: SerialError) -> Self {
+        RemoteException::Marshal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<RemoteException>();
+    }
+
+    #[test]
+    fn marshal_source_is_exposed() {
+        let e = RemoteException::from(SerialError::BadMagic { expected: "java" });
+        assert!(e.source().is_some());
+        assert!(RemoteException::NotBound { name: "x".into() }.source().is_none());
+    }
+
+    #[test]
+    fn displays_mention_key_detail() {
+        assert!(RemoteException::NotBound { name: "Div".into() }.to_string().contains("Div"));
+        assert!(RemoteException::NoSuchObject { obj_id: 7 }.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,38 @@
+//! # parc-rmi — the Java RMI (and `java.nio`) baseline
+//!
+//! The paper benchmarks Mono remoting against Java RMI (SDK 1.4.2) and
+//! mentions the then-new `java.nio` package. This crate rebuilds both as
+//! *baselines*: functionally real (you can export objects, bind them in a
+//! registry, look them up and invoke them), with the RMI cost structure the
+//! paper measures — Java-serialization wire format (class descriptors,
+//! fixed-width big-endian primitives) and the heavier per-call path.
+//!
+//! The API deliberately mirrors the five-step Java RMI burden the paper
+//! walks through in §2 (Fig. 1):
+//!
+//! 1. servers implement a remote interface whose methods all return
+//!    `Result<_, RemoteException>` ([`RemoteInvokable`]);
+//! 2. each server object is explicitly exported
+//!    ([`UnicastRemoteObject::export`]);
+//! 3. ...and registered in a name server ([`Naming::rebind`]);
+//! 4. clients look up references by URL ([`Naming::lookup`]) and must
+//!    handle `RemoteException` on *every* call;
+//! 5. stubs are the generic [`RmiStub`] (the `rmic`-generated proxy
+//!    stand-in).
+//!
+//! The [`nio`] module is a small buffer-oriented message-passing layer —
+//! the "more low level, based on message passing" comparison point for the
+//! latency table.
+
+pub mod error;
+pub mod naming;
+pub mod nio;
+pub mod registry;
+pub mod stub;
+pub mod unicast;
+
+pub use error::RemoteException;
+pub use naming::Naming;
+pub use registry::Registry;
+pub use stub::RmiStub;
+pub use unicast::{RemoteInvokable, UnicastRemoteObject};

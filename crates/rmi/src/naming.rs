@@ -1,0 +1,175 @@
+//! `Naming` — URL-based bind/lookup, steps 3 and 4 of the RMI checklist.
+//!
+//! Fig. 1's server calls `Naming.rebind("rmi://host:1050/DivideServer", dsi)`
+//! and the client calls `Naming.lookup(...)`. The Java original is a static
+//! facade over a network of registries; here a [`Naming`] value holds the
+//! reachable registries keyed by authority.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::RemoteException;
+use crate::registry::Registry;
+use crate::stub::RmiStub;
+use crate::unicast::ObjRef;
+
+/// A parsed `rmi://host:port/Name` URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RmiUrl {
+    /// `host:port`.
+    pub authority: String,
+    /// Bound name.
+    pub name: String,
+}
+
+impl RmiUrl {
+    /// Parses an RMI URL.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteException::MalformedUrl`] on any structural problem.
+    pub fn parse(url: &str) -> Result<RmiUrl, RemoteException> {
+        let bad = || RemoteException::MalformedUrl { url: url.to_string() };
+        let rest = url.strip_prefix("rmi://").ok_or_else(bad)?;
+        let (authority, name) = rest.split_once('/').ok_or_else(bad)?;
+        if authority.is_empty() || name.is_empty() || name.contains('/') {
+            return Err(bad());
+        }
+        Ok(RmiUrl { authority: authority.to_string(), name: name.to_string() })
+    }
+}
+
+/// The `Naming` facade: a directory of registries.
+#[derive(Clone, Default)]
+pub struct Naming {
+    registries: Arc<RwLock<HashMap<String, Registry>>>,
+}
+
+impl Naming {
+    /// Creates an empty naming universe.
+    pub fn new() -> Naming {
+        Naming::default()
+    }
+
+    /// Makes `registry` reachable as `authority` (the analogue of starting
+    /// `rmiregistry` on that host/port).
+    pub fn register_registry(&self, authority: impl Into<String>, registry: Registry) {
+        self.registries.write().insert(authority.into(), registry);
+    }
+
+    fn registry_for(&self, authority: &str) -> Result<Registry, RemoteException> {
+        self.registries.read().get(authority).cloned().ok_or(RemoteException::ServerError {
+            detail: format!("no registry reachable at {authority:?}"),
+        })
+    }
+
+    /// Binds or replaces a name (`Naming.rebind`).
+    ///
+    /// # Errors
+    ///
+    /// Unreachable registry or malformed URL.
+    pub fn rebind(&self, url: &str, obj: ObjRef) -> Result<(), RemoteException> {
+        let url = RmiUrl::parse(url)?;
+        self.registry_for(&url.authority)?.rebind(&url.name, obj);
+        Ok(())
+    }
+
+    /// Looks a URL up and returns a stub (`Naming.lookup`).
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteException::NotBound`], unreachable registry, or malformed
+    /// URL.
+    pub fn lookup(&self, url: &str) -> Result<RmiStub, RemoteException> {
+        let url = RmiUrl::parse(url)?;
+        let registry = self.registry_for(&url.authority)?;
+        let obj = registry.lookup(&url.name)?;
+        Ok(RmiStub::new(obj, registry.exports().clone()))
+    }
+
+    /// Unbinds a URL (`Naming.unbind`).
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteException::NotBound`], unreachable registry, or malformed
+    /// URL.
+    pub fn unbind(&self, url: &str) -> Result<(), RemoteException> {
+        let url = RmiUrl::parse(url)?;
+        self.registry_for(&url.authority)?.unbind(&url.name)
+    }
+}
+
+impl std::fmt::Debug for Naming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut hosts: Vec<String> = self.registries.read().keys().cloned().collect();
+        hosts.sort();
+        f.debug_struct("Naming").field("registries", &hosts).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unicast::{FnRemote, UnicastRemoteObject};
+    use parc_serial::Value;
+
+    fn universe() -> (Naming, UnicastRemoteObject) {
+        let naming = Naming::new();
+        let exports = UnicastRemoteObject::new();
+        naming.register_registry("host:1050", Registry::new(exports.clone()));
+        (naming, exports)
+    }
+
+    #[test]
+    fn fig1_flow_bind_lookup_invoke() {
+        let (naming, exports) = universe();
+        let obj = exports.export(Arc::new(FnRemote(|_: &str, args: &[Value]| {
+            Ok(Value::F64(args[0].as_f64().unwrap() / args[1].as_f64().unwrap()))
+        })));
+        naming.rebind("rmi://host:1050/DivideServer", obj).unwrap();
+        let stub = naming.lookup("rmi://host:1050/DivideServer").unwrap();
+        let out: f64 = stub
+            .call_typed("divide", vec![Value::F64(10.0), Value::F64(2.0)])
+            .unwrap();
+        assert_eq!(out, 5.0);
+    }
+
+    #[test]
+    fn url_parse_rejects_garbage() {
+        for bad in [
+            "http://host/Name",
+            "rmi://",
+            "rmi://host",
+            "rmi://host/",
+            "rmi:///Name",
+            "rmi://host/a/b",
+        ] {
+            assert!(RmiUrl::parse(bad).is_err(), "{bad}");
+        }
+        let ok = RmiUrl::parse("rmi://h:1050/Div").unwrap();
+        assert_eq!(ok.authority, "h:1050");
+        assert_eq!(ok.name, "Div");
+    }
+
+    #[test]
+    fn unknown_registry_is_server_error() {
+        let (naming, exports) = universe();
+        let obj = exports.export(Arc::new(FnRemote(|_: &str, _: &[Value]| Ok(Value::Null))));
+        assert!(naming.rebind("rmi://other:99/X", obj).is_err());
+        assert!(naming.lookup("rmi://other:99/X").is_err());
+    }
+
+    #[test]
+    fn unbind_then_lookup_fails() {
+        let (naming, exports) = universe();
+        let obj = exports.export(Arc::new(FnRemote(|_: &str, _: &[Value]| Ok(Value::Null))));
+        naming.rebind("rmi://host:1050/X", obj).unwrap();
+        naming.unbind("rmi://host:1050/X").unwrap();
+        assert!(matches!(
+            naming.lookup("rmi://host:1050/X"),
+            Err(RemoteException::NotBound { .. })
+        ));
+    }
+}

@@ -1,0 +1,299 @@
+//! A `java.nio`-style buffer-oriented message-passing layer.
+//!
+//! §4: *"This latency is very close to the performance of the Java nio
+//! package ... However, this Java package is more low level, based on
+//! message passing."* This module supplies that comparison point: explicit
+//! [`ByteBuffer`]s with `put`/`flip`/`get` discipline, moved whole over
+//! [`NioPipe`]s — no proxies, no serialization of object graphs, just
+//! bytes the application packed itself.
+
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::error::RemoteException;
+
+/// A `java.nio.ByteBuffer`-style buffer: write (`put_*`), [`ByteBuffer::flip`],
+/// then read (`get_*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteBuffer {
+    data: Vec<u8>,
+    position: usize,
+    limit: usize,
+    flipped: bool,
+}
+
+impl Default for ByteBuffer {
+    fn default() -> Self {
+        Self::allocate(0)
+    }
+}
+
+impl ByteBuffer {
+    /// Creates a write-mode buffer with `capacity` reserved bytes.
+    pub fn allocate(capacity: usize) -> ByteBuffer {
+        ByteBuffer { data: Vec::with_capacity(capacity), position: 0, limit: 0, flipped: false }
+    }
+
+    /// Wraps received bytes as a read-mode buffer.
+    pub fn wrap(data: Vec<u8>) -> ByteBuffer {
+        let limit = data.len();
+        ByteBuffer { data, position: 0, limit, flipped: true }
+    }
+
+    /// Bytes readable (read mode) or written (write mode).
+    pub fn remaining(&self) -> usize {
+        if self.flipped {
+            self.limit - self.position
+        } else {
+            self.data.len()
+        }
+    }
+
+    /// Appends an `i32` (big-endian, as Java does).
+    ///
+    /// # Panics
+    ///
+    /// Panics in read mode.
+    pub fn put_i32(&mut self, v: i32) {
+        assert!(!self.flipped, "buffer is in read mode");
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in read mode.
+    pub fn put_f64(&mut self, v: f64) {
+        assert!(!self.flipped, "buffer is in read mode");
+        self.data.extend_from_slice(&v.to_bits().to_be_bytes());
+    }
+
+    /// Appends raw bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics in read mode.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        assert!(!self.flipped, "buffer is in read mode");
+        self.data.extend_from_slice(v);
+    }
+
+    /// Switches from write mode to read mode.
+    pub fn flip(&mut self) {
+        self.limit = self.data.len();
+        self.position = 0;
+        self.flipped = true;
+    }
+
+    /// Clears back to write mode.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.position = 0;
+        self.limit = 0;
+        self.flipped = false;
+    }
+
+    /// Reads an `i32`.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteException::Unmarshal`] in write mode or on underflow.
+    pub fn get_i32(&mut self) -> Result<i32, RemoteException> {
+        let raw = self.take(4)?;
+        Ok(i32::from_be_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    /// Reads an `f64`.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteException::Unmarshal`] in write mode or on underflow.
+    pub fn get_f64(&mut self) -> Result<f64, RemoteException> {
+        let raw = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&raw);
+        Ok(f64::from_bits(u64::from_be_bytes(b)))
+    }
+
+    fn take(&mut self, n: usize) -> Result<Vec<u8>, RemoteException> {
+        if !self.flipped {
+            return Err(RemoteException::Unmarshal { detail: "buffer not flipped".into() });
+        }
+        if self.remaining() < n {
+            return Err(RemoteException::Unmarshal { detail: "buffer underflow".into() });
+        }
+        let out = self.data[self.position..self.position + n].to_vec();
+        self.position += n;
+        Ok(out)
+    }
+
+    /// Consumes the buffer, returning the written bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+/// One endpoint of a bidirectional in-process byte pipe.
+pub struct NioEndpoint {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl NioEndpoint {
+    /// Sends a flipped buffer's contents to the peer.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteException::ServerError`] if the peer is gone.
+    pub fn write(&self, buf: ByteBuffer) -> Result<(), RemoteException> {
+        self.tx
+            .send(buf.into_bytes())
+            .map_err(|_| RemoteException::ServerError { detail: "peer closed".into() })
+    }
+
+    /// Blocks for the next message, returning it as a read-mode buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteException::ServerError`] on timeout or closed peer.
+    pub fn read(&self, timeout: Duration) -> Result<ByteBuffer, RemoteException> {
+        self.rx
+            .recv_timeout(timeout)
+            .map(ByteBuffer::wrap)
+            .map_err(|_| RemoteException::ServerError { detail: "read timed out".into() })
+    }
+
+    /// Non-blocking readiness probe (selector-lite).
+    pub fn ready(&self) -> bool {
+        !self.rx.is_empty()
+    }
+}
+
+impl std::fmt::Debug for NioEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NioEndpoint").field("ready", &self.ready()).finish()
+    }
+}
+
+/// A pair of connected [`NioEndpoint`]s.
+#[derive(Debug)]
+pub struct NioPipe;
+
+impl NioPipe {
+    /// Creates both ends of a fresh pipe.
+    pub fn pair() -> (NioEndpoint, NioEndpoint) {
+        let (a_tx, a_rx) = unbounded();
+        let (b_tx, b_rx) = unbounded();
+        (NioEndpoint { tx: a_tx, rx: b_rx }, NioEndpoint { tx: b_tx, rx: a_rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn put_flip_get_discipline() {
+        let mut buf = ByteBuffer::allocate(16);
+        buf.put_i32(7);
+        buf.put_f64(2.5);
+        buf.flip();
+        assert_eq!(buf.get_i32().unwrap(), 7);
+        assert_eq!(buf.get_f64().unwrap(), 2.5);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn reading_unflipped_buffer_errors() {
+        let mut buf = ByteBuffer::allocate(4);
+        buf.put_i32(1);
+        assert!(buf.get_i32().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "read mode")]
+    fn writing_flipped_buffer_panics() {
+        let mut buf = ByteBuffer::allocate(4);
+        buf.flip();
+        buf.put_i32(1);
+    }
+
+    #[test]
+    fn underflow_is_error() {
+        let mut buf = ByteBuffer::wrap(vec![0, 0]);
+        assert!(buf.get_i32().is_err());
+    }
+
+    #[test]
+    fn clear_returns_to_write_mode() {
+        let mut buf = ByteBuffer::allocate(4);
+        buf.put_i32(1);
+        buf.flip();
+        buf.clear();
+        buf.put_i32(2);
+        buf.flip();
+        assert_eq!(buf.get_i32().unwrap(), 2);
+    }
+
+    #[test]
+    fn pipe_ping_pong() {
+        let (a, b) = NioPipe::pair();
+        let mut ping = ByteBuffer::allocate(4);
+        ping.put_i32(99);
+        ping.flip();
+        a.write(ping).unwrap();
+        let mut received = b.read(T).unwrap();
+        assert_eq!(received.get_i32().unwrap(), 99);
+        let mut pong = ByteBuffer::allocate(4);
+        pong.put_i32(100);
+        pong.flip();
+        b.write(pong).unwrap();
+        assert_eq!(a.read(T).unwrap().get_i32().unwrap(), 100);
+    }
+
+    #[test]
+    fn readiness_probe() {
+        let (a, b) = NioPipe::pair();
+        assert!(!b.ready());
+        let mut buf = ByteBuffer::allocate(1);
+        buf.put_bytes(&[1]);
+        buf.flip();
+        a.write(buf).unwrap();
+        // Delivery through an unbounded channel is immediate.
+        assert!(b.ready());
+    }
+
+    #[test]
+    fn closed_peer_errors() {
+        let (a, b) = NioPipe::pair();
+        drop(b);
+        let mut buf = ByteBuffer::allocate(1);
+        buf.put_bytes(&[1]);
+        buf.flip();
+        assert!(a.write(buf).is_err());
+        assert!(a.read(Duration::from_millis(1)).is_err());
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let (a, b) = NioPipe::pair();
+        let handle = std::thread::spawn(move || {
+            let mut msg = b.read(T).unwrap();
+            let v = msg.get_i32().unwrap();
+            let mut reply = ByteBuffer::allocate(4);
+            reply.put_i32(v * 2);
+            reply.flip();
+            b.write(reply).unwrap();
+        });
+        let mut out = ByteBuffer::allocate(4);
+        out.put_i32(21);
+        out.flip();
+        a.write(out).unwrap();
+        assert_eq!(a.read(T).unwrap().get_i32().unwrap(), 42);
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,136 @@
+//! The RMI registry — the name server of step 3.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::RemoteException;
+use crate::unicast::{ObjRef, UnicastRemoteObject};
+
+/// A name → exported-object-reference registry (one `rmiregistry`
+/// process's worth of state, plus a handle to the export table so lookups
+/// can produce live stubs).
+#[derive(Clone)]
+pub struct Registry {
+    bindings: Arc<RwLock<HashMap<String, ObjRef>>>,
+    exports: UnicastRemoteObject,
+}
+
+impl Registry {
+    /// Creates a registry serving `exports`.
+    pub fn new(exports: UnicastRemoteObject) -> Registry {
+        Registry { bindings: Arc::new(RwLock::new(HashMap::new())), exports }
+    }
+
+    /// The export table the registry resolves against.
+    pub fn exports(&self) -> &UnicastRemoteObject {
+        &self.exports
+    }
+
+    /// Binds a name, failing if it is taken (`Registry.bind`).
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteException::ServerError`] if the name is already bound.
+    pub fn bind(&self, name: &str, obj: ObjRef) -> Result<(), RemoteException> {
+        let mut bindings = self.bindings.write();
+        if bindings.contains_key(name) {
+            return Err(RemoteException::ServerError {
+                detail: format!("name {name:?} already bound"),
+            });
+        }
+        bindings.insert(name.to_string(), obj);
+        Ok(())
+    }
+
+    /// Binds a name, replacing any previous binding (`Registry.rebind`).
+    pub fn rebind(&self, name: &str, obj: ObjRef) {
+        self.bindings.write().insert(name.to_string(), obj);
+    }
+
+    /// Removes a binding.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteException::NotBound`] if the name is absent.
+    pub fn unbind(&self, name: &str) -> Result<(), RemoteException> {
+        self.bindings
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or(RemoteException::NotBound { name: name.to_string() })
+    }
+
+    /// Looks a name up.
+    ///
+    /// # Errors
+    ///
+    /// [`RemoteException::NotBound`] if the name is absent.
+    pub fn lookup(&self, name: &str) -> Result<ObjRef, RemoteException> {
+        self.bindings
+            .read()
+            .get(name)
+            .copied()
+            .ok_or(RemoteException::NotBound { name: name.to_string() })
+    }
+
+    /// All bound names, sorted (`Registry.list`).
+    pub fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.bindings.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("bindings", &self.list()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unicast::FnRemote;
+    use parc_serial::Value;
+
+    fn registry_with_one() -> (Registry, ObjRef) {
+        let exports = UnicastRemoteObject::new();
+        let obj = exports.export(Arc::new(FnRemote(|_: &str, _: &[Value]| Ok(Value::Null))));
+        (Registry::new(exports), obj)
+    }
+
+    #[test]
+    fn bind_then_lookup() {
+        let (reg, obj) = registry_with_one();
+        reg.bind("DivideServer", obj).unwrap();
+        assert_eq!(reg.lookup("DivideServer").unwrap(), obj);
+    }
+
+    #[test]
+    fn bind_refuses_duplicates_rebind_replaces() {
+        let (reg, obj) = registry_with_one();
+        reg.bind("A", obj).unwrap();
+        assert!(reg.bind("A", obj).is_err());
+        reg.rebind("A", obj); // fine
+    }
+
+    #[test]
+    fn unbind_and_missing_lookups() {
+        let (reg, obj) = registry_with_one();
+        reg.rebind("A", obj);
+        reg.unbind("A").unwrap();
+        assert!(matches!(reg.unbind("A"), Err(RemoteException::NotBound { .. })));
+        assert!(matches!(reg.lookup("A"), Err(RemoteException::NotBound { .. })));
+    }
+
+    #[test]
+    fn list_is_sorted() {
+        let (reg, obj) = registry_with_one();
+        for n in ["zz", "aa", "mm"] {
+            reg.rebind(n, obj);
+        }
+        assert_eq!(reg.list(), vec!["aa", "mm", "zz"]);
+    }
+}

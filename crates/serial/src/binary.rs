@@ -1,0 +1,368 @@
+//! Compact binary format — the analogue of .NET remoting's
+//! `BinaryFormatter` as used by Mono's `TcpChannel`.
+//!
+//! Layout: a 2-byte magic (`0xB1 0x4F`) and a version byte, followed by one
+//! recursively encoded value. Each value is a tag byte
+//! ([`crate::value::ValueKind`]) followed by its payload; lengths and
+//! integers are varints, floats are 8-byte little-endian.
+
+use crate::value::{StructValue, Value, ValueKind};
+use crate::varint;
+use crate::{Formatter, SerialError};
+
+const MAGIC: [u8; 2] = [0xb1, 0x4f];
+const VERSION: u8 = 1;
+
+/// The compact binary wire format (Mono TCP channel analogue).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinaryFormatter;
+
+impl BinaryFormatter {
+    /// Creates a binary formatter.
+    pub fn new() -> Self {
+        BinaryFormatter
+    }
+
+    fn write_value(out: &mut Vec<u8>, value: &Value) {
+        out.push(value.kind() as u8);
+        match value {
+            Value::Null => {}
+            Value::Bool(b) => out.push(u8::from(*b)),
+            Value::I32(v) => varint::write_i64(out, i64::from(*v)),
+            Value::I64(v) => varint::write_i64(out, *v),
+            Value::F64(v) => out.extend_from_slice(&v.to_le_bits_bytes()),
+            Value::Str(s) => {
+                varint::write_u64(out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bytes(b) => {
+                varint::write_u64(out, b.len() as u64);
+                out.extend_from_slice(b);
+            }
+            Value::I32Array(a) => {
+                varint::write_u64(out, a.len() as u64);
+                for v in a {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Value::F64Array(a) => {
+                varint::write_u64(out, a.len() as u64);
+                for v in a {
+                    out.extend_from_slice(&v.to_le_bits_bytes());
+                }
+            }
+            Value::List(items) => {
+                varint::write_u64(out, items.len() as u64);
+                for item in items {
+                    Self::write_value(out, item);
+                }
+            }
+            Value::Struct(s) => {
+                varint::write_u64(out, s.name().len() as u64);
+                out.extend_from_slice(s.name().as_bytes());
+                varint::write_u64(out, s.fields().len() as u64);
+                for (name, v) in s.fields() {
+                    varint::write_u64(out, name.len() as u64);
+                    out.extend_from_slice(name.as_bytes());
+                    Self::write_value(out, v);
+                }
+            }
+            Value::Ref(id) => varint::write_u64(out, u64::from(*id)),
+        }
+    }
+
+    fn read_value(input: &[u8], pos: &mut usize, depth: usize) -> Result<Value, SerialError> {
+        if depth > MAX_DEPTH {
+            return Err(SerialError::Parse { detail: "value nesting too deep".into() });
+        }
+        let tag_offset = *pos;
+        let tag = *input.get(*pos).ok_or(SerialError::UnexpectedEof { offset: *pos })?;
+        *pos += 1;
+        let kind = ValueKind::from_tag(tag)
+            .ok_or(SerialError::BadTag { tag, offset: tag_offset })?;
+        Ok(match kind {
+            ValueKind::Null => Value::Null,
+            ValueKind::Bool => {
+                let b = *input.get(*pos).ok_or(SerialError::UnexpectedEof { offset: *pos })?;
+                *pos += 1;
+                Value::Bool(b != 0)
+            }
+            ValueKind::I32 => {
+                let v = varint::read_i64(input, pos)?;
+                Value::I32(v as i32)
+            }
+            ValueKind::I64 => Value::I64(varint::read_i64(input, pos)?),
+            ValueKind::F64 => Value::F64(read_f64(input, pos)?),
+            ValueKind::Str => Value::Str(read_string(input, pos)?),
+            ValueKind::Bytes => {
+                let len = read_len(input, pos)?;
+                let bytes = take(input, pos, len)?.to_vec();
+                Value::Bytes(bytes)
+            }
+            ValueKind::I32Array => {
+                let len = read_len_elems(input, pos, 4)?;
+                let mut a = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let raw = take(input, pos, 4)?;
+                    a.push(i32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]));
+                }
+                Value::I32Array(a)
+            }
+            ValueKind::F64Array => {
+                let len = read_len_elems(input, pos, 8)?;
+                let mut a = Vec::with_capacity(len);
+                for _ in 0..len {
+                    a.push(read_f64(input, pos)?);
+                }
+                Value::F64Array(a)
+            }
+            ValueKind::List => {
+                let len = read_len_elems(input, pos, 1)?;
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    items.push(Self::read_value(input, pos, depth + 1)?);
+                }
+                Value::List(items)
+            }
+            ValueKind::Struct => {
+                let name = read_string(input, pos)?;
+                let nfields = read_len_elems(input, pos, 2)?;
+                let mut s = StructValue::new(name);
+                for _ in 0..nfields {
+                    let fname = read_string(input, pos)?;
+                    let v = Self::read_value(input, pos, depth + 1)?;
+                    s.push_field(fname, v);
+                }
+                Value::Struct(s)
+            }
+            ValueKind::Ref => {
+                let id = varint::read_u64(input, pos)?;
+                if id > u64::from(u32::MAX) {
+                    return Err(SerialError::BadVarint { offset: tag_offset });
+                }
+                Value::Ref(id as u32)
+            }
+        })
+    }
+}
+
+const MAX_DEPTH: usize = 512;
+
+trait F64Ext {
+    fn to_le_bits_bytes(&self) -> [u8; 8];
+}
+
+impl F64Ext for f64 {
+    fn to_le_bits_bytes(&self) -> [u8; 8] {
+        self.to_bits().to_le_bytes()
+    }
+}
+
+fn take<'a>(input: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8], SerialError> {
+    let end = pos.checked_add(len).ok_or(SerialError::BadLength {
+        declared: len,
+        available: input.len().saturating_sub(*pos),
+    })?;
+    if end > input.len() {
+        return Err(SerialError::BadLength {
+            declared: len,
+            available: input.len() - *pos,
+        });
+    }
+    let slice = &input[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn read_len(input: &[u8], pos: &mut usize) -> Result<usize, SerialError> {
+    read_len_elems(input, pos, 1)
+}
+
+/// Reads a length prefix and sanity-checks it against the remaining input,
+/// assuming each element costs at least `min_elem_bytes` bytes. This bounds
+/// attacker/corruption-driven preallocation.
+fn read_len_elems(input: &[u8], pos: &mut usize, min_elem_bytes: usize) -> Result<usize, SerialError> {
+    let len = varint::read_u64(input, pos)?;
+    let available = input.len() - *pos;
+    let len = usize::try_from(len).map_err(|_| SerialError::BadLength {
+        declared: usize::MAX,
+        available,
+    })?;
+    // A list of N elements needs at least N*min bytes of remaining input
+    // (elements may be `Null` = 1 byte for lists, handled by min=1).
+    if len.saturating_mul(min_elem_bytes.max(1)) > available {
+        return Err(SerialError::BadLength { declared: len, available });
+    }
+    Ok(len)
+}
+
+fn read_f64(input: &[u8], pos: &mut usize) -> Result<f64, SerialError> {
+    let raw = take(input, pos, 8)?;
+    let mut b = [0u8; 8];
+    b.copy_from_slice(raw);
+    Ok(f64::from_bits(u64::from_le_bytes(b)))
+}
+
+fn read_string(input: &[u8], pos: &mut usize) -> Result<String, SerialError> {
+    let len = read_len(input, pos)?;
+    let offset = *pos;
+    let raw = take(input, pos, len)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| SerialError::BadUtf8 { offset })
+}
+
+impl Formatter for BinaryFormatter {
+    fn name(&self) -> &'static str {
+        "binary"
+    }
+
+    fn serialize(&self, value: &Value) -> Result<Vec<u8>, SerialError> {
+        let mut out = Vec::with_capacity(16 + value.payload_bytes());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        Self::write_value(&mut out, value);
+        Ok(out)
+    }
+
+    fn deserialize(&self, bytes: &[u8]) -> Result<Value, SerialError> {
+        if bytes.len() < 3 || bytes[0..2] != MAGIC || bytes[2] != VERSION {
+            return Err(SerialError::BadMagic { expected: "binary" });
+        }
+        let mut pos = 3;
+        let value = Self::read_value(bytes, &mut pos, 0)?;
+        if pos != bytes.len() {
+            return Err(SerialError::TrailingBytes { remaining: bytes.len() - pos });
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i32>().prop_map(Value::I32),
+            any::<i64>().prop_map(Value::I64),
+            any::<f64>().prop_map(Value::F64),
+            "[a-z]{0,12}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
+            proptest::collection::vec(any::<i32>(), 0..64).prop_map(Value::I32Array),
+            proptest::collection::vec(any::<f64>(), 0..32).prop_map(Value::F64Array),
+            (0..1000u32).prop_map(Value::Ref),
+        ];
+        leaf.prop_recursive(4, 64, 8, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
+                ("[A-Z][a-z]{0,6}", proptest::collection::vec(("[a-z]{1,6}", inner), 0..6))
+                    .prop_map(|(name, fields)| {
+                        let mut s = StructValue::new(name);
+                        for (n, v) in fields {
+                            s.push_field(n, v);
+                        }
+                        Value::Struct(s)
+                    }),
+            ]
+        })
+    }
+
+    /// Equality that treats NaN == NaN, for proptest float payloads.
+    fn eq_nan(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::F64(x), Value::F64(y)) => x == y || (x.is_nan() && y.is_nan()),
+            (Value::F64Array(x), Value::F64Array(y)) => {
+                x.len() == y.len()
+                    && x.iter().zip(y).all(|(p, q)| p == q || (p.is_nan() && q.is_nan()))
+            }
+            (Value::List(x), Value::List(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| eq_nan(p, q))
+            }
+            (Value::Struct(x), Value::Struct(y)) => {
+                x.name() == y.name()
+                    && x.fields().len() == y.fields().len()
+                    && x.fields()
+                        .iter()
+                        .zip(y.fields())
+                        .all(|((n1, v1), (n2, v2))| n1 == n2 && eq_nan(v1, v2))
+            }
+            _ => a == b,
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in arb_value()) {
+            let f = BinaryFormatter::new();
+            let bytes = f.serialize(&v).unwrap();
+            let back = f.deserialize(&bytes).unwrap();
+            prop_assert!(eq_nan(&back, &v), "{back:?} != {v:?}");
+        }
+
+        #[test]
+        fn prop_truncation_never_panics(v in arb_value(), cut in 0usize..64) {
+            let f = BinaryFormatter::new();
+            let mut bytes = f.serialize(&v).unwrap();
+            let keep = bytes.len().saturating_sub(cut.min(bytes.len()));
+            bytes.truncate(keep);
+            let _ = f.deserialize(&bytes); // must not panic
+        }
+
+        #[test]
+        fn prop_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = BinaryFormatter::new().deserialize(&bytes);
+        }
+    }
+
+    #[test]
+    fn header_is_three_bytes() {
+        let bytes = BinaryFormatter::new().serialize(&Value::Null).unwrap();
+        assert_eq!(bytes.len(), 4); // magic(2) + version + null tag
+        assert_eq!(&bytes[..2], &MAGIC);
+    }
+
+    #[test]
+    fn i32_array_is_four_bytes_per_element() {
+        let f = BinaryFormatter::new();
+        let small = f.serialize(&Value::I32Array(vec![7; 100])).unwrap().len();
+        let big = f.serialize(&Value::I32Array(vec![7; 1100])).unwrap().len();
+        assert_eq!(big - small, 4000 + 1 /* longer varint length */);
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let f = BinaryFormatter::new();
+        let mut bytes = f.serialize(&Value::I32(1)).unwrap();
+        bytes.push(0);
+        assert!(matches!(f.deserialize(&bytes), Err(SerialError::TrailingBytes { remaining: 1 })));
+    }
+
+    #[test]
+    fn huge_declared_length_is_rejected_without_allocation() {
+        let f = BinaryFormatter::new();
+        // tag=I32Array, varint length = u32::MAX, no payload
+        let mut bytes = vec![MAGIC[0], MAGIC[1], VERSION, ValueKind::I32Array as u8];
+        crate::varint::write_u64(&mut bytes, u64::from(u32::MAX));
+        assert!(matches!(f.deserialize(&bytes), Err(SerialError::BadLength { .. })));
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let f = BinaryFormatter::new();
+        assert!(matches!(f.deserialize(b"xx"), Err(SerialError::BadMagic { .. })));
+        assert!(matches!(f.deserialize(&[]), Err(SerialError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let mut v = Value::Null;
+        for _ in 0..(MAX_DEPTH + 4) {
+            v = Value::List(vec![v]);
+        }
+        let f = BinaryFormatter::new();
+        let bytes = f.serialize(&v).unwrap();
+        assert!(f.deserialize(&bytes).is_err());
+    }
+}

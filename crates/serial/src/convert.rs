@@ -1,0 +1,448 @@
+//! Conversions between ordinary Rust types and the wire [`Value`] model.
+//!
+//! In C#, remoting argument marshalling is reflective; in Rust the
+//! `remote_interface!` macro (in `parc-remoting`) relies on these traits to
+//! move typed arguments in and out of [`Value`]s. Implement [`ToValue`] and
+//! [`FromValue`] for your own passive-object types to send copies of them
+//! between parallel objects.
+
+use crate::value::{StructValue, Value};
+use crate::SerialError;
+
+/// Types that can be converted into a wire [`Value`].
+pub trait ToValue {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a wire [`Value`].
+pub trait FromValue: Sized {
+    /// Attempts the conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SerialError::Parse`] when the value has the wrong shape.
+    fn from_value(value: &Value) -> Result<Self, SerialError>;
+}
+
+fn wrong_shape(expected: &str, got: &Value) -> SerialError {
+    SerialError::Parse { detail: format!("expected {expected}, got {} value", got.kind()) }
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromValue for Value {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        Ok(value.clone())
+    }
+}
+
+impl ToValue for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl FromValue for () {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        if value.is_null() {
+            Ok(())
+        } else {
+            Err(wrong_shape("null", value))
+        }
+    }
+}
+
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromValue for bool {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        value.as_bool().ok_or_else(|| wrong_shape("bool", value))
+    }
+}
+
+impl ToValue for i32 {
+    fn to_value(&self) -> Value {
+        Value::I32(*self)
+    }
+}
+
+impl FromValue for i32 {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        value.as_i32().ok_or_else(|| wrong_shape("i32", value))
+    }
+}
+
+impl ToValue for i64 {
+    fn to_value(&self) -> Value {
+        Value::I64(*self)
+    }
+}
+
+impl FromValue for i64 {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        value.as_i64().ok_or_else(|| wrong_shape("i64", value))
+    }
+}
+
+impl ToValue for u32 {
+    fn to_value(&self) -> Value {
+        Value::I64(i64::from(*self))
+    }
+}
+
+impl FromValue for u32 {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        let v = value.as_i64().ok_or_else(|| wrong_shape("u32", value))?;
+        u32::try_from(v).map_err(|_| wrong_shape("u32 in range", value))
+    }
+}
+
+impl ToValue for usize {
+    fn to_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+
+impl FromValue for usize {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        let v = value.as_i64().ok_or_else(|| wrong_shape("usize", value))?;
+        usize::try_from(v).map_err(|_| wrong_shape("usize in range", value))
+    }
+}
+
+impl ToValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl FromValue for f64 {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        value.as_f64().ok_or_else(|| wrong_shape("f64", value))
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl ToValue for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl FromValue for String {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        value.as_str().map(str::to_string).ok_or_else(|| wrong_shape("str", value))
+    }
+}
+
+impl ToValue for Vec<i32> {
+    fn to_value(&self) -> Value {
+        Value::I32Array(self.clone())
+    }
+}
+
+impl FromValue for Vec<i32> {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        value.as_i32_array().map(<[i32]>::to_vec).ok_or_else(|| wrong_shape("i32array", value))
+    }
+}
+
+impl ToValue for Vec<f64> {
+    fn to_value(&self) -> Value {
+        Value::F64Array(self.clone())
+    }
+}
+
+impl FromValue for Vec<f64> {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        value.as_f64_array().map(<[f64]>::to_vec).ok_or_else(|| wrong_shape("f64array", value))
+    }
+}
+
+impl ToValue for Vec<u8> {
+    fn to_value(&self) -> Value {
+        Value::Bytes(self.clone())
+    }
+}
+
+impl FromValue for Vec<u8> {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        match value {
+            Value::Bytes(b) => Ok(b.clone()),
+            _ => Err(wrong_shape("bytes", value)),
+        }
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(value).map(Some)
+        }
+    }
+}
+
+/// Converts a slice of convertible values into a `Value::List`.
+///
+/// `Vec<i32>`, `Vec<f64>` and `Vec<u8>` get dedicated packed encodings via
+/// their own [`ToValue`] impls; every other element type goes through this
+/// free function (coherence prevents a blanket `Vec<T>` impl alongside the
+/// packed ones).
+pub fn to_list<T: ToValue>(items: &[T]) -> Value {
+    Value::List(items.iter().map(ToValue::to_value).collect())
+}
+
+/// Reconstructs a vector from a `Value::List`.
+///
+/// # Errors
+///
+/// Returns [`SerialError::Parse`] when `value` is not a list or an element
+/// has the wrong shape.
+pub fn from_list<T: FromValue>(value: &Value) -> Result<Vec<T>, SerialError> {
+    let items = value.as_list().ok_or_else(|| wrong_shape("list", value))?;
+    items.iter().map(T::from_value).collect()
+}
+
+impl ToValue for Vec<String> {
+    fn to_value(&self) -> Value {
+        to_list(self)
+    }
+}
+
+impl FromValue for Vec<String> {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        from_list(value)
+    }
+}
+
+impl ToValue for Vec<Value> {
+    fn to_value(&self) -> Value {
+        Value::List(self.clone())
+    }
+}
+
+impl FromValue for Vec<Value> {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        value.as_list().map(<[Value]>::to_vec).ok_or_else(|| wrong_shape("list", value))
+    }
+}
+
+impl ToValue for Vec<Vec<i32>> {
+    fn to_value(&self) -> Value {
+        to_list(self)
+    }
+}
+
+impl FromValue for Vec<Vec<i32>> {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        from_list(value)
+    }
+}
+
+impl ToValue for Vec<Vec<f64>> {
+    fn to_value(&self) -> Value {
+        to_list(self)
+    }
+}
+
+impl FromValue for Vec<Vec<f64>> {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        from_list(value)
+    }
+}
+
+impl<A: ToValue, B: ToValue> ToValue for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::List(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: FromValue, B: FromValue> FromValue for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        let items = value.as_list().ok_or_else(|| wrong_shape("pair", value))?;
+        if items.len() != 2 {
+            return Err(wrong_shape("pair of 2", value));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: ToValue, B: ToValue, C: ToValue> ToValue for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::List(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: FromValue, B: FromValue, C: FromValue> FromValue for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        let items = value.as_list().ok_or_else(|| wrong_shape("triple", value))?;
+        if items.len() != 3 {
+            return Err(wrong_shape("triple of 3", value));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?, C::from_value(&items[2])?))
+    }
+}
+
+impl ToValue for StructValue {
+    fn to_value(&self) -> Value {
+        Value::Struct(self.clone())
+    }
+}
+
+impl FromValue for StructValue {
+    fn from_value(value: &Value) -> Result<Self, SerialError> {
+        value.as_struct().cloned().ok_or_else(|| wrong_shape("struct", value))
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I32(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Vec<i32>> for Value {
+    fn from(v: Vec<i32>) -> Self {
+        Value::I32Array(v)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::F64Array(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl From<StructValue> for Value {
+    fn from(v: StructValue) -> Self {
+        Value::Struct(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: ToValue + FromValue + PartialEq + std::fmt::Debug>(v: T) {
+        let wire = v.to_value();
+        assert_eq!(T::from_value(&wire).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(true);
+        roundtrip(-42i32);
+        roundtrip(1i64 << 40);
+        roundtrip(7u32);
+        roundtrip(123usize);
+        roundtrip(2.5f64);
+        roundtrip("hello".to_string());
+        roundtrip(());
+    }
+
+    #[test]
+    fn arrays_use_packed_encodings() {
+        assert_eq!(vec![1i32, 2].to_value().kind().name(), "i32array");
+        assert_eq!(vec![1.0f64].to_value().kind().name(), "f64array");
+        assert_eq!(vec![1u8].to_value().kind().name(), "bytes");
+        roundtrip(vec![1i32, 2, 3]);
+        roundtrip(vec![1.5f64]);
+        roundtrip(vec![0u8, 255]);
+    }
+
+    #[test]
+    fn generic_vec_uses_list() {
+        let v: Vec<String> = vec!["a".into(), "b".into()];
+        assert_eq!(v.to_value().kind().name(), "list");
+        roundtrip(v);
+        roundtrip(vec![vec![1i32, 2], vec![3]]);
+    }
+
+    #[test]
+    fn options_map_to_null() {
+        roundtrip(Some(3i32));
+        roundtrip(None::<i32>);
+        assert_eq!(None::<i32>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        roundtrip((1i32, "x".to_string()));
+        roundtrip((1i32, 2.0f64, true));
+    }
+
+    #[test]
+    fn wrong_shape_is_error() {
+        assert!(i32::from_value(&Value::Str("no".into())).is_err());
+        assert!(bool::from_value(&Value::I32(1)).is_err());
+        assert!(<(i32, i32)>::from_value(&Value::List(vec![Value::I32(1)])).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+        assert!(<()>::from_value(&Value::I32(0)).is_err());
+    }
+
+    #[test]
+    fn i64_accepts_widened_i32() {
+        assert_eq!(i64::from_value(&Value::I32(7)).unwrap(), 7);
+    }
+}

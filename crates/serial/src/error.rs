@@ -1,0 +1,126 @@
+//! Error type shared by all wire formats.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while encoding or decoding a [`crate::Value`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialError {
+    /// Input ended before a complete value was decoded.
+    UnexpectedEof {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// A type tag that no [`crate::value::ValueKind`] maps to.
+    BadTag {
+        /// The offending tag byte.
+        tag: u8,
+        /// Byte offset of the tag.
+        offset: usize,
+    },
+    /// The stream header did not match the expected format magic.
+    BadMagic {
+        /// Format that attempted the decode.
+        expected: &'static str,
+    },
+    /// A declared length exceeds the remaining input or a sanity bound.
+    BadLength {
+        /// The declared length.
+        declared: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A varint ran over its maximum width or overflowed.
+    BadVarint {
+        /// Byte offset of the varint start.
+        offset: usize,
+    },
+    /// Bytes that should be UTF-8 were not.
+    BadUtf8 {
+        /// Byte offset of the string payload.
+        offset: usize,
+    },
+    /// Text-format parse error (SOAP formatter).
+    Parse {
+        /// What went wrong.
+        detail: String,
+    },
+    /// A graph back-reference pointed outside the node table.
+    DanglingRef {
+        /// The offending reference id.
+        id: u32,
+        /// Number of nodes actually present.
+        nodes: usize,
+    },
+    /// Decoding finished but trailing bytes remain.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::UnexpectedEof { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            SerialError::BadTag { tag, offset } => {
+                write!(f, "unknown type tag {tag:#04x} at byte {offset}")
+            }
+            SerialError::BadMagic { expected } => {
+                write!(f, "stream header does not match {expected} format magic")
+            }
+            SerialError::BadLength { declared, available } => {
+                write!(f, "declared length {declared} exceeds available {available} bytes")
+            }
+            SerialError::BadVarint { offset } => {
+                write!(f, "malformed varint at byte {offset}")
+            }
+            SerialError::BadUtf8 { offset } => {
+                write!(f, "invalid utf-8 string payload at byte {offset}")
+            }
+            SerialError::Parse { detail } => write!(f, "text parse error: {detail}"),
+            SerialError::DanglingRef { id, nodes } => {
+                write!(f, "graph reference {id} outside node table of {nodes} entries")
+            }
+            SerialError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+        }
+    }
+}
+
+impl Error for SerialError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs = [
+            SerialError::UnexpectedEof { offset: 3 },
+            SerialError::BadTag { tag: 0xff, offset: 0 },
+            SerialError::BadMagic { expected: "binary" },
+            SerialError::BadLength { declared: 10, available: 2 },
+            SerialError::BadVarint { offset: 1 },
+            SerialError::BadUtf8 { offset: 2 },
+            SerialError::Parse { detail: "x".into() },
+            SerialError::DanglingRef { id: 7, nodes: 2 },
+            SerialError::TrailingBytes { remaining: 4 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.chars().next().unwrap().is_uppercase(), "{msg}");
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SerialError>();
+    }
+}

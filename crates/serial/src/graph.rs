@@ -1,0 +1,338 @@
+//! Object-graph encoding with shared references and cycles.
+//!
+//! Section 3.1 of the paper notes that *references to parallel objects may
+//! be copied or sent as a method argument, which may lead to cycles in a
+//! dependence graph*. Both .NET and Java serialization preserve object
+//! identity by writing each object once and back-references afterwards.
+//! [`Value`] is a tree, so this module supplies the graph layer:
+//!
+//! * [`GraphBuilder`] interns values, detects sharing, and produces a
+//!   `Value::List` of numbered nodes whose internal edges are
+//!   [`Value::Ref`]s;
+//! * [`GraphReader`] resolves the node table back, validating that every
+//!   reference lands inside the table (cycles are reported, not followed
+//!   into infinite expansion).
+//!
+//! ```
+//! use parc_serial::{GraphBuilder, GraphReader, Value};
+//!
+//! # fn main() -> Result<(), parc_serial::SerialError> {
+//! let mut g = GraphBuilder::new();
+//! let shared = g.intern(Value::Str("shared".into()));
+//! let root = g.intern(Value::List(vec![Value::Ref(shared), Value::Ref(shared)]));
+//! let wire = g.finish(root);
+//!
+//! let reader = GraphReader::parse(&wire)?;
+//! assert_eq!(reader.resolve_shallow(reader.root())?.as_list().unwrap().len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::value::Value;
+use crate::SerialError;
+
+/// Incrementally builds a reference-preserving graph encoding.
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    nodes: Vec<Value>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        GraphBuilder { nodes: Vec::new() }
+    }
+
+    /// Adds a node and returns its id. The node may contain
+    /// [`Value::Ref`]s to previously interned nodes (or to nodes interned
+    /// later — forward references are legal, enabling cycles via
+    /// [`GraphBuilder::reserve`]).
+    pub fn intern(&mut self, node: Value) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        id
+    }
+
+    /// Reserves an id for a node whose content is not yet known (needed to
+    /// encode cycles). Fill it later with [`GraphBuilder::fill`].
+    pub fn reserve(&mut self) -> u32 {
+        self.intern(Value::Null)
+    }
+
+    /// Replaces the content of a reserved node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never returned by this builder.
+    pub fn fill(&mut self, id: u32, node: Value) {
+        self.nodes[id as usize] = node;
+    }
+
+    /// Number of interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finalizes the graph into a single wire value:
+    /// `List[ I32(root), node0, node1, ... ]`.
+    pub fn finish(self, root: u32) -> Value {
+        let mut items = Vec::with_capacity(self.nodes.len() + 1);
+        items.push(Value::I32(root as i32));
+        items.extend(self.nodes);
+        Value::List(items)
+    }
+}
+
+/// Reads a graph produced by [`GraphBuilder::finish`].
+#[derive(Debug, Clone)]
+pub struct GraphReader {
+    root: u32,
+    nodes: Vec<Value>,
+}
+
+impl GraphReader {
+    /// Parses and validates a wire graph.
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError::Parse`] if the outer shape is wrong;
+    /// [`SerialError::DanglingRef`] if any reference (including the root)
+    /// points outside the node table.
+    pub fn parse(wire: &Value) -> Result<Self, SerialError> {
+        let items = wire.as_list().ok_or(SerialError::Parse {
+            detail: "graph wire value must be a list".into(),
+        })?;
+        let (root_v, nodes) = items.split_first().ok_or(SerialError::Parse {
+            detail: "graph wire value must start with the root id".into(),
+        })?;
+        let root = root_v
+            .as_i32()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or(SerialError::Parse { detail: "graph root id must be a non-negative i32".into() })?;
+        let reader = GraphReader { root, nodes: nodes.to_vec() };
+        reader.check_ref(root)?;
+        for node in &reader.nodes {
+            reader.check_refs_in(node)?;
+        }
+        Ok(reader)
+    }
+
+    fn check_ref(&self, id: u32) -> Result<(), SerialError> {
+        if (id as usize) < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(SerialError::DanglingRef { id, nodes: self.nodes.len() })
+        }
+    }
+
+    fn check_refs_in(&self, node: &Value) -> Result<(), SerialError> {
+        match node {
+            Value::Ref(id) => self.check_ref(*id),
+            Value::List(items) => items.iter().try_for_each(|v| self.check_refs_in(v)),
+            Value::Struct(s) => s.fields().iter().try_for_each(|(_, v)| self.check_refs_in(v)),
+            _ => Ok(()),
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> u32 {
+        self.root
+    }
+
+    /// The node table.
+    pub fn nodes(&self) -> &[Value] {
+        &self.nodes
+    }
+
+    /// Returns node `id` with its *direct* `Ref` children left in place
+    /// (safe in the presence of cycles).
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError::DanglingRef`] if `id` is out of range (cannot happen
+    /// for ids observed in a parsed graph).
+    pub fn resolve_shallow(&self, id: u32) -> Result<&Value, SerialError> {
+        self.check_ref(id)?;
+        Ok(&self.nodes[id as usize])
+    }
+
+    /// Fully expands node `id` into a tree, replacing every reference by a
+    /// copy of its target.
+    ///
+    /// # Errors
+    ///
+    /// [`SerialError::Parse`] if expansion encounters a cycle (a cyclic
+    /// graph has no finite tree expansion).
+    pub fn expand(&self, id: u32) -> Result<Value, SerialError> {
+        let mut on_stack = vec![false; self.nodes.len()];
+        self.expand_inner(id, &mut on_stack)
+    }
+
+    fn expand_inner(&self, id: u32, on_stack: &mut [bool]) -> Result<Value, SerialError> {
+        self.check_ref(id)?;
+        if on_stack[id as usize] {
+            return Err(SerialError::Parse {
+                detail: format!("cycle through node {id} has no tree expansion"),
+            });
+        }
+        on_stack[id as usize] = true;
+        let out = self.expand_value(&self.nodes[id as usize], on_stack)?;
+        on_stack[id as usize] = false;
+        Ok(out)
+    }
+
+    fn expand_value(&self, v: &Value, on_stack: &mut [bool]) -> Result<Value, SerialError> {
+        Ok(match v {
+            Value::Ref(id) => self.expand_inner(*id, on_stack)?,
+            Value::List(items) => Value::List(
+                items.iter().map(|i| self.expand_value(i, on_stack)).collect::<Result<_, _>>()?,
+            ),
+            Value::Struct(s) => {
+                let mut out = crate::StructValue::new(s.name());
+                for (n, fv) in s.fields() {
+                    out.push_field(n.clone(), self.expand_value(fv, on_stack)?);
+                }
+                Value::Struct(out)
+            }
+            other => other.clone(),
+        })
+    }
+
+    /// True if any path of references from the root revisits a node —
+    /// i.e. the dependence graph is not a DAG (the paper's §3.1 case where
+    /// parallel-object references were copied around).
+    pub fn has_cycle(&self) -> bool {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        fn visit(reader: &GraphReader, id: u32, marks: &mut [Mark]) -> bool {
+            match marks[id as usize] {
+                Mark::Grey => return true,
+                Mark::Black => return false,
+                Mark::White => {}
+            }
+            marks[id as usize] = Mark::Grey;
+            let mut cyclic = false;
+            collect_refs(&reader.nodes[id as usize], &mut |r| {
+                if visit(reader, r, marks) {
+                    cyclic = true;
+                }
+            });
+            marks[id as usize] = Mark::Black;
+            cyclic
+        }
+        let mut marks = vec![Mark::White; self.nodes.len()];
+        visit(self, self.root, &mut marks)
+    }
+}
+
+fn collect_refs(v: &Value, f: &mut impl FnMut(u32)) {
+    match v {
+        Value::Ref(id) => f(*id),
+        Value::List(items) => items.iter().for_each(|i| collect_refs(i, f)),
+        Value::Struct(s) => s.fields().iter().for_each(|(_, fv)| collect_refs(fv, f)),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinaryFormatter, Formatter, StructValue};
+
+    #[test]
+    fn shared_node_expands_twice() {
+        let mut g = GraphBuilder::new();
+        let shared = g.intern(Value::I32(7));
+        let root = g.intern(Value::List(vec![Value::Ref(shared), Value::Ref(shared)]));
+        let wire = g.finish(root);
+        let r = GraphReader::parse(&wire).unwrap();
+        assert!(!r.has_cycle());
+        assert_eq!(
+            r.expand(r.root()).unwrap(),
+            Value::List(vec![Value::I32(7), Value::I32(7)])
+        );
+    }
+
+    #[test]
+    fn cycle_is_detected_and_expansion_fails() {
+        let mut g = GraphBuilder::new();
+        let a = g.reserve();
+        let b = g.intern(Value::List(vec![Value::Ref(a)]));
+        g.fill(a, Value::List(vec![Value::Ref(b)]));
+        let wire = g.finish(a);
+        let r = GraphReader::parse(&wire).unwrap();
+        assert!(r.has_cycle());
+        assert!(r.expand(r.root()).is_err());
+        // Shallow resolution still works.
+        assert!(r.resolve_shallow(a).unwrap().as_list().is_some());
+    }
+
+    #[test]
+    fn self_cycle_is_detected() {
+        let mut g = GraphBuilder::new();
+        let a = g.reserve();
+        g.fill(a, Value::Struct(StructValue::new("Node").with_field("next", Value::Ref(a))));
+        let r = GraphReader::parse(&g.finish(a)).unwrap();
+        assert!(r.has_cycle());
+    }
+
+    #[test]
+    fn dag_with_diamond_is_not_cyclic() {
+        let mut g = GraphBuilder::new();
+        let leaf = g.intern(Value::I32(1));
+        let l = g.intern(Value::List(vec![Value::Ref(leaf)]));
+        let r_ = g.intern(Value::List(vec![Value::Ref(leaf)]));
+        let root = g.intern(Value::List(vec![Value::Ref(l), Value::Ref(r_)]));
+        let r = GraphReader::parse(&g.finish(root)).unwrap();
+        assert!(!r.has_cycle());
+        assert_eq!(r.expand(root).unwrap().node_count(), 5);
+    }
+
+    #[test]
+    fn dangling_ref_rejected_at_parse() {
+        let mut g = GraphBuilder::new();
+        let root = g.intern(Value::Ref(42));
+        let wire = g.finish(root);
+        assert!(matches!(
+            GraphReader::parse(&wire),
+            Err(SerialError::DanglingRef { id: 42, .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_root_rejected() {
+        let wire = Value::List(vec![Value::I32(5), Value::Null]);
+        assert!(matches!(GraphReader::parse(&wire), Err(SerialError::DanglingRef { .. })));
+    }
+
+    #[test]
+    fn bad_outer_shape_rejected() {
+        assert!(GraphReader::parse(&Value::I32(1)).is_err());
+        assert!(GraphReader::parse(&Value::List(vec![])).is_err());
+        assert!(GraphReader::parse(&Value::List(vec![Value::Str("x".into())])).is_err());
+    }
+
+    #[test]
+    fn graph_survives_wire_roundtrip() {
+        let mut g = GraphBuilder::new();
+        let a = g.reserve();
+        let b = g.intern(Value::Struct(StructValue::new("B").with_field("back", Value::Ref(a))));
+        g.fill(a, Value::Struct(StructValue::new("A").with_field("fwd", Value::Ref(b))));
+        let wire = g.finish(a);
+        let f = BinaryFormatter::new();
+        let bytes = f.serialize(&wire).unwrap();
+        let back = f.deserialize(&bytes).unwrap();
+        let r = GraphReader::parse(&back).unwrap();
+        assert!(r.has_cycle());
+        assert_eq!(r.nodes().len(), 2);
+    }
+}

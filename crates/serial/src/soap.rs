@@ -1,0 +1,527 @@
+//! Verbose SOAP-style text format — the analogue of the .NET `HttpChannel`'s
+//! SOAP formatter.
+//!
+//! Fig. 8b of the paper shows the HTTP channel's bandwidth collapsing an
+//! order of magnitude below the TCP/binary channel. The mechanism is the
+//! wire format: every value becomes angle-bracketed text, integers become
+//! decimal digits, and byte arrays are hex-expanded. This module reproduces
+//! that inflation with a real, parseable XML-subset grammar:
+//!
+//! ```text
+//! <?xml version="1.0"?>
+//! <Envelope><Body>
+//!   <value type="i32array" len="3"><item>1</item><item>2</item>...</value>
+//! </Body></Envelope>
+//! ```
+//!
+//! The parser is a strict recursive-descent reader of exactly the grammar
+//! the writer emits (as with the real formatters, interop stops at the
+//! format boundary).
+
+use crate::value::{StructValue, Value, ValueKind};
+use crate::{Formatter, SerialError};
+
+const HEADER: &str = "<?xml version=\"1.0\"?><Envelope><Body>";
+const FOOTER: &str = "</Body></Envelope>";
+const MAX_DEPTH: usize = 512;
+
+/// The SOAP/XML-ish text wire format (HTTP channel analogue).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SoapFormatter;
+
+impl SoapFormatter {
+    /// Creates a SOAP formatter.
+    pub fn new() -> Self {
+        SoapFormatter
+    }
+
+    fn write_value(out: &mut String, value: &Value) {
+        let kind = value.kind().name();
+        match value {
+            Value::Null => out.push_str("<value type=\"null\"/>"),
+            Value::Bool(b) => push_simple(out, kind, if *b { "true" } else { "false" }),
+            Value::I32(v) => push_simple(out, kind, &v.to_string()),
+            Value::I64(v) => push_simple(out, kind, &v.to_string()),
+            Value::F64(v) => push_simple(out, kind, &fmt_f64(*v)),
+            Value::Str(s) => {
+                out.push_str("<value type=\"str\">");
+                escape_into(out, s);
+                out.push_str("</value>");
+            }
+            Value::Bytes(b) => {
+                out.push_str("<value type=\"bytes\">");
+                for byte in b {
+                    out.push(HEX[(byte >> 4) as usize] as char);
+                    out.push(HEX[(byte & 0xf) as usize] as char);
+                }
+                out.push_str("</value>");
+            }
+            Value::I32Array(a) => {
+                open_array(out, kind, a.len());
+                for v in a {
+                    push_item(out, &v.to_string());
+                }
+                out.push_str("</value>");
+            }
+            Value::F64Array(a) => {
+                open_array(out, kind, a.len());
+                for v in a {
+                    push_item(out, &fmt_f64(*v));
+                }
+                out.push_str("</value>");
+            }
+            Value::List(items) => {
+                open_array(out, kind, items.len());
+                for item in items {
+                    Self::write_value(out, item);
+                }
+                out.push_str("</value>");
+            }
+            Value::Struct(s) => {
+                out.push_str("<value type=\"struct\" name=\"");
+                escape_into(out, s.name());
+                out.push_str(&format!("\" len=\"{}\">", s.fields().len()));
+                for (name, v) in s.fields() {
+                    out.push_str("<field name=\"");
+                    escape_into(out, name);
+                    out.push_str("\">");
+                    Self::write_value(out, v);
+                    out.push_str("</field>");
+                }
+                out.push_str("</value>");
+            }
+            Value::Ref(id) => push_simple(out, kind, &id.to_string()),
+        }
+    }
+}
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+fn push_simple(out: &mut String, kind: &str, body: &str) {
+    out.push_str("<value type=\"");
+    out.push_str(kind);
+    out.push_str("\">");
+    out.push_str(body);
+    out.push_str("</value>");
+}
+
+fn open_array(out: &mut String, kind: &str, len: usize) {
+    out.push_str("<value type=\"");
+    out.push_str(kind);
+    out.push_str("\" len=\"");
+    out.push_str(&len.to_string());
+    out.push_str("\">");
+}
+
+fn push_item(out: &mut String, body: &str) {
+    out.push_str("<item>");
+    out.push_str(body);
+    out.push_str("</item>");
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "INF".into()
+    } else if v == f64::NEG_INFINITY {
+        "-INF".into()
+    } else {
+        // Rust's shortest-roundtrip float formatting guarantees parse(fmt(v)) == v.
+        format!("{v}")
+    }
+}
+
+fn parse_f64(text: &str) -> Result<f64, SerialError> {
+    match text {
+        "NaN" => Ok(f64::NAN),
+        "INF" => Ok(f64::INFINITY),
+        "-INF" => Ok(f64::NEG_INFINITY),
+        _ => text.parse::<f64>().map_err(|_| SerialError::Parse {
+            detail: format!("bad float literal {text:?}"),
+        }),
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+fn unescape(s: &str) -> Result<String, SerialError> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let mut matched = false;
+        for (ent, ch) in [("&amp;", '&'), ("&lt;", '<'), ("&gt;", '>'), ("&quot;", '"')] {
+            if let Some(tail) = rest.strip_prefix(ent) {
+                out.push(ch);
+                rest = tail;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(SerialError::Parse { detail: "unknown entity".into() });
+        }
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Cursor over the text being parsed.
+struct Reader<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn expect(&mut self, literal: &str) -> Result<(), SerialError> {
+        if self.text[self.pos..].starts_with(literal) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(SerialError::Parse {
+                detail: format!(
+                    "expected {literal:?} at offset {} (found {:?})",
+                    self.pos,
+                    &self.text[self.pos..self.text.len().min(self.pos + 24)]
+                ),
+            })
+        }
+    }
+
+    /// Reads up to (not including) `delim`, advancing past it.
+    fn until(&mut self, delim: &str) -> Result<&'a str, SerialError> {
+        match self.text[self.pos..].find(delim) {
+            Some(idx) => {
+                let s = &self.text[self.pos..self.pos + idx];
+                self.pos += idx + delim.len();
+                Ok(s)
+            }
+            None => Err(SerialError::Parse {
+                detail: format!("missing delimiter {delim:?} after offset {}", self.pos),
+            }),
+        }
+    }
+
+    fn read_value(&mut self, depth: usize) -> Result<Value, SerialError> {
+        if depth > MAX_DEPTH {
+            return Err(SerialError::Parse { detail: "value nesting too deep".into() });
+        }
+        self.expect("<value type=\"")?;
+        let kind_name = self.until("\"")?;
+        let kind = ValueKind::from_name(kind_name).ok_or_else(|| SerialError::Parse {
+            detail: format!("unknown type {kind_name:?}"),
+        })?;
+        match kind {
+            ValueKind::Null => {
+                self.expect("/>")?;
+                Ok(Value::Null)
+            }
+            ValueKind::Bool => {
+                self.expect(">")?;
+                let body = self.until("</value>")?;
+                match body {
+                    "true" => Ok(Value::Bool(true)),
+                    "false" => Ok(Value::Bool(false)),
+                    other => Err(SerialError::Parse {
+                        detail: format!("bad bool literal {other:?}"),
+                    }),
+                }
+            }
+            ValueKind::I32 => {
+                self.expect(">")?;
+                let body = self.until("</value>")?;
+                body.parse::<i32>().map(Value::I32).map_err(|_| SerialError::Parse {
+                    detail: format!("bad i32 literal {body:?}"),
+                })
+            }
+            ValueKind::I64 => {
+                self.expect(">")?;
+                let body = self.until("</value>")?;
+                body.parse::<i64>().map(Value::I64).map_err(|_| SerialError::Parse {
+                    detail: format!("bad i64 literal {body:?}"),
+                })
+            }
+            ValueKind::F64 => {
+                self.expect(">")?;
+                let body = self.until("</value>")?;
+                parse_f64(body).map(Value::F64)
+            }
+            ValueKind::Str => {
+                self.expect(">")?;
+                let body = self.until("</value>")?;
+                unescape(body).map(Value::Str)
+            }
+            ValueKind::Bytes => {
+                self.expect(">")?;
+                let body = self.until("</value>")?;
+                if body.len() % 2 != 0 {
+                    return Err(SerialError::Parse { detail: "odd hex length".into() });
+                }
+                let mut bytes = Vec::with_capacity(body.len() / 2);
+                let raw = body.as_bytes();
+                for pair in raw.chunks_exact(2) {
+                    let hi = hex_val(pair[0])?;
+                    let lo = hex_val(pair[1])?;
+                    bytes.push((hi << 4) | lo);
+                }
+                Ok(Value::Bytes(bytes))
+            }
+            ValueKind::I32Array => {
+                let len = self.read_len_attr()?;
+                let mut a = Vec::with_capacity(len.min(1 << 16));
+                for _ in 0..len {
+                    self.expect("<item>")?;
+                    let body = self.until("</item>")?;
+                    a.push(body.parse::<i32>().map_err(|_| SerialError::Parse {
+                        detail: format!("bad i32 item {body:?}"),
+                    })?);
+                }
+                self.expect("</value>")?;
+                Ok(Value::I32Array(a))
+            }
+            ValueKind::F64Array => {
+                let len = self.read_len_attr()?;
+                let mut a = Vec::with_capacity(len.min(1 << 16));
+                for _ in 0..len {
+                    self.expect("<item>")?;
+                    let body = self.until("</item>")?;
+                    a.push(parse_f64(body)?);
+                }
+                self.expect("</value>")?;
+                Ok(Value::F64Array(a))
+            }
+            ValueKind::List => {
+                let len = self.read_len_attr()?;
+                let mut items = Vec::with_capacity(len.min(1 << 16));
+                for _ in 0..len {
+                    items.push(self.read_value(depth + 1)?);
+                }
+                self.expect("</value>")?;
+                Ok(Value::List(items))
+            }
+            ValueKind::Struct => {
+                self.expect(" name=\"")?;
+                let name = unescape(self.until("\"")?)?;
+                self.expect(" len=\"")?;
+                let len_text = self.until("\"")?;
+                let len: usize = len_text.parse().map_err(|_| SerialError::Parse {
+                    detail: format!("bad len {len_text:?}"),
+                })?;
+                self.expect(">")?;
+                let mut s = StructValue::new(name);
+                for _ in 0..len {
+                    self.expect("<field name=\"")?;
+                    let fname = unescape(self.until("\"")?)?;
+                    self.expect(">")?;
+                    let v = self.read_value(depth + 1)?;
+                    self.expect("</field>")?;
+                    s.push_field(fname, v);
+                }
+                self.expect("</value>")?;
+                Ok(Value::Struct(s))
+            }
+            ValueKind::Ref => {
+                self.expect(">")?;
+                let body = self.until("</value>")?;
+                body.parse::<u32>().map(Value::Ref).map_err(|_| SerialError::Parse {
+                    detail: format!("bad ref id {body:?}"),
+                })
+            }
+        }
+    }
+
+    /// Consumes `" len=\"N\">"` after the type attribute's closing quote.
+    fn read_len_attr(&mut self) -> Result<usize, SerialError> {
+        self.expect(" len=\"")?;
+        let text = self.until("\"")?;
+        self.expect(">")?;
+        text.parse::<usize>().map_err(|_| SerialError::Parse {
+            detail: format!("bad len {text:?}"),
+        })
+    }
+}
+
+fn hex_val(c: u8) -> Result<u8, SerialError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        _ => Err(SerialError::Parse { detail: format!("bad hex digit {:?}", c as char) }),
+    }
+}
+
+impl Formatter for SoapFormatter {
+    fn name(&self) -> &'static str {
+        "soap"
+    }
+
+    fn serialize(&self, value: &Value) -> Result<Vec<u8>, SerialError> {
+        let mut out = String::with_capacity(64 + value.payload_bytes() * 4);
+        out.push_str(HEADER);
+        Self::write_value(&mut out, value);
+        out.push_str(FOOTER);
+        Ok(out.into_bytes())
+    }
+
+    fn deserialize(&self, bytes: &[u8]) -> Result<Value, SerialError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| SerialError::BadMagic { expected: "soap" })?;
+        if !text.starts_with(HEADER) {
+            return Err(SerialError::BadMagic { expected: "soap" });
+        }
+        let mut reader = Reader { text, pos: HEADER.len() };
+        let value = reader.read_value(0)?;
+        reader.expect(FOOTER)?;
+        if reader.pos != text.len() {
+            return Err(SerialError::TrailingBytes { remaining: text.len() - reader.pos });
+        }
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_special_floats() {
+        let f = SoapFormatter::new();
+        for v in [f64::INFINITY, f64::NEG_INFINITY, -0.0, 1.0e-308, f64::MAX] {
+            let bytes = f.serialize(&Value::F64(v)).unwrap();
+            let back = f.deserialize(&bytes).unwrap();
+            assert_eq!(back, Value::F64(v));
+            if v == 0.0 {
+                assert_eq!(back.as_f64().unwrap().to_bits(), v.to_bits());
+            }
+        }
+        // NaN roundtrips to NaN (bit pattern normalised).
+        let bytes = f.serialize(&Value::F64(f64::NAN)).unwrap();
+        assert!(f.deserialize(&bytes).unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn strings_with_markup_roundtrip() {
+        let f = SoapFormatter::new();
+        let nasty = "a<b&c>\"d\"</value><value type=\"i32\">7";
+        let v = Value::Str(nasty.into());
+        let bytes = f.serialize(&v).unwrap();
+        assert_eq!(f.deserialize(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn struct_with_nasty_names_roundtrips() {
+        let f = SoapFormatter::new();
+        let v = Value::Struct(
+            StructValue::new("A&B<C>").with_field("x\"y", Value::I32(1)),
+        );
+        let bytes = f.serialize(&v).unwrap();
+        assert_eq!(f.deserialize(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn bytes_hex_inflate_2x() {
+        let f = SoapFormatter::new();
+        let payload = vec![0xabu8; 1000];
+        let encoded = f.serialize(&Value::Bytes(payload)).unwrap();
+        assert!(encoded.len() >= 2000, "hex inflation expected, got {}", encoded.len());
+    }
+
+    #[test]
+    fn i32_array_inflation_is_large() {
+        // This is the Fig. 8b mechanism: the HTTP/SOAP channel ships many
+        // bytes per element compared to binary's 4.
+        let bin = crate::BinaryFormatter::new();
+        let soap = SoapFormatter::new();
+        let v = Value::I32Array(vec![123456; 1000]);
+        let b = bin.serialize(&v).unwrap().len();
+        let s = soap.serialize(&v).unwrap().len();
+        assert!(s > 3 * b, "soap {s} should be >3x binary {b}");
+    }
+
+    #[test]
+    fn bad_bool_is_parse_error() {
+        let f = SoapFormatter::new();
+        let text = format!("{HEADER}<value type=\"bool\">maybe</value>{FOOTER}");
+        assert!(matches!(f.deserialize(text.as_bytes()), Err(SerialError::Parse { .. })));
+    }
+
+    #[test]
+    fn missing_footer_is_error() {
+        let f = SoapFormatter::new();
+        let text = format!("{HEADER}<value type=\"null\"/>");
+        assert!(f.deserialize(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn non_utf8_is_bad_magic() {
+        let f = SoapFormatter::new();
+        assert!(matches!(
+            f.deserialize(&[0xff, 0xfe, 0x00]),
+            Err(SerialError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn odd_hex_rejected() {
+        let f = SoapFormatter::new();
+        let text = format!("{HEADER}<value type=\"bytes\">abc</value>{FOOTER}");
+        assert!(f.deserialize(text.as_bytes()).is_err());
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i32>().prop_map(Value::I32),
+            any::<i64>().prop_map(Value::I64),
+            // Finite floats only; NaN identity is checked separately.
+            any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::F64),
+            ".{0,16}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
+            proptest::collection::vec(any::<i32>(), 0..32).prop_map(Value::I32Array),
+            (0..100u32).prop_map(Value::Ref),
+        ];
+        leaf.prop_recursive(3, 32, 6, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::List),
+                ("[A-Za-z&<>\"]{1,8}", proptest::collection::vec(("[a-z<&]{1,4}", inner), 0..4))
+                    .prop_map(|(name, fields)| {
+                        let mut s = StructValue::new(name);
+                        for (n, v) in fields {
+                            s.push_field(n, v);
+                        }
+                        Value::Struct(s)
+                    }),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in arb_tree()) {
+            let f = SoapFormatter::new();
+            let bytes = f.serialize(&v).unwrap();
+            prop_assert_eq!(f.deserialize(&bytes).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = SoapFormatter::new().deserialize(&bytes);
+        }
+    }
+}

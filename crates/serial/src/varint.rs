@@ -1,0 +1,191 @@
+//! LEB128-style variable-length integer codec.
+//!
+//! Used by the binary and Java-flavoured formatters for lengths and integer
+//! payloads. Unsigned values use plain LEB128; signed values use zigzag
+//! mapping so small negative numbers stay short.
+
+use crate::SerialError;
+
+/// Maximum encoded width of a `u64` varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `value` to `out` as an unsigned LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` using zigzag + LEB128.
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag(value));
+}
+
+/// Reads an unsigned varint starting at `input[*pos]`, advancing `pos`.
+///
+/// # Errors
+///
+/// [`SerialError::UnexpectedEof`] if the input ends mid-varint, or
+/// [`SerialError::BadVarint`] if the encoding exceeds 10 bytes or overflows.
+pub fn read_u64(input: &[u8], pos: &mut usize) -> Result<u64, SerialError> {
+    let start = *pos;
+    let mut shift = 0u32;
+    let mut value = 0u64;
+    loop {
+        let byte = *input.get(*pos).ok_or(SerialError::UnexpectedEof { offset: *pos })?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            return Err(SerialError::BadVarint { offset: start });
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(SerialError::BadVarint { offset: start });
+        }
+    }
+}
+
+/// Reads a zigzag-encoded signed varint.
+///
+/// # Errors
+///
+/// Same conditions as [`read_u64`].
+pub fn read_i64(input: &[u8], pos: &mut usize) -> Result<i64, SerialError> {
+    Ok(unzigzag(read_u64(input, pos)?))
+}
+
+/// Number of bytes [`write_u64`] would emit for `value`.
+pub fn encoded_len_u64(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// Number of bytes [`write_i64`] would emit for `value`.
+pub fn encoded_len_i64(value: i64) -> usize {
+    encoded_len_u64(zigzag(value))
+}
+
+fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_values_are_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert_eq!(buf.len(), 1);
+            assert_eq!(encoded_len_u64(v), 1);
+        }
+    }
+
+    #[test]
+    fn boundary_values_roundtrip() {
+        for v in [0, 127, 128, 16_383, 16_384, u64::MAX, u64::MAX - 1] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+            assert_eq!(encoded_len_u64(v), buf.len());
+        }
+    }
+
+    #[test]
+    fn signed_boundaries_roundtrip() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -64, 63, -65, 64] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(encoded_len_i64(v), buf.len());
+        }
+    }
+
+    #[test]
+    fn small_negatives_stay_short() {
+        let mut buf = Vec::new();
+        write_i64(&mut buf, -1);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(matches!(read_u64(&buf, &mut pos), Err(SerialError::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(matches!(read_u64(&buf, &mut pos), Err(SerialError::BadVarint { .. })));
+    }
+
+    #[test]
+    fn overflow_is_rejected() {
+        // 10 bytes whose top byte pushes past 64 bits.
+        let buf = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        let mut pos = 0;
+        assert!(matches!(read_u64(&buf, &mut pos), Err(SerialError::BadVarint { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            prop_assert!(buf.len() <= MAX_VARINT_LEN);
+            prop_assert_eq!(encoded_len_u64(v), buf.len());
+            let mut pos = 0;
+            prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            prop_assert_eq!(pos, buf.len());
+        }
+
+        #[test]
+        fn prop_i64_roundtrip(v in any::<i64>()) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            prop_assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+            prop_assert_eq!(encoded_len_i64(v), buf.len());
+        }
+
+        #[test]
+        fn prop_concatenated_varints_decode_in_order(vs in proptest::collection::vec(any::<u64>(), 0..20)) {
+            let mut buf = Vec::new();
+            for &v in &vs {
+                write_u64(&mut buf, v);
+            }
+            let mut pos = 0;
+            for &v in &vs {
+                prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+            }
+            prop_assert_eq!(pos, buf.len());
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Cluster model: nodes (CPU cores + thread pool + relative speed) wired by
+//! point-to-point links.
+//!
+//! The default shape matches the paper's testbed: dual-core nodes (dual
+//! Athlon MP 1800+) on 100 Mbit switched Ethernet. The per-node
+//! `speed_factor` models the virtual-machine tax the paper measures: a
+//! `1.4` factor reproduces "the C# sequential execution time in this
+//! particular application is 40% superior to the Java version" under Mono.
+
+use std::collections::HashMap;
+
+use crate::link::Link;
+use crate::queue::MultiServer;
+use crate::threadpool::ThreadPoolModel;
+use crate::time::SimTime;
+
+/// Static description of a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSpec {
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// Compute-time multiplier relative to the reference machine
+    /// (1.0 = reference; 1.4 = Mono's Ray-Tracer JIT tax).
+    pub speed_factor: f64,
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        // Dual Athlon MP 1800+ at reference speed.
+        NodeSpec { cores: 2, speed_factor: 1.0 }
+    }
+}
+
+/// A simulated node: cores plus a managed thread pool.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: usize,
+    spec: NodeSpec,
+    /// CPU cores as a FIFO multi-server queue.
+    pub cpus: MultiServer,
+    /// The runtime's managed thread pool on this node.
+    pub pool: ThreadPoolModel,
+}
+
+impl Node {
+    /// Node identifier (index in the cluster).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The node's static description.
+    pub fn spec(&self) -> NodeSpec {
+        self.spec
+    }
+
+    /// Scales an abstract compute demand (measured on the reference
+    /// machine) to this node's speed.
+    pub fn service_time(&self, reference: SimTime) -> SimTime {
+        reference.scale(self.spec.speed_factor)
+    }
+}
+
+/// Builder for [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    specs: Vec<NodeSpec>,
+    latency: SimTime,
+    bytes_per_sec: f64,
+    pool_template: Option<ThreadPoolModel>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// Starts a builder with the paper's wire defaults (100 Mbit Ethernet,
+    /// 50 µs propagation) and no nodes.
+    pub fn new() -> Self {
+        ClusterBuilder {
+            specs: Vec::new(),
+            latency: SimTime::from_micros(50),
+            bytes_per_sec: 12.5e6,
+            pool_template: None,
+        }
+    }
+
+    /// Adds `n` identical nodes.
+    pub fn nodes(&mut self, n: usize, spec: NodeSpec) -> &mut Self {
+        self.specs.extend(std::iter::repeat_n(spec, n));
+        self
+    }
+
+    /// Adds one node.
+    pub fn node(&mut self, spec: NodeSpec) -> &mut Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Sets the one-way link propagation latency.
+    pub fn link_latency(&mut self, latency: SimTime) -> &mut Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the link bandwidth in bytes per second.
+    pub fn bandwidth(&mut self, bytes_per_sec: f64) -> &mut Self {
+        self.bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Uses `pool` (cloned) as every node's thread pool instead of the
+    /// per-node Mono default.
+    pub fn thread_pool(&mut self, pool: ThreadPoolModel) -> &mut Self {
+        self.pool_template = Some(pool);
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no nodes were added or a node has zero cores.
+    pub fn build(&self) -> Cluster {
+        assert!(!self.specs.is_empty(), "cluster needs at least one node");
+        let nodes = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(id, &spec)| Node {
+                id,
+                spec,
+                cpus: MultiServer::new(spec.cores),
+                pool: self
+                    .pool_template
+                    .clone()
+                    .unwrap_or_else(|| ThreadPoolModel::mono_default(spec.cores)),
+            })
+            .collect();
+        Cluster {
+            nodes,
+            latency: self.latency,
+            bytes_per_sec: self.bytes_per_sec,
+            links: HashMap::new(),
+        }
+    }
+}
+
+/// A set of nodes plus lazily materialized directed links.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    latency: SimTime,
+    bytes_per_sec: f64,
+    links: HashMap<(usize, usize), Link>,
+}
+
+impl Cluster {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster is empty (never true for a built cluster).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: usize) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: usize) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Iterates over nodes.
+    pub fn iter(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// The directed link from `from` to `to`, materializing it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or `from == to` (local
+    /// calls never touch the wire — the runtime must special-case them,
+    /// exactly the paper's intra-grain fast path).
+    pub fn link_mut(&mut self, from: usize, to: usize) -> &mut Link {
+        assert!(from < self.nodes.len() && to < self.nodes.len(), "link endpoint out of range");
+        assert_ne!(from, to, "loopback has no simulated link");
+        let (latency, bw) = (self.latency, self.bytes_per_sec);
+        self.links.entry((from, to)).or_insert_with(|| Link::new(latency, bw))
+    }
+
+    /// Total bytes carried over all materialized links.
+    pub fn total_bytes_on_wire(&self) -> u64 {
+        self.links.values().map(Link::bytes_carried).sum()
+    }
+
+    /// Total messages carried over all materialized links.
+    pub fn total_messages_on_wire(&self) -> u64 {
+        self.links.values().map(Link::messages_carried).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn six_node_cluster() -> Cluster {
+        let mut b = ClusterBuilder::new();
+        b.nodes(6, NodeSpec::default());
+        b.build()
+    }
+
+    #[test]
+    fn builder_creates_requested_nodes() {
+        let c = six_node_cluster();
+        assert_eq!(c.len(), 6);
+        assert!(!c.is_empty());
+        assert_eq!(c.node(0).spec().cores, 2);
+        assert_eq!(c.node(5).id(), 5);
+    }
+
+    #[test]
+    fn speed_factor_scales_service_time() {
+        let mut b = ClusterBuilder::new();
+        b.node(NodeSpec { cores: 1, speed_factor: 1.4 });
+        let c = b.build();
+        assert_eq!(
+            c.node(0).service_time(SimTime::from_secs(10)),
+            SimTime::from_secs(14)
+        );
+    }
+
+    #[test]
+    fn links_are_directional_and_lazy() {
+        let mut c = six_node_cluster();
+        assert_eq!(c.total_messages_on_wire(), 0);
+        c.link_mut(0, 1).transmit(SimTime::ZERO, 100);
+        c.link_mut(1, 0).transmit(SimTime::ZERO, 200);
+        assert_eq!(c.total_bytes_on_wire(), 300);
+        assert_eq!(c.total_messages_on_wire(), 2);
+        // Directions do not share a busy horizon.
+        let fwd = c.link_mut(0, 1).transmit(SimTime::ZERO, 100);
+        assert_eq!(fwd.wire_free, c.link_mut(0, 1).serialization_time(200));
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_link_panics() {
+        let mut c = six_node_cluster();
+        c.link_mut(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_endpoint_panics() {
+        let mut c = six_node_cluster();
+        c.link_mut(0, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_panics() {
+        ClusterBuilder::new().build();
+    }
+
+    #[test]
+    fn custom_pool_template_is_cloned_per_node() {
+        let mut b = ClusterBuilder::new();
+        b.nodes(2, NodeSpec::default());
+        b.thread_pool(ThreadPoolModel::new(4, 8, SimTime::from_millis(1)));
+        let c = b.build();
+        assert_eq!(c.node(0).pool.threads(), 4);
+        assert_eq!(c.node(1).pool.threads(), 4);
+    }
+
+    #[test]
+    fn default_spec_is_dual_core_reference() {
+        let spec = NodeSpec::default();
+        assert_eq!(spec.cores, 2);
+        assert_eq!(spec.speed_factor, 1.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The discrete-event engine: a virtual clock plus a stable event queue.
+//!
+//! Events are boxed closures receiving the engine (to schedule more events)
+//! and a mutable *world* — the caller-owned model state. Two events
+//! scheduled for the same instant fire in scheduling order (a sequence
+//! number breaks ties), which is what makes every simulation in this
+//! workspace reproducible run-to-run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+type EventFn<W> = Box<dyn FnOnce(&mut Engine<W>, &mut W)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event simulation engine over a caller-supplied world `W`.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    heap: BinaryHeap<Scheduled<W>>,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine { now: SimTime::ZERO, seq: 0, executed: 0, heap: BinaryHeap::new() }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the virtual past — a model bug that must not be
+    /// silently reordered.
+    pub fn schedule_at(&mut self, at: SimTime, event: impl FnOnce(&mut Engine<W>, &mut W) + 'static) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at} now={now}",
+            at = at,
+            now = self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, run: Box::new(event) });
+    }
+
+    /// Schedules `event` after a relative `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimTime,
+        event: impl FnOnce(&mut Engine<W>, &mut W) + 'static,
+    ) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Runs a single event, returning `false` if the queue was empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.heap.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now);
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.run)(self, world);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains, returning the final clock value.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        while self.step(world) {}
+        self.now
+    }
+
+    /// Runs until the queue drains or the clock passes `deadline`;
+    /// returns `true` if the queue drained.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> bool {
+        loop {
+            match self.heap.peek() {
+                None => return true,
+                Some(ev) if ev.at > deadline => return false,
+                Some(_) => {
+                    self.step(world);
+                }
+            }
+        }
+    }
+}
+
+impl<W> std::fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        eng.schedule_in(SimTime::from_micros(30), |_, log| log.push(3));
+        eng.schedule_in(SimTime::from_micros(10), |_, log| log.push(1));
+        eng.schedule_in(SimTime::from_micros(20), |_, log| log.push(2));
+        let mut log = Vec::new();
+        eng.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(eng.executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..50 {
+            eng.schedule_at(t, move |_, log: &mut Vec<u32>| log.push(i));
+        }
+        let mut log = Vec::new();
+        eng.run(&mut log);
+        assert_eq!(log, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng: Engine<u32> = Engine::new();
+        fn tick(eng: &mut Engine<u32>, count: &mut u32) {
+            *count += 1;
+            if *count < 5 {
+                eng.schedule_in(SimTime::from_micros(1), tick);
+            }
+        }
+        eng.schedule_in(SimTime::from_micros(1), tick);
+        let mut count = 0;
+        let end = eng.run(&mut count);
+        assert_eq!(count, 5);
+        assert_eq!(end, SimTime::from_micros(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.schedule_at(SimTime::from_micros(10), |eng, _| {
+            eng.schedule_at(SimTime::from_micros(5), |_, _| {});
+        });
+        eng.run(&mut ());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng: Engine<u32> = Engine::new();
+        eng.schedule_in(SimTime::from_micros(10), |_, n| *n += 1);
+        eng.schedule_in(SimTime::from_micros(100), |_, n| *n += 10);
+        let mut n = 0;
+        let drained = eng.run_until(&mut n, SimTime::from_micros(50));
+        assert!(!drained);
+        assert_eq!(n, 1);
+        assert_eq!(eng.pending(), 1);
+        assert!(eng.run_until(&mut n, SimTime::MAX));
+        assert_eq!(n, 11);
+    }
+
+    #[test]
+    fn clock_lands_on_event_times_exactly() {
+        let mut eng: Engine<Vec<SimTime>> = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(7), |eng, log: &mut Vec<SimTime>| {
+            log.push(eng.now());
+        });
+        eng.schedule_at(SimTime::from_nanos(7_000), |eng, log: &mut Vec<SimTime>| {
+            log.push(eng.now());
+        });
+        let mut log = Vec::new();
+        eng.run(&mut log);
+        assert_eq!(log, vec![SimTime::from_nanos(7), SimTime::from_nanos(7_000)]);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn run_once() -> (SimTime, Vec<u64>) {
+            let mut eng: Engine<Vec<u64>> = Engine::new();
+            for i in 0..20u64 {
+                eng.schedule_in(SimTime::from_nanos(i % 7 * 100), move |eng, log: &mut Vec<u64>| {
+                    log.push(i);
+                    if i % 3 == 0 {
+                        eng.schedule_in(SimTime::from_nanos(50), move |_, log: &mut Vec<u64>| {
+                            log.push(1000 + i);
+                        });
+                    }
+                });
+            }
+            let mut log = Vec::new();
+            let end = eng.run(&mut log);
+            (end, log)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

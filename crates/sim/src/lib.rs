@@ -1,0 +1,58 @@
+//! # parc-sim — deterministic discrete-event cluster simulator
+//!
+//! The paper's evaluation ran on a 2005 Linux cluster: six dual Athlon
+//! MP 1800+ nodes on 100 Mbit Ethernet, with Mono 1.1.7/1.0.5, Sun JDK
+//! 1.4.2 and MPICH 1.2.6. That testbed cannot be re-run, so this crate
+//! provides the substitute called out in `DESIGN.md`: a deterministic
+//! discrete-event simulation (DES) of the cluster with
+//!
+//! * a virtual-nanosecond [`SimTime`] clock and a stable [`Engine`] event
+//!   queue (FIFO among simultaneous events);
+//! * [`MultiServer`] queues modelling CPU cores;
+//! * a [`ThreadPoolModel`] reproducing Mono's bounded thread pool with slow
+//!   thread injection — the mechanism behind the poor ParC# scaling in
+//!   Fig. 9 ("limiting the number of running threads ... reduces the
+//!   overlap among computation and communication and also produces
+//!   starvation in some application threads");
+//! * [`Link`]s with fixed latency plus bandwidth-limited serialization —
+//!   fed with *real* byte counts from `parc-serial`, which is what shapes
+//!   the Fig. 8 bandwidth curves;
+//! * a [`Cluster`] builder tying nodes, relative CPU speeds (JIT factors)
+//!   and links together.
+//!
+//! Everything is deterministic: same inputs, same event order, same
+//! virtual timings — a property the test suite checks explicitly.
+//!
+//! ```
+//! use parc_sim::{Engine, SimTime};
+//!
+//! let mut engine: Engine<u32> = Engine::new();
+//! engine.schedule_in(SimTime::from_micros(5), |eng, hits| {
+//!     *hits += 1;
+//!     eng.schedule_in(SimTime::from_micros(5), |_, hits| *hits += 1);
+//! });
+//! let mut hits = 0;
+//! engine.run(&mut hits);
+//! assert_eq!(hits, 2);
+//! assert_eq!(engine.now(), SimTime::from_micros(10));
+//! ```
+
+pub mod cluster;
+pub mod engine;
+pub mod link;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod threadpool;
+pub mod time;
+pub mod trace;
+
+pub use cluster::{Cluster, ClusterBuilder, NodeSpec};
+pub use engine::Engine;
+pub use link::Link;
+pub use queue::{Job, MultiServer};
+pub use rng::SplitMix64;
+pub use stats::Summary;
+pub use threadpool::ThreadPoolModel;
+pub use time::SimTime;
+pub use trace::{Trace, TraceEntry};

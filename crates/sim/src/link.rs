@@ -1,0 +1,203 @@
+//! Network link model: fixed propagation latency plus bandwidth-limited
+//! serialization, with per-message software overhead.
+//!
+//! The paper's cluster used switched 100 Mbit Ethernet; ping-pong messages
+//! observe (a) a per-call fixed software cost that differs wildly between
+//! MPI (~100 µs), Mono remoting (~273 µs) and Java RMI (~520 µs), and (b) a
+//! shared 12.5 MB/s wire. A [`Link`] models one direction of a NIC: each
+//! transmission occupies the wire for `bytes / bandwidth` seconds starting
+//! no earlier than the previous transmission finished (store-and-forward,
+//! FIFO), then arrives after the propagation latency.
+
+use crate::time::SimTime;
+
+/// One direction of a network link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    latency: SimTime,
+    bytes_per_sec: f64,
+    busy_until: SimTime,
+    bytes_carried: u64,
+    messages_carried: u64,
+}
+
+/// Outcome of a transmission: when the wire frees up and when the message
+/// lands on the far side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// Instant the sender's wire becomes free again.
+    pub wire_free: SimTime,
+    /// Instant the last byte arrives at the receiver.
+    pub arrival: SimTime,
+}
+
+impl Link {
+    /// Creates a link with the given one-way propagation latency and
+    /// bandwidth in bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not finite and positive.
+    pub fn new(latency: SimTime, bytes_per_sec: f64) -> Link {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "bandwidth must be positive and finite"
+        );
+        Link {
+            latency,
+            bytes_per_sec,
+            busy_until: SimTime::ZERO,
+            bytes_carried: 0,
+            messages_carried: 0,
+        }
+    }
+
+    /// 100 Mbit Ethernet (12.5 MB/s) with the given propagation latency —
+    /// the paper's testbed wire.
+    pub fn ethernet_100mbit(latency: SimTime) -> Link {
+        Link::new(latency, 12.5e6)
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> SimTime {
+        self.latency
+    }
+
+    /// Configured bandwidth, bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Total payload bytes carried so far.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Total messages carried so far.
+    pub fn messages_carried(&self) -> u64 {
+        self.messages_carried
+    }
+
+    /// Pure cost of pushing `bytes` through the wire (no queueing).
+    pub fn serialization_time(&self, bytes: usize) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Transmits `bytes` starting no earlier than `now`, mutating the
+    /// wire-busy horizon, and returns the timing of the transfer.
+    pub fn transmit(&mut self, now: SimTime, bytes: usize) -> Transmission {
+        let start = now.max(self.busy_until);
+        let wire_free = start + self.serialization_time(bytes);
+        self.busy_until = wire_free;
+        self.bytes_carried += bytes as u64;
+        self.messages_carried += 1;
+        Transmission { wire_free, arrival: wire_free + self.latency }
+    }
+
+    /// Resets the busy horizon and counters (fresh experiment, same wire).
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+        self.bytes_carried = 0;
+        self.messages_carried = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    #[test]
+    fn ethernet_rate_is_12_5_mb_per_sec() {
+        let link = Link::ethernet_100mbit(us(50));
+        // 12.5 MB in one second.
+        assert_eq!(link.serialization_time(12_500_000), SimTime::from_secs(1));
+        // 1 KB takes 80 us.
+        assert_eq!(link.serialization_time(1_000), us(80));
+    }
+
+    #[test]
+    fn arrival_is_serialization_plus_latency() {
+        let mut link = Link::ethernet_100mbit(us(50));
+        let t = link.transmit(SimTime::ZERO, 1_000);
+        assert_eq!(t.wire_free, us(80));
+        assert_eq!(t.arrival, us(130));
+    }
+
+    #[test]
+    fn back_to_back_messages_queue_on_the_wire() {
+        let mut link = Link::ethernet_100mbit(us(50));
+        let a = link.transmit(SimTime::ZERO, 1_000);
+        let b = link.transmit(SimTime::ZERO, 1_000);
+        assert_eq!(a.wire_free, us(80));
+        assert_eq!(b.wire_free, us(160));
+        assert_eq!(b.arrival, us(210));
+    }
+
+    #[test]
+    fn idle_wire_does_not_delay() {
+        let mut link = Link::ethernet_100mbit(us(50));
+        link.transmit(SimTime::ZERO, 1_000);
+        let later = link.transmit(SimTime::from_millis(10), 1_000);
+        assert_eq!(later.wire_free, SimTime::from_millis(10) + us(80));
+    }
+
+    #[test]
+    fn zero_byte_message_costs_only_latency() {
+        let mut link = Link::ethernet_100mbit(us(50));
+        let t = link.transmit(us(5), 0);
+        assert_eq!(t.arrival, us(55));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut link = Link::ethernet_100mbit(us(50));
+        link.transmit(SimTime::ZERO, 100);
+        link.transmit(SimTime::ZERO, 200);
+        assert_eq!(link.bytes_carried(), 300);
+        assert_eq!(link.messages_carried(), 2);
+        link.reset();
+        assert_eq!(link.bytes_carried(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = Link::new(us(1), 0.0);
+    }
+
+    proptest! {
+        /// Arrivals are monotone in submission order (FIFO wire).
+        #[test]
+        fn prop_fifo_wire(sizes in proptest::collection::vec(0usize..100_000, 1..30)) {
+            let mut link = Link::ethernet_100mbit(us(50));
+            let mut last = SimTime::ZERO;
+            for s in sizes {
+                let t = link.transmit(SimTime::ZERO, s);
+                prop_assert!(t.arrival >= last);
+                last = t.arrival;
+            }
+        }
+
+        /// Total wire occupancy equals the sum of per-message serialization
+        /// times when everything is submitted at t=0.
+        #[test]
+        fn prop_wire_occupancy_additive(sizes in proptest::collection::vec(1usize..10_000, 1..20)) {
+            let mut link = Link::ethernet_100mbit(us(0));
+            let mut expected = SimTime::ZERO;
+            let mut last_free = SimTime::ZERO;
+            for &s in &sizes {
+                expected += link.serialization_time(s);
+                last_free = link.transmit(SimTime::ZERO, s).wire_free;
+            }
+            // Saturating u64 arithmetic rounds each message independently;
+            // allow 1ns per message of drift.
+            let drift = last_free.as_nanos().abs_diff(expected.as_nanos());
+            prop_assert!(drift <= sizes.len() as u64);
+        }
+    }
+}

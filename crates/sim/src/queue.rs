@@ -1,0 +1,240 @@
+//! FIFO multi-server queue — the model of a node's CPU cores.
+//!
+//! [`MultiServer`] is a *pure state machine*: it never touches the event
+//! engine. The cluster model offers jobs and is told when each job starts;
+//! it is then responsible for scheduling the completion event and calling
+//! [`MultiServer::complete`], which may hand back the next queued job.
+//! Keeping the resource pure makes it directly unit-testable and keeps the
+//! engine generic.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// A unit of work offered to a server pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Caller-assigned identifier, returned on start/completion.
+    pub id: u64,
+    /// Service demand (already scaled by any CPU-speed factor).
+    pub service: SimTime,
+}
+
+impl Job {
+    /// Creates a job.
+    pub fn new(id: u64, service: SimTime) -> Job {
+        Job { id, service }
+    }
+}
+
+/// A job admitted to service, with its computed start time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Started {
+    /// The admitted job.
+    pub job: Job,
+    /// Virtual time at which service began.
+    pub start: SimTime,
+}
+
+/// `k`-server FIFO queue.
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    capacity: usize,
+    busy: usize,
+    waiting: VecDeque<(Job, SimTime)>,
+    /// Total busy time accumulated (for utilisation reporting).
+    busy_time: SimTime,
+    peak_queue: usize,
+}
+
+impl MultiServer {
+    /// Creates a pool with `capacity` parallel servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> MultiServer {
+        assert!(capacity > 0, "server pool needs at least one server");
+        MultiServer {
+            capacity,
+            busy: 0,
+            waiting: VecDeque::new(),
+            busy_time: SimTime::ZERO,
+            peak_queue: 0,
+        }
+    }
+
+    /// Number of parallel servers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Servers currently serving a job.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Jobs waiting for a free server.
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Largest queue length observed.
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
+    }
+
+    /// Aggregate time servers have spent busy.
+    pub fn busy_time(&self) -> SimTime {
+        self.busy_time
+    }
+
+    /// Offers a job at time `now`. If a server is free the job starts
+    /// immediately and is returned; otherwise it queues.
+    pub fn offer(&mut self, now: SimTime, job: Job) -> Option<Started> {
+        if self.busy < self.capacity {
+            self.busy += 1;
+            self.busy_time += job.service;
+            Some(Started { job, start: now })
+        } else {
+            self.waiting.push_back((job, now));
+            self.peak_queue = self.peak_queue.max(self.waiting.len());
+            None
+        }
+    }
+
+    /// Records a job completion at time `now`; if a job was waiting it is
+    /// started and returned (the caller schedules its completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job was in service — a double-completion model bug.
+    pub fn complete(&mut self, now: SimTime) -> Option<Started> {
+        assert!(self.busy > 0, "completion with no job in service");
+        match self.waiting.pop_front() {
+            Some((job, _queued_at)) => {
+                self.busy_time += job.service;
+                Some(Started { job, start: now })
+            }
+            None => {
+                self.busy -= 1;
+                None
+            }
+        }
+    }
+
+    /// True when no job is in service or waiting.
+    pub fn is_idle(&self) -> bool {
+        self.busy == 0 && self.waiting.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn us(v: u64) -> SimTime {
+        SimTime::from_micros(v)
+    }
+
+    #[test]
+    fn jobs_start_immediately_when_servers_free() {
+        let mut pool = MultiServer::new(2);
+        assert!(pool.offer(us(0), Job::new(1, us(10))).is_some());
+        assert!(pool.offer(us(0), Job::new(2, us(10))).is_some());
+        assert_eq!(pool.busy(), 2);
+        assert!(pool.offer(us(0), Job::new(3, us(10))).is_none());
+        assert_eq!(pool.queue_len(), 1);
+    }
+
+    #[test]
+    fn completion_starts_waiting_job_fifo() {
+        let mut pool = MultiServer::new(1);
+        pool.offer(us(0), Job::new(1, us(10)));
+        pool.offer(us(0), Job::new(2, us(10)));
+        pool.offer(us(0), Job::new(3, us(10)));
+        let started = pool.complete(us(10)).unwrap();
+        assert_eq!(started.job.id, 2);
+        assert_eq!(started.start, us(10));
+        let started = pool.complete(us(20)).unwrap();
+        assert_eq!(started.job.id, 3);
+        assert!(pool.complete(us(30)).is_none());
+        assert!(pool.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "no job in service")]
+    fn double_completion_panics() {
+        let mut pool = MultiServer::new(1);
+        pool.complete(us(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_capacity_panics() {
+        let _ = MultiServer::new(0);
+    }
+
+    #[test]
+    fn busy_time_accumulates_service_demand() {
+        let mut pool = MultiServer::new(1);
+        pool.offer(us(0), Job::new(1, us(7)));
+        pool.offer(us(0), Job::new(2, us(5)));
+        pool.complete(us(7));
+        pool.complete(us(12));
+        assert_eq!(pool.busy_time(), us(12));
+    }
+
+    #[test]
+    fn peak_queue_tracks_high_water_mark() {
+        let mut pool = MultiServer::new(1);
+        for i in 0..5 {
+            pool.offer(us(0), Job::new(i, us(1)));
+        }
+        assert_eq!(pool.peak_queue(), 4);
+        pool.complete(us(1));
+        assert_eq!(pool.peak_queue(), 4);
+    }
+
+    proptest! {
+        /// Conservation: every offered job either starts on offer, starts on
+        /// a later completion, or is still queued at the end.
+        #[test]
+        fn prop_jobs_conserved(capacity in 1usize..4, n in 0usize..40) {
+            let mut pool = MultiServer::new(capacity);
+            let mut started = 0usize;
+            for i in 0..n {
+                if pool.offer(us(i as u64), Job::new(i as u64, us(1))).is_some() {
+                    started += 1;
+                }
+            }
+            let mut completed = 0usize;
+            while pool.busy() > 0 {
+                if pool.complete(us(1_000 + completed as u64)).is_some() {
+                    started += 1;
+                }
+                completed += 1;
+            }
+            prop_assert_eq!(started, n);
+            prop_assert_eq!(completed, started);
+            prop_assert!(pool.is_idle());
+        }
+
+        /// Busy servers never exceed capacity.
+        #[test]
+        fn prop_capacity_respected(capacity in 1usize..8, offers in proptest::collection::vec(any::<bool>(), 0..64)) {
+            let mut pool = MultiServer::new(capacity);
+            let mut t = 0u64;
+            for (i, do_offer) in offers.into_iter().enumerate() {
+                t += 1;
+                if do_offer {
+                    pool.offer(us(t), Job::new(i as u64, us(3)));
+                } else if pool.busy() > 0 {
+                    pool.complete(us(t));
+                }
+                prop_assert!(pool.busy() <= capacity);
+            }
+        }
+    }
+}

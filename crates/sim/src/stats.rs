@@ -1,0 +1,146 @@
+//! Small statistics helpers for experiment output.
+
+use crate::time::SimTime;
+
+/// Summary statistics over a sample of durations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    count: usize,
+    mean: f64,
+    min: f64,
+    max: f64,
+    p50: f64,
+    p95: f64,
+}
+
+impl Summary {
+    /// Computes a summary over durations (in seconds). Returns `None` for an
+    /// empty sample.
+    pub fn of_times(samples: &[SimTime]) -> Option<Summary> {
+        Summary::of(&samples.iter().map(|t| t.as_secs_f64()).collect::<Vec<_>>())
+    }
+
+    /// Computes a summary over raw f64 samples. Returns `None` if empty.
+    pub fn of(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        Some(Summary {
+            count,
+            mean,
+            min: sorted[0],
+            max: sorted[count - 1],
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+        })
+    }
+
+    /// Sample size.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Minimum.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.p50
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.p95
+    }
+}
+
+/// Nearest-rank percentile over a pre-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Speedup of `base` over `improved` (e.g. sequential time / parallel time).
+///
+/// # Panics
+///
+/// Panics if `improved` is zero.
+pub fn speedup(base: SimTime, improved: SimTime) -> f64 {
+    assert!(improved > SimTime::ZERO, "speedup denominator must be positive");
+    base.as_secs_f64() / improved.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of_times(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::of(&[4.0]).unwrap();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.min(), 4.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.p50(), 4.0);
+        assert_eq!(s.p95(), 4.0);
+    }
+
+    #[test]
+    fn percentiles_on_known_sample() {
+        let samples: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = Summary::of(&samples).unwrap();
+        assert_eq!(s.p50(), 50.0);
+        assert_eq!(s.p95(), 95.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.p50(), 2.0);
+    }
+
+    #[test]
+    fn of_times_converts_seconds() {
+        let s = Summary::of_times(&[SimTime::from_millis(500), SimTime::from_millis(1500)])
+            .unwrap();
+        assert!((s.mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        assert!((speedup(SimTime::from_secs(10), SimTime::from_secs(2)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_speedup_denominator_panics() {
+        speedup(SimTime::from_secs(1), SimTime::ZERO);
+    }
+}

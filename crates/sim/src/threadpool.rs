@@ -1,0 +1,293 @@
+//! Mono-style bounded thread pool with slow thread injection.
+//!
+//! The paper attributes ParC#'s poor Ray Tracer scaling to the Mono thread
+//! pool: *"the Mono implementation uses a thread pool to reduce the thread
+//! creation cost; however limiting the number of running threads in
+//! parallel applications reduces the overlap among computation and
+//! communication and also produces starvation in some application
+//! threads."* This model reproduces that behaviour:
+//!
+//! * `core_threads` are available immediately;
+//! * when all threads are busy and a work item arrives, a new thread is
+//!   *injected* only after `injection_delay` (and only up to
+//!   `max_threads`), so bursts of asynchronous remote calls queue up;
+//! * items beyond `max_threads` starve in the queue until a thread frees.
+//!
+//! Like [`crate::MultiServer`], this is a pure state machine: the caller
+//! schedules injection and completion events on the engine.
+
+use std::collections::VecDeque;
+
+use crate::queue::{Job, Started};
+use crate::time::SimTime;
+
+/// Result of offering a work item to the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offered {
+    /// The item started immediately on an idle thread.
+    Started(Started),
+    /// The item queued. If `injection_at` is `Some`, the pool armed a
+    /// thread-injection timer and the caller must invoke
+    /// [`ThreadPoolModel::inject`] at that instant.
+    Queued {
+        /// When the pending injection fires, if one was armed by this offer.
+        injection_at: Option<SimTime>,
+    },
+}
+
+/// Bounded thread pool with delayed growth.
+#[derive(Debug, Clone)]
+pub struct ThreadPoolModel {
+    max_threads: usize,
+    injection_delay: SimTime,
+    threads: usize,
+    busy: usize,
+    injection_armed: bool,
+    waiting: VecDeque<(Job, SimTime)>,
+    total_queue_wait: SimTime,
+    starved_starts: u64,
+    peak_queue: usize,
+}
+
+impl ThreadPoolModel {
+    /// Creates a pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < core_threads <= max_threads`.
+    pub fn new(core_threads: usize, max_threads: usize, injection_delay: SimTime) -> Self {
+        assert!(core_threads > 0, "pool needs at least one core thread");
+        assert!(core_threads <= max_threads, "core threads exceed max");
+        ThreadPoolModel {
+            max_threads,
+            injection_delay,
+            threads: core_threads,
+            busy: 0,
+            injection_armed: false,
+            waiting: VecDeque::new(),
+            total_queue_wait: SimTime::ZERO,
+            starved_starts: 0,
+            peak_queue: 0,
+        }
+    }
+
+    /// The Mono 1.1.x default shape used by the Fig. 9 model: one core
+    /// thread per CPU, a small cap, and ~500 ms injection.
+    pub fn mono_default(cpus: usize) -> Self {
+        ThreadPoolModel::new(cpus.max(1), cpus.max(1) + 2, SimTime::from_millis(500))
+    }
+
+    /// Threads created so far.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Threads currently running a work item.
+    pub fn busy(&self) -> usize {
+        self.busy
+    }
+
+    /// Work items waiting for a thread.
+    pub fn queue_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Largest queue observed.
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
+    }
+
+    /// Sum of time work items spent queued before starting.
+    pub fn total_queue_wait(&self) -> SimTime {
+        self.total_queue_wait
+    }
+
+    /// Number of items that had to wait before starting (starvation count).
+    pub fn starved_starts(&self) -> u64 {
+        self.starved_starts
+    }
+
+    /// True when nothing is running or waiting.
+    pub fn is_idle(&self) -> bool {
+        self.busy == 0 && self.waiting.is_empty()
+    }
+
+    fn start(&mut self, now: SimTime, job: Job, queued_at: SimTime) -> Started {
+        self.busy += 1;
+        if now > queued_at {
+            self.total_queue_wait += now - queued_at;
+            self.starved_starts += 1;
+        }
+        Started { job, start: now }
+    }
+
+    /// Offers a work item at `now`.
+    pub fn offer(&mut self, now: SimTime, job: Job) -> Offered {
+        if self.busy < self.threads {
+            return Offered::Started(self.start(now, job, now));
+        }
+        self.waiting.push_back((job, now));
+        self.peak_queue = self.peak_queue.max(self.waiting.len());
+        let injection_at = if !self.injection_armed && self.threads < self.max_threads {
+            self.injection_armed = true;
+            Some(now + self.injection_delay)
+        } else {
+            None
+        };
+        Offered::Queued { injection_at }
+    }
+
+    /// Fires a previously armed injection timer: grows the pool by one
+    /// thread, possibly starting a queued item, and possibly re-arming.
+    ///
+    /// Returns `(started_item, next_injection_at)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no injection was armed — a caller wiring bug.
+    pub fn inject(&mut self, now: SimTime) -> (Option<Started>, Option<SimTime>) {
+        assert!(self.injection_armed, "inject called with no armed injection");
+        self.injection_armed = false;
+        if self.threads < self.max_threads {
+            self.threads += 1;
+        }
+        let started = if self.busy < self.threads {
+            self.waiting
+                .pop_front()
+                .map(|(job, queued_at)| self.start(now, job, queued_at))
+        } else {
+            None
+        };
+        let next = if !self.waiting.is_empty() && self.threads < self.max_threads {
+            self.injection_armed = true;
+            Some(now + self.injection_delay)
+        } else {
+            None
+        };
+        (started, next)
+    }
+
+    /// Records a work-item completion; a queued item may start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was running.
+    pub fn complete(&mut self, now: SimTime) -> Option<Started> {
+        assert!(self.busy > 0, "completion with no running work item");
+        self.busy -= 1;
+        if self.busy < self.threads {
+            if let Some((job, queued_at)) = self.waiting.pop_front() {
+                return Some(self.start(now, job, queued_at));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    fn job(id: u64) -> Job {
+        Job::new(id, ms(10))
+    }
+
+    #[test]
+    fn core_threads_start_immediately() {
+        let mut pool = ThreadPoolModel::new(2, 4, ms(500));
+        assert!(matches!(pool.offer(ms(0), job(1)), Offered::Started(_)));
+        assert!(matches!(pool.offer(ms(0), job(2)), Offered::Started(_)));
+        assert_eq!(pool.busy(), 2);
+    }
+
+    #[test]
+    fn overflow_arms_injection_once() {
+        let mut pool = ThreadPoolModel::new(1, 4, ms(500));
+        pool.offer(ms(0), job(1));
+        let o2 = pool.offer(ms(0), job(2));
+        assert_eq!(o2, Offered::Queued { injection_at: Some(ms(500)) });
+        // A third offer does not double-arm.
+        let o3 = pool.offer(ms(1), job(3));
+        assert_eq!(o3, Offered::Queued { injection_at: None });
+    }
+
+    #[test]
+    fn injection_grows_pool_and_starts_queued_item() {
+        let mut pool = ThreadPoolModel::new(1, 4, ms(500));
+        pool.offer(ms(0), job(1));
+        pool.offer(ms(0), job(2));
+        pool.offer(ms(0), job(3));
+        let (started, next) = pool.inject(ms(500));
+        let started = started.unwrap();
+        assert_eq!(started.job.id, 2);
+        assert_eq!(started.start, ms(500));
+        // Item 3 still waits; another injection was armed.
+        assert_eq!(next, Some(ms(1000)));
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.queue_len(), 1);
+    }
+
+    #[test]
+    fn pool_never_exceeds_max_threads() {
+        let mut pool = ThreadPoolModel::new(1, 2, ms(100));
+        pool.offer(ms(0), job(1));
+        pool.offer(ms(0), job(2));
+        pool.offer(ms(0), job(3));
+        let (_, next) = pool.inject(ms(100));
+        assert_eq!(pool.threads(), 2);
+        // Queue is non-empty but pool is at max: no re-arm.
+        assert_eq!(next, None);
+        assert_eq!(pool.queue_len(), 1);
+        // Item 3 only starts when a thread frees.
+        let started = pool.complete(ms(200)).unwrap();
+        assert_eq!(started.job.id, 3);
+    }
+
+    #[test]
+    fn starvation_metrics_accumulate() {
+        let mut pool = ThreadPoolModel::new(1, 1, ms(100));
+        pool.offer(ms(0), job(1));
+        pool.offer(ms(0), job(2)); // no injection possible: max=1
+        assert_eq!(pool.offer(ms(0), job(3)), Offered::Queued { injection_at: None });
+        pool.complete(ms(50)).unwrap();
+        pool.complete(ms(90)).unwrap();
+        assert_eq!(pool.starved_starts(), 2);
+        assert_eq!(pool.total_queue_wait(), ms(50 + 90));
+    }
+
+    #[test]
+    fn completion_prefers_queue_over_shrinking() {
+        let mut pool = ThreadPoolModel::new(2, 2, ms(100));
+        pool.offer(ms(0), job(1));
+        pool.offer(ms(0), job(2));
+        pool.offer(ms(0), job(3));
+        assert!(pool.complete(ms(10)).is_some());
+        assert_eq!(pool.busy(), 2);
+        assert!(pool.complete(ms(20)).is_none());
+        assert_eq!(pool.busy(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no armed injection")]
+    fn unarmed_injection_panics() {
+        let mut pool = ThreadPoolModel::new(1, 2, ms(1));
+        pool.inject(ms(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "core threads exceed max")]
+    fn bad_shape_panics() {
+        let _ = ThreadPoolModel::new(3, 2, ms(1));
+    }
+
+    #[test]
+    fn mono_default_has_small_cap() {
+        let pool = ThreadPoolModel::mono_default(2);
+        assert_eq!(pool.threads(), 2);
+        assert!(pool.max_threads >= 2);
+    }
+}

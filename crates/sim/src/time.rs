@@ -1,0 +1,207 @@
+//! Virtual time: a nanosecond-resolution instant/duration type.
+//!
+//! One type serves as both instant (time since simulation start) and
+//! duration; arithmetic is saturating so cost models cannot wrap.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A virtual time point or span, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero / zero duration.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; no event may be scheduled at or beyond it.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> SimTime {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Creates a time from fractional seconds, saturating at the far
+    /// future; negative and NaN inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        // NaN and negatives clamp to zero.
+        if s.is_nan() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        let ns = s * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ns as u64)
+        }
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Value in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Value in fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Saturating difference (`self - other`, or zero).
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// Scales a duration by a dimensionless factor (JIT slowdowns etc.),
+    /// saturating; negative/NaN factors clamp to zero.
+    pub fn scale(self, factor: f64) -> SimTime {
+        SimTime::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(1), SimTime::from_nanos(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_secs_f64(0.5), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn negative_and_nan_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs(1).scale(-2.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(SimTime::MAX + SimTime::from_secs(1), SimTime::MAX);
+        assert_eq!(SimTime::ZERO - SimTime::from_secs(1), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_nanos(5)), "5ns");
+        assert_eq!(format!("{}", SimTime::from_micros(5)), "5.000us");
+        assert_eq!(format!("{}", SimTime::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", SimTime::from_secs(5)), "5.000s");
+    }
+
+    #[test]
+    fn scale_applies_factor() {
+        assert_eq!(SimTime::from_secs(2).scale(1.5), SimTime::from_secs(3));
+        assert_eq!(SimTime::from_secs(2).scale(0.0), SimTime::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_inverse(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+            let (a, b) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
+            prop_assert_eq!((a + b) - b, a);
+        }
+
+        #[test]
+        fn prop_ordering_consistent_with_nanos(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(
+                SimTime::from_nanos(a).cmp(&SimTime::from_nanos(b)),
+                a.cmp(&b)
+            );
+        }
+
+        #[test]
+        fn prop_sum_equals_fold(xs in proptest::collection::vec(0u64..1 << 30, 0..20)) {
+            let sum: SimTime = xs.iter().map(|&x| SimTime::from_nanos(x)).sum();
+            prop_assert_eq!(sum.as_nanos(), xs.iter().sum::<u64>());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Deterministic event tracing for simulations.
+//!
+//! Experiments assert on *shapes*; debugging a model regression needs the
+//! raw event order. [`Trace`] is an append-only, timestamped log that
+//! simulations thread through their event handlers; because the engine is
+//! deterministic, two runs of the same model produce byte-identical
+//! traces — which the tests pin.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual timestamp.
+    pub at: SimTime,
+    /// Event category (e.g. "dispatch", "reply", "inject").
+    pub kind: &'static str,
+    /// Free-form detail (task ids, nodes, sizes).
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.at, self.kind, self.detail)
+    }
+}
+
+/// Append-only simulation log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts timestamps are non-decreasing (the engine guarantees
+    /// monotone time; a violation means the model logged with a stale
+    /// clock).
+    pub fn record(&mut self, at: SimTime, kind: &'static str, detail: impl Into<String>) {
+        debug_assert!(
+            self.entries.last().is_none_or(|last| last.at <= at),
+            "trace timestamps must be non-decreasing"
+        );
+        self.entries.push(TraceEntry { at, kind, detail: detail.into() });
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries of one kind, in order.
+    pub fn of_kind(&self, kind: &str) -> Vec<&TraceEntry> {
+        self.entries.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Renders the whole trace, one event per line (stable across runs of
+    /// a deterministic model — diffable).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+
+    #[test]
+    fn records_in_order_and_filters_by_kind() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_micros(1), "send", "msg 1");
+        t.record(SimTime::from_micros(2), "recv", "msg 1");
+        t.record(SimTime::from_micros(2), "send", "msg 2");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.of_kind("send").len(), 2);
+        assert_eq!(t.of_kind("recv")[0].detail, "msg 1");
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-decreasing")]
+    fn time_travel_is_a_bug() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_micros(5), "a", "");
+        t.record(SimTime::from_micros(1), "b", "");
+    }
+
+    #[test]
+    fn render_is_line_per_event() {
+        let mut t = Trace::new();
+        t.record(SimTime::from_micros(1), "send", "x");
+        t.record(SimTime::from_micros(3), "recv", "x");
+        let text = t.render();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("send: x"));
+    }
+
+    #[test]
+    fn traced_simulation_is_reproducible() {
+        fn run() -> String {
+            let mut engine: Engine<Trace> = Engine::new();
+            for i in 0..10u64 {
+                engine.schedule_in(SimTime::from_micros(i % 3 * 10), move |eng, trace: &mut Trace| {
+                    trace.record(eng.now(), "tick", format!("event {i}"));
+                });
+            }
+            let mut trace = Trace::new();
+            engine.run(&mut trace);
+            trace.render()
+        }
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,49 @@
+//! The HTTP/SOAP channel end to end — the slow path of Fig. 8b, live.
+//!
+//! Publishes the divide service over the HTTP-style channel (SOAP text
+//! on a real loopback socket) and compares wire sizes against the binary
+//! TCP channel for the same call.
+//!
+//! Run with: `cargo run --example http_channel`
+
+use std::sync::Arc;
+
+use parc::remoting::dispatcher::FnInvokable;
+use parc::remoting::http::{HttpChannelProvider, HttpServerChannel};
+use parc::remoting::{Activator, CallMessage, RemotingError};
+use parc::serial::{BinaryFormatter, SoapFormatter, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = HttpServerChannel::bind("127.0.0.1:0")?;
+    server.objects().register_singleton(
+        "DivideServer",
+        Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+            "divide" => Ok(Value::F64(
+                args[0].as_f64().unwrap_or(f64::NAN) / args[1].as_f64().unwrap_or(f64::NAN),
+            )),
+            _ => Err(RemotingError::MethodNotFound {
+                object: "DivideServer".into(),
+                method: method.into(),
+            }),
+        })),
+    );
+    let uri = server.uri_for("DivideServer");
+    println!("http server listening at {uri}");
+
+    let provider = HttpChannelProvider::new();
+    let proxy = Activator::get_object(&provider, &uri)?;
+    let out = proxy.call("divide", vec![Value::F64(355.0), Value::F64(113.0)])?;
+    println!("355 / 113 over SOAP = {out}");
+
+    // Why Fig. 8b looks the way it does: the same call, two wire images.
+    let msg = CallMessage::new(
+        "DivideServer",
+        "divide",
+        vec![Value::I32Array((0..256).collect())],
+    );
+    let binary = msg.encode(&BinaryFormatter::new())?.len();
+    let soap = msg.encode(&SoapFormatter::new())?.len();
+    println!("a 1 KiB-payload call frame: binary/TCP {binary} bytes, SOAP/HTTP {soap} bytes");
+    println!("({}x inflation before the wire even sees it)", soap / binary);
+    Ok(())
+}

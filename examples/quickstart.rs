@@ -1,0 +1,67 @@
+//! Quickstart: the paper's Fig. 2 "DivideServer", twice over.
+//!
+//! First over the in-process channel (the one-machine runtime), then over
+//! a real TCP loopback socket with the binary formatter — the Mono
+//! `TcpChannel` analogue — including the well-known singleton factory
+//! registration of `RemotingConfiguration.RegisterWellKnownServiceType`.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use parc::remoting::inproc::InprocNetwork;
+use parc::remoting::tcp::{TcpChannelProvider, TcpServerChannel};
+use parc::remoting::wellknown::WellKnownObjectMode;
+use parc::remoting::{remote_interface, Activator, Invokable, RemotingError};
+
+remote_interface! {
+    /// The paper's example service: divides two doubles.
+    pub trait Divider, proxy DividerProxy, dispatcher DividerDispatcher {
+        fn divide(d1: f64, d2: f64) -> f64;
+    }
+}
+
+struct DServer;
+
+impl Divider for DServer {
+    fn divide(&self, d1: f64, d2: f64) -> Result<f64, RemotingError> {
+        if d2 == 0.0 {
+            return Err(RemotingError::ServerFault { detail: "divide by zero".into() });
+        }
+        Ok(d1 / d2)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- in-process channel -------------------------------------------
+    let net = InprocNetwork::new();
+    let node = net.create_endpoint("node0")?;
+    // Well-known singleton factory, exactly like Fig. 2's server Main.
+    node.objects().register_well_known(
+        "DivideServer",
+        WellKnownObjectMode::Singleton,
+        || Arc::new(DividerDispatcher(DServer)) as Arc<dyn Invokable>,
+    );
+    let proxy = DividerProxy::new(Activator::get_object(&net, "inproc://node0/DivideServer")?);
+    println!("inproc: 10 / 4 = {}", proxy.divide(10.0, 4.0)?);
+
+    // --- real TCP loopback --------------------------------------------
+    let server = TcpServerChannel::bind("127.0.0.1:0")?;
+    server.objects().register_well_known(
+        "DivideServer",
+        WellKnownObjectMode::Singleton,
+        || Arc::new(DividerDispatcher(DServer)) as Arc<dyn Invokable>,
+    );
+    let uri = server.uri_for("DivideServer");
+    println!("tcp server listening at {uri}");
+    let provider = TcpChannelProvider::new();
+    let proxy = DividerProxy::new(Activator::get_object(&provider, &uri)?);
+    println!("tcp:    99 / 3 = {}", proxy.divide(99.0, 3.0)?);
+
+    // Faults travel back as errors, not checked exceptions (§2's point).
+    match proxy.divide(1.0, 0.0) {
+        Err(e) => println!("tcp:    1 / 0 -> error as expected: {e}"),
+        Ok(v) => unreachable!("division by zero returned {v}"),
+    }
+    Ok(())
+}

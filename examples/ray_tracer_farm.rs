@@ -1,0 +1,76 @@
+//! The paper's high-level benchmark: the JGF-style Ray Tracer farmed by
+//! image line over SCOOPP workers, validated against the sequential
+//! render.
+//!
+//! Run with: `cargo run --release --example ray_tracer_farm [size]`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parc::remoting::dispatcher::FnInvokable;
+use parc::remoting::RemotingError;
+use parc::scoopp::{Farm, ParcRuntime};
+use parc::serial::Value;
+use parc_apps::raytracer::{render_image, render_line, Scene};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let scene = Scene::jgf(64);
+
+    // Sequential baseline.
+    let t0 = Instant::now();
+    let reference = render_image(&scene, size, size);
+    let seq = t0.elapsed();
+    println!("sequential {size}x{size}: checksum {:.2} in {seq:?}", reference.checksum());
+
+    // Farm: one renderer worker per node; each renders requested lines.
+    let mut builder = ParcRuntime::builder();
+    builder.nodes(4);
+    let runtime = builder.build()?;
+    let worker_scene = scene.clone();
+    runtime.register_class("Renderer", move || {
+        let scene = worker_scene.clone();
+        Arc::new(FnInvokable(move |method: &str, args: &[Value]| match method {
+            "render_line" => {
+                let y = args[0].as_i64().ok_or_else(|| RemotingError::BadArguments {
+                    method: "render_line".into(),
+                    detail: "expected line index".into(),
+                })? as usize;
+                let w = args[1].as_i64().unwrap_or(0) as usize;
+                let h = args[2].as_i64().unwrap_or(0) as usize;
+                let line = render_line(&scene, w, h, y);
+                Ok(Value::F64Array(line.pixels))
+            }
+            _ => Err(RemotingError::MethodNotFound {
+                object: "Renderer".into(),
+                method: method.into(),
+            }),
+        }))
+    });
+
+    let farm = Farm::new(&runtime, "Renderer", 4)?;
+    let items: Vec<Vec<Value>> = (0..size)
+        .map(|y| vec![Value::I64(y as i64), Value::I64(size as i64), Value::I64(size as i64)])
+        .collect();
+    let t0 = Instant::now();
+    let lines = farm.map("render_line", items)?;
+    let par = t0.elapsed();
+
+    let checksum: f64 = lines
+        .iter()
+        .map(|l| l.as_f64_array().expect("pixel rows").iter().sum::<f64>())
+        .sum();
+    println!(
+        "farmed    {size}x{size}: checksum {checksum:.2} in {par:?} across {} workers",
+        farm.len()
+    );
+    assert!(
+        (checksum - reference.checksum()).abs() < 1e-6,
+        "farm must reproduce the sequential image"
+    );
+    println!(
+        "speedup {:.2}x (in-process nodes share this machine's cores)",
+        seq.as_secs_f64() / par.as_secs_f64()
+    );
+    Ok(())
+}

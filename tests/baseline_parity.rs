@@ -1,0 +1,134 @@
+//! The three stacks must compute the same things: functional parity
+//! between C#-remoting, Java-RMI, and MPI implementations of the same
+//! small applications (the paper's premise that only *performance*
+//! differs).
+
+use std::sync::Arc;
+
+use parc::mpi::{Op, World};
+use parc::remoting::dispatcher::FnInvokable;
+use parc::remoting::inproc::InprocNetwork;
+use parc::remoting::{Activator, RemotingError};
+use parc::rmi::unicast::FnRemote;
+use parc::rmi::{Naming, Registry, RemoteException, UnicastRemoteObject};
+use parc::serial::Value;
+
+/// dot(a, b) on the remoting stack.
+fn dot_remoting(a: &[f64], b: &[f64]) -> f64 {
+    let net = InprocNetwork::new();
+    let ep = net.create_endpoint("calc").unwrap();
+    ep.objects().register_singleton(
+        "Dot",
+        Arc::new(FnInvokable(|_: &str, args: &[Value]| {
+            let a = args[0].as_f64_array().ok_or(RemotingError::BadArguments {
+                method: "dot".into(),
+                detail: "a".into(),
+            })?;
+            let b = args[1].as_f64_array().ok_or(RemotingError::BadArguments {
+                method: "dot".into(),
+                detail: "b".into(),
+            })?;
+            Ok(Value::F64(a.iter().zip(b).map(|(x, y)| x * y).sum()))
+        })),
+    );
+    let proxy = Activator::get_object(&net, "inproc://calc/Dot").unwrap();
+    proxy
+        .call("dot", vec![Value::F64Array(a.to_vec()), Value::F64Array(b.to_vec())])
+        .unwrap()
+        .as_f64()
+        .unwrap()
+}
+
+/// dot(a, b) on the RMI stack.
+fn dot_rmi(a: &[f64], b: &[f64]) -> f64 {
+    let exports = UnicastRemoteObject::new();
+    let obj = exports.export(Arc::new(FnRemote(|_: &str, args: &[Value]| {
+        let a = args[0].as_f64_array().ok_or(RemoteException::Unmarshal { detail: "a".into() })?;
+        let b = args[1].as_f64_array().ok_or(RemoteException::Unmarshal { detail: "b".into() })?;
+        Ok(Value::F64(a.iter().zip(b).map(|(x, y)| x * y).sum()))
+    })));
+    let naming = Naming::new();
+    naming.register_registry("host:1050", Registry::new(exports));
+    naming.rebind("rmi://host:1050/Dot", obj).unwrap();
+    let stub = naming.lookup("rmi://host:1050/Dot").unwrap();
+    stub.call_typed::<f64>(
+        "dot",
+        vec![Value::F64Array(a.to_vec()), Value::F64Array(b.to_vec())],
+    )
+    .unwrap()
+}
+
+/// dot(a, b) on the MPI stack: scatter + partial dot + reduce.
+fn dot_mpi(a: &[f64], b: &[f64]) -> f64 {
+    let n_ranks = 4;
+    let chunks_a: Vec<Vec<f64>> = split(a, n_ranks);
+    let chunks_b: Vec<Vec<f64>> = split(b, n_ranks);
+    let outs = World::run(n_ranks, move |comm| {
+        let mine_a = &chunks_a[comm.rank()];
+        let mine_b = &chunks_b[comm.rank()];
+        let partial: f64 = mine_a.iter().zip(mine_b).map(|(x, y)| x * y).sum();
+        comm.allreduce_f64(&[partial], Op::Sum).unwrap()[0]
+    });
+    outs[0]
+}
+
+fn split(v: &[f64], parts: usize) -> Vec<Vec<f64>> {
+    let mut out = vec![Vec::new(); parts];
+    for (i, &x) in v.iter().enumerate() {
+        out[i % parts].push(x);
+    }
+    out
+}
+
+#[test]
+fn all_three_stacks_agree_on_dot_product() {
+    let a: Vec<f64> = (0..64).map(|i| i as f64 * 0.5).collect();
+    let b: Vec<f64> = (0..64).map(|i| 64.0 - i as f64).collect();
+    let expected: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+    assert!((dot_remoting(&a, &b) - expected).abs() < 1e-9);
+    assert!((dot_rmi(&a, &b) - expected).abs() < 1e-9);
+    assert!((dot_mpi(&a, &b) - expected).abs() < 1e-9);
+}
+
+#[test]
+fn rmi_requires_the_five_steps_the_paper_lists() {
+    // A lookup without a registered registry fails (step 3 missing)...
+    let naming = Naming::new();
+    assert!(naming.lookup("rmi://host:1050/Dot").is_err());
+    // ...and a stale export fails at call time (step 2 undone).
+    let exports = UnicastRemoteObject::new();
+    let obj = exports.export(Arc::new(FnRemote(|_: &str, _: &[Value]| Ok(Value::Null))));
+    naming.register_registry("host:1050", Registry::new(exports.clone()));
+    naming.rebind("rmi://host:1050/Thing", obj).unwrap();
+    let stub = naming.lookup("rmi://host:1050/Thing").unwrap();
+    assert!(stub.call("m", vec![]).is_ok());
+    exports.unexport(obj);
+    assert!(matches!(
+        stub.call("m", vec![]),
+        Err(RemoteException::NoSuchObject { .. })
+    ));
+}
+
+#[test]
+fn mpi_pingpong_carries_the_fig8_payloads() {
+    // The actual Fig. 8 payload sweep over the real in-process MPI.
+    let out = World::run(2, |comm| {
+        let mut echoed = Vec::new();
+        if comm.rank() == 0 {
+            for size in [1usize, 256, 4096] {
+                let payload: Vec<i32> = (0..size as i32).collect();
+                comm.send_i32(1, 0, &payload).unwrap();
+                let (back, _) = comm.recv_i32(1, 1).unwrap();
+                assert_eq!(back, payload);
+                echoed.push(back.len());
+            }
+        } else {
+            for _ in 0..3 {
+                let (data, _) = comm.recv_i32(0, 0).unwrap();
+                comm.send_i32(0, 1, &data).unwrap();
+            }
+        }
+        echoed
+    });
+    assert_eq!(out[0], vec![1, 256, 4096]);
+}

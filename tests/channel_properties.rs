@@ -1,0 +1,123 @@
+//! Property tests spanning crates: arbitrary payloads must survive every
+//! channel and every formatter unchanged, and the SCOOPP layer must be
+//! observationally equivalent across placement/aggregation settings.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use parc::remoting::dispatcher::FnInvokable;
+use parc::remoting::inproc::InprocNetwork;
+use parc::remoting::{Activator, CallMessage, RemotingError, ReturnMessage};
+use parc::scoopp::{GrainConfig, ParcRuntime};
+use parc::serial::{BinaryFormatter, Formatter, JavaFormatter, SoapFormatter, StructValue, Value};
+
+fn arb_payload() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(Value::I32),
+        any::<i64>().prop_map(Value::I64),
+        any::<f64>().prop_filter("non-nan", |f| !f.is_nan()).prop_map(Value::F64),
+        "[a-zA-Z0-9 <>&\"]{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Value::Bytes),
+        proptest::collection::vec(any::<i32>(), 0..48).prop_map(Value::I32Array),
+    ];
+    leaf.prop_recursive(3, 48, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::List),
+            ("[A-Z][a-z]{0,6}", proptest::collection::vec(("[a-z]{1,5}", inner), 0..4)).prop_map(
+                |(name, fields)| {
+                    let mut s = StructValue::new(name);
+                    for (n, v) in fields {
+                        s.push_field(n, v);
+                    }
+                    Value::Struct(s)
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A full call/return cycle through every formatter preserves payloads.
+    #[test]
+    fn call_frames_roundtrip_every_formatter(payload in arb_payload(), id in any::<u64>()) {
+        let formatters: [&dyn Formatter; 3] =
+            [&BinaryFormatter::new(), &SoapFormatter::new(), &JavaFormatter::new()];
+        let mut call = CallMessage::new("Obj", "method", vec![payload.clone()]);
+        call.call_id = id;
+        let ret = ReturnMessage::ok(id, payload);
+        for f in formatters {
+            let c2 = CallMessage::decode(f, &call.encode(f).unwrap()).unwrap();
+            prop_assert_eq!(&c2, &call, "{}", f.name());
+            let r2 = ReturnMessage::decode(f, &ret.encode(f).unwrap()).unwrap();
+            prop_assert_eq!(&r2, &ret, "{}", f.name());
+        }
+    }
+
+    /// Echoing through a live inproc endpoint preserves arbitrary values.
+    #[test]
+    fn inproc_channel_echoes_arbitrary_values(payload in arb_payload()) {
+        let net = InprocNetwork::new();
+        let ep = net.create_endpoint("prop").unwrap();
+        ep.objects().register_singleton(
+            "Echo",
+            Arc::new(FnInvokable(|_: &str, args: &[Value]| {
+                Ok(args.first().cloned().unwrap_or(Value::Null))
+            })),
+        );
+        let proxy = Activator::get_object(&net, "inproc://prop/Echo").unwrap();
+        prop_assert_eq!(proxy.call("echo", vec![payload.clone()]).unwrap(), payload);
+        drop(ep);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The observable effect of a post sequence is invariant under
+    /// aggregation factor and local-vs-remote placement.
+    #[test]
+    fn scoopp_semantics_invariant_under_grain_settings(
+        values in proptest::collection::vec(-100i32..100, 1..40),
+        factor in 1usize..20,
+        local in any::<bool>(),
+    ) {
+        let log = Arc::new(Mutex::new(Vec::<i32>::new()));
+        let mut b = ParcRuntime::builder();
+        b.nodes(2).grain(GrainConfig {
+            aggregation_factor: factor,
+            agglomeration_ratio: if local { 1.0 } else { 0.0 },
+            ..GrainConfig::default()
+        });
+        let rt = b.build().unwrap();
+        let log2 = Arc::clone(&log);
+        rt.register_class("Rec", move || {
+            let log = Arc::clone(&log2);
+            Arc::new(FnInvokable(move |method: &str, args: &[Value]| match method {
+                "push" => {
+                    log.lock().push(args[0].as_i32().unwrap_or(i32::MIN));
+                    Ok(Value::Null)
+                }
+                "len" => Ok(Value::I64(log.lock().len() as i64)),
+                _ => Err(RemotingError::MethodNotFound {
+                    object: "Rec".into(),
+                    method: method.into(),
+                }),
+            }))
+        });
+        let po = rt.create("Rec").unwrap();
+        for &v in &values {
+            po.post("push", vec![Value::I32(v)]).unwrap();
+        }
+        po.flush().unwrap();
+        // The sync call is the order barrier: after it, all posts landed.
+        let len = po.call("len", vec![]).unwrap();
+        prop_assert_eq!(len, Value::I64(values.len() as i64));
+        prop_assert_eq!(log.lock().clone(), values);
+    }
+}

@@ -1,0 +1,96 @@
+//! Fast smoke versions of every experiment, pinning the qualitative
+//! shapes the paper reports (the full harness lives in `parc-bench`'s
+//! bench targets).
+
+use parc::bench::fig9::{fig9_curves, LineWork};
+use parc::bench::latency::latency_table;
+use parc::bench::pingpong::{bandwidth_series, paper_size_axis};
+use parc::bench::seqgap::{jit_factor, Vm, Workload};
+use parc::bench::stacks::StackModel;
+
+#[test]
+fn e1_fig8a_who_wins_and_where() {
+    let sizes = paper_size_axis();
+    let mpi = bandwidth_series(&StackModel::mpi(), &sizes);
+    let rmi = bandwidth_series(&StackModel::java_rmi(), &sizes);
+    let mono = bandwidth_series(&StackModel::mono_117_tcp(), &sizes);
+    // MPI above everything everywhere; saturating near the 12.5 MB/s wire.
+    for i in 0..sizes.len() {
+        assert!(mpi[i].mb_per_s >= rmi[i].mb_per_s.max(mono[i].mb_per_s));
+    }
+    assert!(mpi.last().unwrap().mb_per_s > 11.5);
+    // Mono loses to Java RMI only at the large end.
+    assert!(mono[0].mb_per_s > rmi[0].mb_per_s);
+    assert!(mono.last().unwrap().mb_per_s < rmi.last().unwrap().mb_per_s);
+}
+
+#[test]
+fn e2_fig8b_mono_progress_and_http_collapse() {
+    let sizes = paper_size_axis();
+    let tcp_117 = bandwidth_series(&StackModel::mono_117_tcp(), &sizes);
+    let tcp_105 = bandwidth_series(&StackModel::mono_105_tcp(), &sizes);
+    let http = bandwidth_series(&StackModel::mono_117_http(), &sizes);
+    let last = sizes.len() - 1;
+    assert!(tcp_117[last].mb_per_s > 4.0 * tcp_105[last].mb_per_s);
+    assert!(tcp_117[last].mb_per_s > 4.0 * http[last].mb_per_s);
+    assert!(tcp_105[last].mb_per_s > http[last].mb_per_s);
+}
+
+#[test]
+fn e3_latency_values_and_order() {
+    let table = latency_table();
+    for row in &table {
+        if let Some(paper) = row.paper_us {
+            assert!(
+                (row.measured_us - paper).abs() / paper < 0.05,
+                "{}: {} vs {}",
+                row.stack,
+                row.measured_us,
+                paper
+            );
+        }
+    }
+}
+
+#[test]
+fn e4_fig9_shape_holds_on_a_small_work_profile() {
+    // 500 lines like the paper's image (chunking needs enough tasks for
+    // six workers to matter).
+    let work = LineWork::uniform(500, 100.0);
+    let (parc, java) = fig9_curves(&work);
+    // ParC# above Java everywhere; ~1.4x at one processor; gap grows.
+    assert!((parc[0] / java[0] - 1.4).abs() < 0.05);
+    for p in 0..6 {
+        assert!(parc[p] > java[p]);
+    }
+    assert!(parc[5] / java[5] > parc[0] / java[0]);
+    // Java reaches a decent speedup by 6 processors.
+    assert!(java[0] / java[5] > 4.0);
+}
+
+#[test]
+fn e5_vm_gaps() {
+    assert_eq!(jit_factor(Vm::Mono, Workload::RayTracer), 1.4);
+    assert_eq!(jit_factor(Vm::MsNet, Workload::RayTracer), 1.1);
+    assert!((jit_factor(Vm::Mono, Workload::PrimeSieve) - 1.0).abs() < 0.05);
+}
+
+#[test]
+fn e6_aggregation_reduces_messages() {
+    let pts = parc::bench::ablation::aggregation_sweep(&[1, 16], 160);
+    assert_eq!(pts[0].messages, 160);
+    assert_eq!(pts[1].messages, 10);
+}
+
+#[test]
+fn e7_agglomeration_removes_remote_creation() {
+    let pts = parc::bench::ablation::agglomeration_sweep(&[0.0, 1.0], 12);
+    assert_eq!(pts[0].remote, 12);
+    assert_eq!(pts[1].remote, 0);
+}
+
+#[test]
+fn e8_po_overhead_within_noise() {
+    let (po, raw) = parc::bench::ablation::platform_overhead(200);
+    assert!(po.as_secs_f64() / raw.as_secs_f64() < 2.0);
+}

@@ -1,0 +1,132 @@
+//! Failure-injection integration tests: dead endpoints, dropped servers,
+//! lease expiry, oversized frames, poisoned payloads.
+
+use std::sync::Arc;
+
+use parc::remoting::dispatcher::FnInvokable;
+use parc::remoting::inproc::InprocNetwork;
+use parc::remoting::tcp::{TcpChannelProvider, TcpServerChannel};
+use parc::remoting::{Activator, LeaseManager, RemotingError};
+use parc::serial::{BinaryFormatter, Formatter, SerialError, Value};
+
+fn echo() -> Arc<dyn parc::remoting::Invokable> {
+    Arc::new(FnInvokable(|_: &str, args: &[Value]| {
+        Ok(args.first().cloned().unwrap_or(Value::Null))
+    }))
+}
+
+#[test]
+fn tcp_server_dropped_mid_session_surfaces_as_transport_error() {
+    let provider = TcpChannelProvider::new();
+    let server = TcpServerChannel::bind("127.0.0.1:0").unwrap();
+    server.objects().register_singleton("Echo", echo());
+    let proxy = Activator::get_object(&provider, &server.uri_for("Echo")).unwrap();
+    assert!(proxy.call("echo", vec![Value::I32(1)]).is_ok());
+    drop(server); // listener closes, connection threads unwind on EOF
+    // The established (cached) connection must start failing; allow a few
+    // in-flight successes while the close propagates. (Probing the *port*
+    // would be racy — parallel tests may rebind it.)
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        match proxy.call("echo", vec![Value::I32(2)]) {
+            Err(RemotingError::Transport { .. }) | Err(RemotingError::Timeout) => break,
+            Err(other) => panic!("unexpected error class: {other:?}"),
+            Ok(_) => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "dead server's connection kept answering"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+#[test]
+fn unregistering_an_object_breaks_existing_proxies_cleanly() {
+    let net = InprocNetwork::new();
+    let ep = net.create_endpoint("n").unwrap();
+    ep.objects().register_singleton("Echo", echo());
+    let proxy = Activator::get_object(&net, "inproc://n/Echo").unwrap();
+    assert!(proxy.call("echo", vec![]).is_ok());
+    assert!(ep.objects().unregister("Echo"));
+    match proxy.call("echo", vec![]) {
+        Err(RemotingError::ServerFault { detail }) => {
+            assert!(detail.contains("Echo"), "{detail}");
+        }
+        other => panic!("expected fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn lease_expiry_collects_objects_and_calls_fail_afterwards() {
+    let net = InprocNetwork::new();
+    let ep = net.create_endpoint("leased").unwrap();
+    ep.objects().register_singleton("Transient", echo());
+    ep.objects().register_singleton("Pinned", echo());
+    let leases = LeaseManager::new(1_000);
+    leases.grant("Transient", 0);
+
+    let transient = Activator::get_object(&net, "inproc://leased/Transient").unwrap();
+    let pinned = Activator::get_object(&net, "inproc://leased/Pinned").unwrap();
+    assert!(transient.call("m", vec![]).is_ok());
+
+    // Renewal keeps it alive across a sweep...
+    leases.renew("Transient", 900);
+    assert!(leases.sweep(ep.objects(), 1_500).is_empty());
+    assert!(transient.call("m", vec![]).is_ok());
+
+    // ...but once the lease lapses, the sweep collects it.
+    assert_eq!(leases.sweep(ep.objects(), 5_000), vec!["Transient"]);
+    assert!(transient.call("m", vec![]).is_err());
+    assert!(pinned.call("m", vec![]).is_ok(), "unleased objects are immortal");
+}
+
+#[test]
+fn corrupt_frames_fault_without_killing_the_endpoint() {
+    // Send garbage bytes straight through a raw inproc client by abusing a
+    // CallMessage whose args decode fine but whose target misbehaves —
+    // then verify real garbage at the formatter level errors cleanly too.
+    let f = BinaryFormatter::new();
+    assert!(matches!(
+        f.deserialize(&[0xde, 0xad, 0xbe, 0xef]),
+        Err(SerialError::BadMagic { .. })
+    ));
+    let net = InprocNetwork::new();
+    let ep = net.create_endpoint("robust").unwrap();
+    ep.objects().register_singleton("Echo", echo());
+    let proxy = Activator::get_object(&net, "inproc://robust/Echo").unwrap();
+    // Hammer with calls that serialize deep nested structures and verify
+    // the endpoint keeps serving.
+    let mut nested = Value::I32(1);
+    for _ in 0..100 {
+        nested = Value::List(vec![nested]);
+    }
+    for _ in 0..10 {
+        assert!(proxy.call("echo", vec![nested.clone()]).is_ok());
+    }
+    assert!(proxy.call("echo", vec![Value::I32(2)]).is_ok());
+}
+
+#[test]
+fn scoopp_create_on_dead_class_does_not_wedge_the_node() {
+    let mut b = parc::scoopp::ParcRuntime::builder();
+    b.nodes(2);
+    let rt = b.build().unwrap();
+    rt.register_class("Good", echo);
+    assert!(rt.create("Missing").is_err());
+    // The node's factory still works afterwards.
+    let po = rt.create("Good").unwrap();
+    assert!(po.call("m", vec![]).is_ok());
+}
+
+#[test]
+fn mpi_deadlock_surfaces_as_timeout_not_hang() {
+    // A receive that can never be matched must time out, not hang the
+    // suite: rank 0 waits on a message nobody sends.
+    let errs = parc::mpi::World::run(1, |comm| {
+        comm.recv_with_timeout(0, 42, std::time::Duration::from_millis(50))
+            .expect_err("no sender exists")
+    });
+    assert!(matches!(errs[0], parc::mpi::MpiError::Timeout { .. }));
+}

@@ -1,0 +1,103 @@
+//! Drives the DES substrate end-to-end: a ping-pong and a static farm on
+//! the simulated cluster, checking the virtual timings against closed-form
+//! expectations.
+
+use parc::sim::{ClusterBuilder, Engine, Job, NodeSpec, SimTime};
+
+/// Ping-pong over the simulated 100 Mbit wire: node 0 sends `bytes`, node
+/// 1 echoes. Events carry the whole protocol.
+fn pingpong_rtt(bytes: usize, rounds: usize) -> SimTime {
+    struct World {
+        cluster: parc::sim::Cluster,
+        bytes: usize,
+        remaining: usize,
+    }
+
+    fn send_ping(eng: &mut Engine<World>, w: &mut World) {
+        if w.remaining == 0 {
+            return;
+        }
+        w.remaining -= 1;
+        let bytes = w.bytes;
+        let t = w.cluster.link_mut(0, 1).transmit(eng.now(), bytes);
+        eng.schedule_at(t.arrival, move |eng, w: &mut World| {
+            // Pong back.
+            let t = w.cluster.link_mut(1, 0).transmit(eng.now(), bytes);
+            eng.schedule_at(t.arrival, send_ping);
+        });
+    }
+
+    let mut b = ClusterBuilder::new();
+    b.nodes(2, NodeSpec::default()).link_latency(SimTime::from_micros(50));
+    let mut world = World { cluster: b.build(), bytes, remaining: rounds };
+    let mut engine = Engine::new();
+    engine.schedule_at(SimTime::ZERO, send_ping);
+    engine.run(&mut world)
+}
+
+#[test]
+fn pingpong_matches_closed_form() {
+    // One round of B bytes each way: 2 * (B / 12.5e6 + 50us).
+    let bytes = 125_000; // 10 ms of wire each way
+    let total = pingpong_rtt(bytes, 1);
+    let expected = SimTime::from_millis(20) + SimTime::from_micros(100);
+    let drift = total.as_nanos().abs_diff(expected.as_nanos());
+    assert!(drift < 1_000, "got {total}, expected {expected}");
+}
+
+#[test]
+fn pingpong_scales_linearly_in_rounds() {
+    let one = pingpong_rtt(1_000, 1).as_secs_f64();
+    let ten = pingpong_rtt(1_000, 10).as_secs_f64();
+    assert!((ten / one - 10.0).abs() < 1e-6);
+}
+
+#[test]
+fn cpu_queue_serializes_work_per_core() {
+    // A dual-core node receives 4 jobs of 10 ms: makespan 20 ms.
+    let mut b = ClusterBuilder::new();
+    b.node(NodeSpec { cores: 2, speed_factor: 1.0 });
+    let cluster = b.build();
+
+    struct World {
+        cluster: parc::sim::Cluster,
+        done: usize,
+    }
+
+    fn complete(eng: &mut Engine<World>, w: &mut World) {
+        w.done += 1;
+        if let Some(started) = w.cluster.node_mut(0).cpus.complete(eng.now()) {
+            eng.schedule_at(started.start + started.job.service, complete);
+        }
+    }
+
+    let mut engine: Engine<World> = Engine::new();
+    let mut world = World { cluster, done: 0 };
+    for i in 0..4 {
+        let job = Job::new(i, SimTime::from_millis(10));
+        if let Some(started) = world.cluster.node_mut(0).cpus.offer(SimTime::ZERO, job) {
+            engine.schedule_at(started.start + started.job.service, complete);
+        }
+    }
+    let end = engine.run(&mut world);
+    assert_eq!(world.done, 4);
+    assert_eq!(end, SimTime::from_millis(20));
+}
+
+#[test]
+fn jit_factor_slows_a_node_uniformly() {
+    let mut b = ClusterBuilder::new();
+    b.node(NodeSpec { cores: 1, speed_factor: 1.4 });
+    let cluster = b.build();
+    assert_eq!(
+        cluster.node(0).service_time(SimTime::from_secs(10)),
+        SimTime::from_secs(14)
+    );
+}
+
+#[test]
+fn simulation_is_deterministic_across_runs() {
+    let a = pingpong_rtt(4_321, 7);
+    let b = pingpong_rtt(4_321, 7);
+    assert_eq!(a, b);
+}
