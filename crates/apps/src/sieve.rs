@@ -18,7 +18,7 @@ use parc_core::ParcRuntime;
 use parc_remoting::channel::RemoteObject;
 use parc_remoting::{Activator, Invokable, RemotingError};
 use parc_serial::Value;
-use parking_lot::Mutex;
+use parc_sync::Mutex;
 
 /// Sequential sieve of Eratosthenes: all primes ≤ `limit`.
 pub fn reference_primes(limit: u32) -> Vec<u32> {

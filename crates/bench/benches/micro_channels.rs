@@ -1,10 +1,11 @@
-//! M2 — criterion microbenchmarks of the channels and the PO layer:
+//! M2 — microbenchmarks of the channels and the PO layer:
 //! real-machine ping-pong over inproc and TCP-loopback, plus delegate
 //! dispatch and aggregation costs.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use parc_bench::harness::Criterion;
+use parc_bench::{criterion_group, criterion_main};
 use parc_core::{GrainConfig, ParcRuntime};
 use parc_remoting::dispatcher::FnInvokable;
 use parc_remoting::inproc::InprocNetwork;

@@ -1,7 +1,8 @@
-//! M1 — criterion microbenchmarks of the serialization substrate: the
+//! M1 — microbenchmarks of the serialization substrate: the
 //! real-machine costs behind the Fig. 8 per-byte model parameters.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parc_bench::harness::{BenchmarkId, Criterion, Throughput};
+use parc_bench::{criterion_group, criterion_main};
 use parc_serial::{BinaryFormatter, Formatter, JavaFormatter, SoapFormatter, Value};
 
 fn bench_serialize(c: &mut Criterion) {

@@ -1,0 +1,265 @@
+//! A minimal criterion-shaped micro-benchmark harness.
+//!
+//! The two `micro_*` benches were written against criterion's API
+//! (`Criterion`, `BenchmarkGroup`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros). This module keeps that
+//! call shape without the registry dependency: every benchmark gets a
+//! warmup/calibration phase, then a fixed number of timed samples, and
+//! the report prints the median and p95 per-iteration time (plus
+//! throughput when declared) through the shared [`report`](crate::report)
+//! table helpers.
+//!
+//! It is deliberately *not* a statistics engine — no outlier analysis, no
+//! baseline comparison — just stable, order-of-magnitude numbers printed
+//! in the same tables as the paper experiments.
+
+use std::time::{Duration, Instant};
+
+use crate::report;
+
+/// Per-sample target so one timer read amortises over many iterations.
+const SAMPLE_TARGET: Duration = Duration::from_millis(2);
+
+/// Top-level harness handle; one per bench binary.
+pub struct Criterion {
+    warmup: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { warmup: Duration::from_millis(100), samples: 20 }
+    }
+}
+
+impl Criterion {
+    /// The default configuration (100 ms warmup, 20 samples).
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Overrides the warmup/calibration duration.
+    pub fn warm_up_time(mut self, warmup: Duration) -> Criterion {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn sample_count(mut self, samples: usize) -> Criterion {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks (one banner, shared
+    /// throughput setting).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        report::banner(name);
+        header();
+        BenchmarkGroup { criterion: self, throughput: None }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let stats = self.run(&mut f);
+        print_line(name, &stats, None);
+    }
+
+    fn run(&self, f: &mut dyn FnMut(&mut Bencher)) -> Stats {
+        let mut b = Bencher { warmup: self.warmup, samples: self.samples, stats: None };
+        f(&mut b);
+        b.stats.expect("benchmark closure must call Bencher::iter")
+    }
+}
+
+/// Declared work per iteration, used to derive a throughput column.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration; reported as MB/s.
+    Bytes(u64),
+    /// Elements processed per iteration; reported as Melem/s.
+    Elements(u64),
+}
+
+/// A `name/parameter` benchmark label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds the `name/parameter` label criterion renders for
+    /// parameterised benchmarks.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// A group of related benchmarks sharing one table.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for subsequent benches in the group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let stats = self.criterion.run(&mut f);
+        print_line(&id.0, &stats, self.throughput);
+    }
+
+    /// Runs one benchmark with a prepared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let stats = self.criterion.run(&mut |b| f(b, input));
+        print_line(&id.0, &stats, self.throughput);
+    }
+
+    /// Ends the group (the banner was printed eagerly, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    warmup: Duration,
+    samples: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    /// Times `routine`: warms up for the configured duration (which also
+    /// calibrates how many iterations one sample needs), then records the
+    /// per-iteration time of each sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 1 << 24);
+
+        let mut per_iter_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(f64::total_cmp);
+        self.stats = Some(Stats {
+            median_ns: percentile(&per_iter_ns, 50.0),
+            p95_ns: percentile(&per_iter_ns, 95.0),
+        });
+    }
+}
+
+struct Stats {
+    median_ns: f64,
+    p95_ns: f64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "no samples");
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn header() {
+    report::row("benchmark", &["median".into(), "p95".into(), "throughput".into()]);
+}
+
+fn print_line(name: &str, stats: &Stats, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let mb_s = bytes as f64 / (stats.median_ns / 1e9) / 1e6;
+            format!("{} MB/s", report::fmt_mb_s(mb_s))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("{:.2} Melem/s", n as f64 / (stats.median_ns / 1e9) / 1e6)
+        }
+        None => String::new(),
+    };
+    report::row(name, &[report::fmt_nanos(stats.median_ns), report::fmt_nanos(stats.p95_ns), rate]);
+}
+
+/// Declares a bench group function, criterion-style: the generated
+/// function runs every listed target against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> Criterion {
+        Criterion::new().warm_up_time(Duration::from_micros(100)).sample_count(3)
+    }
+
+    #[test]
+    fn bencher_records_stats() {
+        let mut c = fast();
+        // Goes through the whole pipeline; panics if iter was not called
+        // or produced no stats.
+        c.bench_function("noop", |b| b.iter(|| 2 + 2));
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = fast();
+        let mut g = c.benchmark_group("test_group");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("sum", 1024), &vec![1u8; 1024], |b, v| {
+            b.iter(|| v.iter().map(|&x| x as u64).sum::<u64>());
+        });
+        g.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "must call Bencher::iter")]
+    fn missing_iter_is_detected() {
+        fast().bench_function("broken", |_| {});
+    }
+
+    #[test]
+    fn benchmark_id_joins_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("binary", 64).0, "binary/64");
+    }
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 95.0), 5.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+    }
+}

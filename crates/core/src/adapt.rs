@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parc_sync::Mutex;
 
 /// Controller state for one runtime.
 #[derive(Debug)]
@@ -177,5 +177,58 @@ mod tests {
         let a = GrainAdapter::new(Duration::from_millis(100), 8);
         a.observe_call(Duration::from_nanos(1));
         assert_eq!(a.recommended_aggregation(), 8);
+    }
+
+    #[test]
+    fn ewma_converges_on_constant_service_times_within_ten_samples() {
+        // A pure constant stream is fixed-point: the first sample seeds
+        // the EWMA and later samples leave it unchanged.
+        let a = adapter();
+        for _ in 0..10 {
+            a.observe_call(Duration::from_micros(500));
+        }
+        let est = a.estimated_call_cost().unwrap().as_secs_f64();
+        assert!((est - 500e-6).abs() < 1e-12, "constant stream must be exact, got {est}");
+
+        // After a regime change, the residual error decays as
+        // (1 - ALPHA)^n: ten samples of the new constant leave at most
+        // 0.8^10 ~= 10.7% of the initial gap.
+        let a = adapter();
+        a.observe_call(Duration::from_millis(1));
+        for _ in 0..10 {
+            a.observe_call(Duration::from_micros(100));
+        }
+        let est = a.estimated_call_cost().unwrap().as_secs_f64();
+        let residual = (est - 100e-6) / (1e-3 - 100e-6);
+        assert!(residual > 0.0, "estimate cannot undershoot the constant");
+        assert!(residual < 0.11, "EWMA must converge within ~10 samples, residual {residual}");
+    }
+
+    #[test]
+    fn aggregation_knob_crosses_273us_threshold_at_right_grain_size() {
+        // With the paper's 273 us message overhead and the >= 4x work
+        // target, aggregation becomes unnecessary exactly when one call
+        // carries 4 * 273 us = 1092 us of work.
+        let at_threshold = GrainAdapter::mono_default();
+        at_threshold.observe_call(Duration::from_micros(1092));
+        assert_eq!(at_threshold.recommended_aggregation(), 1);
+
+        let just_below = GrainAdapter::mono_default();
+        just_below.observe_call(Duration::from_micros(1000));
+        assert_eq!(just_below.recommended_aggregation(), 2);
+
+        // A call exactly as long as the overhead needs the 4x factor.
+        let equal = GrainAdapter::mono_default();
+        equal.observe_call(Duration::from_micros(273));
+        assert_eq!(equal.recommended_aggregation(), 4);
+
+        // Agglomeration flips where work drops under the *per-call* share
+        // of a maximally aggregated message: 273 us / 256 ~= 1.07 us.
+        let above = GrainAdapter::mono_default();
+        above.observe_call(Duration::from_nanos(1_200));
+        assert!(!above.should_agglomerate());
+        let below = GrainAdapter::mono_default();
+        below.observe_call(Duration::from_nanos(1_000));
+        assert!(below.should_agglomerate());
     }
 }

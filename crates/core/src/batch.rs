@@ -98,7 +98,7 @@ impl Invokable for BatchDispatcher {
 mod tests {
     use super::*;
     use parc_remoting::dispatcher::FnInvokable;
-    use parking_lot::Mutex;
+    use parc_sync::Mutex;
 
     type CallLog = Arc<Mutex<Vec<(String, i32)>>>;
 

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use parc_sync::Mutex;
 
 /// A concurrent dependence graph over parallel-object ids.
 #[derive(Debug, Default)]

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parc_remoting::{Invokable, ObjectTable, RemotingError};
 use parc_serial::Value;
-use parking_lot::RwLock;
+use parc_sync::RwLock;
 
 use crate::batch::BatchDispatcher;
 use crate::om::OmState;

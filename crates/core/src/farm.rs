@@ -99,13 +99,13 @@ impl Farm {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let n = items.len();
         // One slot per item; workers fill disjoint slots.
-        let results: Vec<parking_lot::Mutex<Option<Value>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let results: Vec<parc_sync::Mutex<Option<Value>>> =
+            (0..n).map(|_| parc_sync::Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let items_ref = &items;
         let next_ref = &next;
         let results_ref = &results;
-        let first_error: parking_lot::Mutex<Option<ParcError>> = parking_lot::Mutex::new(None);
+        let first_error: parc_sync::Mutex<Option<ParcError>> = parc_sync::Mutex::new(None);
         let error_ref = &first_error;
         std::thread::scope(|scope| {
             for w in &self.workers {

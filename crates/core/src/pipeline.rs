@@ -119,7 +119,7 @@ mod tests {
     use parc_remoting::dispatcher::FnInvokable;
     use parc_remoting::inproc::InprocNetwork;
     use parc_remoting::{Activator, RemotingError};
-    use parking_lot::Mutex;
+    use parc_sync::Mutex;
     use std::sync::Arc;
 
     /// A stage that appends its tag to each travelling item and forwards.

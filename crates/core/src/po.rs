@@ -19,7 +19,7 @@ use std::time::Instant;
 use parc_remoting::channel::RemoteObject;
 use parc_remoting::Invokable;
 use parc_serial::Value;
-use parking_lot::Mutex;
+use parc_sync::Mutex;
 
 use crate::adapt::GrainAdapter;
 use crate::batch::{encode_batch, BATCH_METHOD};

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use parc_remoting::channel::{ChannelProvider, RemoteObject};
 use parc_remoting::inproc::{InprocEndpoint, InprocNetwork};
 use parc_serial::Value;
-use parking_lot::Mutex;
+use parc_sync::Mutex;
 
 use crate::adapt::GrainAdapter;
 use crate::config::{GrainConfig, Placement};
@@ -126,8 +126,8 @@ fn seeded_rng(placement: Placement) -> parc_sim_free::SplitMix64 {
 }
 
 /// Tiny local PRNG so `parc-core` does not depend on `parc-sim` for three
-/// lines of arithmetic (the `rand` dependency is reserved for workload
-/// generation, which wants distributions).
+/// lines of arithmetic (the workspace carries no external randomness
+/// crate; every consumer seeds a SplitMix64 explicitly).
 mod parc_sim_free {
     #[derive(Debug)]
     pub struct SplitMix64 {

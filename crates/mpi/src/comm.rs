@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parc_sync::{Condvar, Mutex};
 
 use crate::error::MpiError;
 use crate::p2p::Status;

@@ -144,7 +144,7 @@ impl PackBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parc_testkit::Config;
 
     #[test]
     fn mixed_pack_unpack_in_order() {
@@ -184,41 +184,53 @@ mod tests {
         assert_eq!(buf.remaining(), 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_i32_roundtrip(v in proptest::collection::vec(any::<i32>(), 0..200)) {
-            let mut buf = PackBuffer::new();
-            buf.pack_i32(&v);
-            let mut rx = PackBuffer::from_bytes(buf.into_bytes());
-            prop_assert_eq!(rx.unpack_i32(v.len()).unwrap(), v);
-        }
+    #[test]
+    fn prop_i32_roundtrip() {
+        Config::new().check(
+            |src| src.vec_of(0..200, |s| s.i32_any()),
+            |v| {
+                let mut buf = PackBuffer::new();
+                buf.pack_i32(v);
+                let mut rx = PackBuffer::from_bytes(buf.into_bytes());
+                assert_eq!(&rx.unpack_i32(v.len()).unwrap(), v);
+            },
+        );
+    }
 
-        #[test]
-        fn prop_f64_bits_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..100)) {
-            let fs: Vec<f64> = v.iter().map(|&b| f64::from_bits(b)).collect();
-            let mut buf = PackBuffer::new();
-            buf.pack_f64(&fs);
-            let mut rx = PackBuffer::from_bytes(buf.into_bytes());
-            let out = rx.unpack_f64(fs.len()).unwrap();
-            let bits: Vec<u64> = out.iter().map(|f| f.to_bits()).collect();
-            prop_assert_eq!(bits, v);
-        }
+    #[test]
+    fn prop_f64_bits_roundtrip() {
+        Config::new().check(
+            |src| src.vec_of(0..100, |s| s.u64_any()),
+            |v| {
+                let fs: Vec<f64> = v.iter().map(|&b| f64::from_bits(b)).collect();
+                let mut buf = PackBuffer::new();
+                buf.pack_f64(&fs);
+                let mut rx = PackBuffer::from_bytes(buf.into_bytes());
+                let out = rx.unpack_f64(fs.len()).unwrap();
+                let bits: Vec<u64> = out.iter().map(|f| f.to_bits()).collect();
+                assert_eq!(&bits, v);
+            },
+        );
+    }
 
-        #[test]
-        fn prop_interleaved_segments(segments in proptest::collection::vec(
-            proptest::collection::vec(any::<i32>(), 0..20), 0..10)) {
-            let mut buf = PackBuffer::new();
-            for s in &segments {
-                buf.pack_u64(s.len() as u64);
-                buf.pack_i32(s);
-            }
-            let mut rx = PackBuffer::from_bytes(buf.into_bytes());
-            for s in &segments {
-                let n = rx.unpack_u64().unwrap() as usize;
-                prop_assert_eq!(n, s.len());
-                prop_assert_eq!(&rx.unpack_i32(n).unwrap(), s);
-            }
-            prop_assert_eq!(rx.remaining(), 0);
-        }
+    #[test]
+    fn prop_interleaved_segments() {
+        Config::new().check(
+            |src| src.vec_of(0..10, |s| s.vec_of(0..20, |s| s.i32_any())),
+            |segments| {
+                let mut buf = PackBuffer::new();
+                for s in segments {
+                    buf.pack_u64(s.len() as u64);
+                    buf.pack_i32(s);
+                }
+                let mut rx = PackBuffer::from_bytes(buf.into_bytes());
+                for s in segments {
+                    let n = rx.unpack_u64().unwrap() as usize;
+                    assert_eq!(n, s.len());
+                    assert_eq!(&rx.unpack_i32(n).unwrap(), s);
+                }
+                assert_eq!(rx.remaining(), 0);
+            },
+        );
     }
 }

@@ -15,7 +15,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parc_sync::{Condvar, Mutex};
 
 use crate::error::RemotingError;
 use crate::threadpool::ThreadPool;

@@ -17,9 +17,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parc_sync::channel::{bounded, unbounded, Receiver, Sender};
 use parc_serial::BinaryFormatter;
-use parking_lot::RwLock;
+use parc_sync::RwLock;
 
 use crate::channel::{ChannelProvider, ClientChannel};
 use crate::dispatcher::dispatch;

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use parc_sync::Mutex;
 
 use crate::wellknown::ObjectTable;
 

@@ -13,7 +13,7 @@
 //!   [`WellKnownObjectMode::SingleCall`] publication modes plus explicit
 //!   object registration (`RemotingConfiguration.RegisterWellKnownServiceType`
 //!   analogue);
-//! * channels: [`inproc`] (crossbeam-backed, real threads), [`tcp`]
+//! * channels: [`inproc`] (queue-backed, real threads), [`tcp`]
 //!   (framed loopback sockets + binary formatter — Mono's `TcpChannel`) and
 //!   [`http`] (HTTP/1.1-style framing + SOAP formatter — Mono's
 //!   `HttpChannel`);

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parc_serial::BinaryFormatter;
-use parking_lot::Mutex;
+use parc_sync::Mutex;
 
 use crate::channel::{ChannelProvider, ClientChannel};
 use crate::dispatcher::dispatch;

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use parc_sync::channel::{unbounded, Receiver, Sender};
 
 type Task = Box<dyn FnOnce() + Send>;
 

@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parc_sync::RwLock;
 
 use crate::dispatcher::Invokable;
 use crate::error::RemotingError;

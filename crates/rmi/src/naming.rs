@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parc_sync::RwLock;
 
 use crate::error::RemoteException;
 use crate::registry::Registry;

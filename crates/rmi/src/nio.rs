@@ -9,7 +9,7 @@
 
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use parc_sync::channel::{unbounded, Receiver, Sender};
 
 use crate::error::RemoteException;
 

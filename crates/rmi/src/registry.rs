@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parc_sync::RwLock;
 
 use crate::error::RemoteException;
 use crate::unicast::{ObjRef, UnicastRemoteObject};

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parc_serial::Value;
-use parking_lot::RwLock;
+use parc_sync::RwLock;
 
 use crate::error::RemoteException;
 

@@ -239,37 +239,43 @@ impl Formatter for BinaryFormatter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parc_testkit::{Config, Source};
 
-    fn arb_value() -> impl Strategy<Value = Value> {
-        let leaf = prop_oneof![
-            Just(Value::Null),
-            any::<bool>().prop_map(Value::Bool),
-            any::<i32>().prop_map(Value::I32),
-            any::<i64>().prop_map(Value::I64),
-            any::<f64>().prop_map(Value::F64),
-            "[a-z]{0,12}".prop_map(Value::Str),
-            proptest::collection::vec(any::<u8>(), 0..64).prop_map(Value::Bytes),
-            proptest::collection::vec(any::<i32>(), 0..64).prop_map(Value::I32Array),
-            proptest::collection::vec(any::<f64>(), 0..32).prop_map(Value::F64Array),
-            (0..1000u32).prop_map(Value::Ref),
-        ];
-        leaf.prop_recursive(4, 64, 8, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
-                ("[A-Z][a-z]{0,6}", proptest::collection::vec(("[a-z]{1,6}", inner), 0..6))
-                    .prop_map(|(name, fields)| {
-                        let mut s = StructValue::new(name);
-                        for (n, v) in fields {
-                            s.push_field(n, v);
-                        }
-                        Value::Struct(s)
-                    }),
-            ]
-        })
+    const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+    const UPPER: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+    fn arb_value(src: &mut Source) -> Value {
+        arb_value_at(src, 4)
     }
 
-    /// Equality that treats NaN == NaN, for proptest float payloads.
+    fn arb_value_at(src: &mut Source, depth: usize) -> Value {
+        // Leaves first so a zeroed tape yields Value::Null.
+        let arms = if depth == 0 { 10 } else { 12 };
+        match src.choice(arms) {
+            0 => Value::Null,
+            1 => Value::Bool(src.bool_any()),
+            2 => Value::I32(src.i32_any()),
+            3 => Value::I64(src.i64_any()),
+            4 => Value::F64(src.f64_any()),
+            5 => Value::Str(src.string_of(LOWER, 0..13)),
+            6 => Value::Bytes(src.bytes(0..64)),
+            7 => Value::I32Array(src.vec_of(0..64, |s| s.i32_any())),
+            8 => Value::F64Array(src.vec_of(0..32, |s| s.f64_any())),
+            9 => Value::Ref(src.u64_in(0..1000) as u32),
+            10 => Value::List(src.vec_of(0..8, |s| arb_value_at(s, depth - 1))),
+            _ => {
+                let mut name = src.string_of(UPPER, 1..2);
+                name.push_str(&src.string_of(LOWER, 0..7));
+                let mut s = StructValue::new(name);
+                for _ in 0..src.usize_in(0..6) {
+                    s.push_field(src.string_of(LOWER, 1..7), arb_value_at(src, depth - 1));
+                }
+                Value::Struct(s)
+            }
+        }
+    }
+
+    /// Equality that treats NaN == NaN, for generated float payloads.
     fn eq_nan(a: &Value, b: &Value) -> bool {
         match (a, b) {
             (Value::F64(x), Value::F64(y)) => x == y || (x.is_nan() && y.is_nan()),
@@ -292,28 +298,38 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(v in arb_value()) {
+    #[test]
+    fn prop_roundtrip() {
+        Config::new().check(arb_value, |v| {
             let f = BinaryFormatter::new();
-            let bytes = f.serialize(&v).unwrap();
+            let bytes = f.serialize(v).unwrap();
             let back = f.deserialize(&bytes).unwrap();
-            prop_assert!(eq_nan(&back, &v), "{back:?} != {v:?}");
-        }
+            assert!(eq_nan(&back, v), "{back:?} != {v:?}");
+        });
+    }
 
-        #[test]
-        fn prop_truncation_never_panics(v in arb_value(), cut in 0usize..64) {
-            let f = BinaryFormatter::new();
-            let mut bytes = f.serialize(&v).unwrap();
-            let keep = bytes.len().saturating_sub(cut.min(bytes.len()));
-            bytes.truncate(keep);
-            let _ = f.deserialize(&bytes); // must not panic
-        }
+    #[test]
+    fn prop_truncation_never_panics() {
+        Config::new().check(
+            |src| (arb_value(src), src.usize_in(0..64)),
+            |(v, cut)| {
+                let f = BinaryFormatter::new();
+                let mut bytes = f.serialize(v).unwrap();
+                let keep = bytes.len().saturating_sub((*cut).min(bytes.len()));
+                bytes.truncate(keep);
+                let _ = f.deserialize(&bytes); // must not panic
+            },
+        );
+    }
 
-        #[test]
-        fn prop_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-            let _ = BinaryFormatter::new().deserialize(&bytes);
-        }
+    #[test]
+    fn prop_random_bytes_never_panic() {
+        Config::new().check(
+            |src| src.bytes(0..256),
+            |bytes| {
+                let _ = BinaryFormatter::new().deserialize(bytes);
+            },
+        );
     }
 
     #[test]

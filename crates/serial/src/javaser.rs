@@ -381,7 +381,7 @@ impl Formatter for JavaFormatter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parc_testkit::{Config, Source};
 
     fn point(x: f64, y: f64) -> Value {
         Value::Struct(
@@ -461,49 +461,55 @@ mod tests {
         assert_ne!(a, c);
     }
 
-    fn arb_tree() -> impl Strategy<Value = Value> {
-        let leaf = prop_oneof![
-            Just(Value::Null),
-            any::<bool>().prop_map(Value::Bool),
-            any::<i32>().prop_map(Value::I32),
-            any::<i64>().prop_map(Value::I64),
-            any::<f64>().prop_filter("non-nan", |f| !f.is_nan()).prop_map(Value::F64),
-            "[a-z]{0,10}".prop_map(Value::Str),
-            proptest::collection::vec(any::<u8>(), 0..32).prop_map(Value::Bytes),
-            proptest::collection::vec(any::<i32>(), 0..32).prop_map(Value::I32Array),
-            proptest::collection::vec(
-                any::<f64>().prop_filter("non-nan", |f| !f.is_nan()),
-                0..16
-            )
-            .prop_map(Value::F64Array),
-            (0..100u32).prop_map(Value::Ref),
-        ];
-        leaf.prop_recursive(3, 32, 6, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::List),
-                ("[A-Z][a-z]{0,5}", proptest::collection::vec(("[a-z]{1,4}", inner), 0..4))
-                    .prop_map(|(name, fields)| {
-                        let mut s = StructValue::new(name);
-                        for (n, v) in fields {
-                            s.push_field(n, v);
-                        }
-                        Value::Struct(s)
-                    }),
-            ]
-        })
+    const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+    const UPPER: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+    fn arb_tree(src: &mut Source) -> Value {
+        arb_tree_at(src, 3)
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(v in arb_tree()) {
-            let f = JavaFormatter::new();
-            let bytes = f.serialize(&v).unwrap();
-            prop_assert_eq!(f.deserialize(&bytes).unwrap(), v);
+    fn arb_tree_at(src: &mut Source, depth: usize) -> Value {
+        let arms = if depth == 0 { 10 } else { 12 };
+        match src.choice(arms) {
+            0 => Value::Null,
+            1 => Value::Bool(src.bool_any()),
+            2 => Value::I32(src.i32_any()),
+            3 => Value::I64(src.i64_any()),
+            4 => Value::F64(src.f64_non_nan()),
+            5 => Value::Str(src.string_of(LOWER, 0..11)),
+            6 => Value::Bytes(src.bytes(0..32)),
+            7 => Value::I32Array(src.vec_of(0..32, |s| s.i32_any())),
+            8 => Value::F64Array(src.vec_of(0..16, |s| s.f64_non_nan())),
+            9 => Value::Ref(src.u64_in(0..100) as u32),
+            10 => Value::List(src.vec_of(0..5, |s| arb_tree_at(s, depth - 1))),
+            _ => {
+                let mut name = src.string_of(UPPER, 1..2);
+                name.push_str(&src.string_of(LOWER, 0..6));
+                let mut s = StructValue::new(name);
+                for _ in 0..src.usize_in(0..4) {
+                    s.push_field(src.string_of(LOWER, 1..5), arb_tree_at(src, depth - 1));
+                }
+                Value::Struct(s)
+            }
         }
+    }
 
-        #[test]
-        fn prop_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
-            let _ = JavaFormatter::new().deserialize(&bytes);
-        }
+    #[test]
+    fn prop_roundtrip() {
+        Config::new().check(arb_tree, |v| {
+            let f = JavaFormatter::new();
+            let bytes = f.serialize(v).unwrap();
+            assert_eq!(&f.deserialize(&bytes).unwrap(), v);
+        });
+    }
+
+    #[test]
+    fn prop_garbage_never_panics() {
+        Config::new().check(
+            |src| src.bytes(0..200),
+            |bytes| {
+                let _ = JavaFormatter::new().deserialize(bytes);
+            },
+        );
     }
 }

@@ -88,7 +88,7 @@ fn unzigzag(value: u64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parc_testkit::Config;
 
     #[test]
     fn small_values_are_one_byte() {
@@ -154,38 +154,51 @@ mod tests {
         assert!(matches!(read_u64(&buf, &mut pos), Err(SerialError::BadVarint { .. })));
     }
 
-    proptest! {
-        #[test]
-        fn prop_u64_roundtrip(v in any::<u64>()) {
-            let mut buf = Vec::new();
-            write_u64(&mut buf, v);
-            prop_assert!(buf.len() <= MAX_VARINT_LEN);
-            prop_assert_eq!(encoded_len_u64(v), buf.len());
-            let mut pos = 0;
-            prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
-            prop_assert_eq!(pos, buf.len());
-        }
-
-        #[test]
-        fn prop_i64_roundtrip(v in any::<i64>()) {
-            let mut buf = Vec::new();
-            write_i64(&mut buf, v);
-            let mut pos = 0;
-            prop_assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
-            prop_assert_eq!(encoded_len_i64(v), buf.len());
-        }
-
-        #[test]
-        fn prop_concatenated_varints_decode_in_order(vs in proptest::collection::vec(any::<u64>(), 0..20)) {
-            let mut buf = Vec::new();
-            for &v in &vs {
+    #[test]
+    fn prop_u64_roundtrip() {
+        Config::new().check(
+            |src| src.u64_any(),
+            |&v| {
+                let mut buf = Vec::new();
                 write_u64(&mut buf, v);
-            }
-            let mut pos = 0;
-            for &v in &vs {
-                prop_assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
-            }
-            prop_assert_eq!(pos, buf.len());
-        }
+                assert!(buf.len() <= MAX_VARINT_LEN);
+                assert_eq!(encoded_len_u64(v), buf.len());
+                let mut pos = 0;
+                assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+                assert_eq!(pos, buf.len());
+            },
+        );
+    }
+
+    #[test]
+    fn prop_i64_roundtrip() {
+        Config::new().check(
+            |src| src.i64_any(),
+            |&v| {
+                let mut buf = Vec::new();
+                write_i64(&mut buf, v);
+                let mut pos = 0;
+                assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+                assert_eq!(encoded_len_i64(v), buf.len());
+            },
+        );
+    }
+
+    #[test]
+    fn prop_concatenated_varints_decode_in_order() {
+        Config::new().check(
+            |src| src.vec_of(0..20, |s| s.u64_any()),
+            |vs| {
+                let mut buf = Vec::new();
+                for &v in vs {
+                    write_u64(&mut buf, v);
+                }
+                let mut pos = 0;
+                for &v in vs {
+                    assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+                }
+                assert_eq!(pos, buf.len());
+            },
+        );
     }
 }

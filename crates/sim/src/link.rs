@@ -105,7 +105,7 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parc_testkit::Config;
 
     fn us(v: u64) -> SimTime {
         SimTime::from_micros(v)
@@ -170,34 +170,42 @@ mod tests {
         let _ = Link::new(us(1), 0.0);
     }
 
-    proptest! {
-        /// Arrivals are monotone in submission order (FIFO wire).
-        #[test]
-        fn prop_fifo_wire(sizes in proptest::collection::vec(0usize..100_000, 1..30)) {
-            let mut link = Link::ethernet_100mbit(us(50));
-            let mut last = SimTime::ZERO;
-            for s in sizes {
-                let t = link.transmit(SimTime::ZERO, s);
-                prop_assert!(t.arrival >= last);
-                last = t.arrival;
-            }
-        }
+    /// Arrivals are monotone in submission order (FIFO wire).
+    #[test]
+    fn prop_fifo_wire() {
+        Config::new().check(
+            |src| src.vec_of(1..30, |s| s.usize_in(0..100_000)),
+            |sizes| {
+                let mut link = Link::ethernet_100mbit(us(50));
+                let mut last = SimTime::ZERO;
+                for &s in sizes {
+                    let t = link.transmit(SimTime::ZERO, s);
+                    assert!(t.arrival >= last);
+                    last = t.arrival;
+                }
+            },
+        );
+    }
 
-        /// Total wire occupancy equals the sum of per-message serialization
-        /// times when everything is submitted at t=0.
-        #[test]
-        fn prop_wire_occupancy_additive(sizes in proptest::collection::vec(1usize..10_000, 1..20)) {
-            let mut link = Link::ethernet_100mbit(us(0));
-            let mut expected = SimTime::ZERO;
-            let mut last_free = SimTime::ZERO;
-            for &s in &sizes {
-                expected += link.serialization_time(s);
-                last_free = link.transmit(SimTime::ZERO, s).wire_free;
-            }
-            // Saturating u64 arithmetic rounds each message independently;
-            // allow 1ns per message of drift.
-            let drift = last_free.as_nanos().abs_diff(expected.as_nanos());
-            prop_assert!(drift <= sizes.len() as u64);
-        }
+    /// Total wire occupancy equals the sum of per-message serialization
+    /// times when everything is submitted at t=0.
+    #[test]
+    fn prop_wire_occupancy_additive() {
+        Config::new().check(
+            |src| src.vec_of(1..20, |s| s.usize_in(1..10_000)),
+            |sizes| {
+                let mut link = Link::ethernet_100mbit(us(0));
+                let mut expected = SimTime::ZERO;
+                let mut last_free = SimTime::ZERO;
+                for &s in sizes {
+                    expected += link.serialization_time(s);
+                    last_free = link.transmit(SimTime::ZERO, s).wire_free;
+                }
+                // Saturating u64 arithmetic rounds each message independently;
+                // allow 1ns per message of drift.
+                let drift = last_free.as_nanos().abs_diff(expected.as_nanos());
+                assert!(drift <= sizes.len() as u64);
+            },
+        );
     }
 }

@@ -132,7 +132,7 @@ impl MultiServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parc_testkit::Config;
 
     fn us(v: u64) -> SimTime {
         SimTime::from_micros(v)
@@ -197,44 +197,52 @@ mod tests {
         assert_eq!(pool.peak_queue(), 4);
     }
 
-    proptest! {
-        /// Conservation: every offered job either starts on offer, starts on
-        /// a later completion, or is still queued at the end.
-        #[test]
-        fn prop_jobs_conserved(capacity in 1usize..4, n in 0usize..40) {
-            let mut pool = MultiServer::new(capacity);
-            let mut started = 0usize;
-            for i in 0..n {
-                if pool.offer(us(i as u64), Job::new(i as u64, us(1))).is_some() {
-                    started += 1;
+    /// Conservation: every offered job either starts on offer, starts on
+    /// a later completion, or is still queued at the end.
+    #[test]
+    fn prop_jobs_conserved() {
+        Config::new().check(
+            |src| (src.usize_in(1..4), src.usize_in(0..40)),
+            |&(capacity, n)| {
+                let mut pool = MultiServer::new(capacity);
+                let mut started = 0usize;
+                for i in 0..n {
+                    if pool.offer(us(i as u64), Job::new(i as u64, us(1))).is_some() {
+                        started += 1;
+                    }
                 }
-            }
-            let mut completed = 0usize;
-            while pool.busy() > 0 {
-                if pool.complete(us(1_000 + completed as u64)).is_some() {
-                    started += 1;
+                let mut completed = 0usize;
+                while pool.busy() > 0 {
+                    if pool.complete(us(1_000 + completed as u64)).is_some() {
+                        started += 1;
+                    }
+                    completed += 1;
                 }
-                completed += 1;
-            }
-            prop_assert_eq!(started, n);
-            prop_assert_eq!(completed, started);
-            prop_assert!(pool.is_idle());
-        }
+                assert_eq!(started, n);
+                assert_eq!(completed, started);
+                assert!(pool.is_idle());
+            },
+        );
+    }
 
-        /// Busy servers never exceed capacity.
-        #[test]
-        fn prop_capacity_respected(capacity in 1usize..8, offers in proptest::collection::vec(any::<bool>(), 0..64)) {
-            let mut pool = MultiServer::new(capacity);
-            let mut t = 0u64;
-            for (i, do_offer) in offers.into_iter().enumerate() {
-                t += 1;
-                if do_offer {
-                    pool.offer(us(t), Job::new(i as u64, us(3)));
-                } else if pool.busy() > 0 {
-                    pool.complete(us(t));
+    /// Busy servers never exceed capacity.
+    #[test]
+    fn prop_capacity_respected() {
+        Config::new().check(
+            |src| (src.usize_in(1..8), src.vec_of(0..64, |s| s.bool_any())),
+            |(capacity, offers)| {
+                let mut pool = MultiServer::new(*capacity);
+                let mut t = 0u64;
+                for (i, do_offer) in offers.iter().enumerate() {
+                    t += 1;
+                    if *do_offer {
+                        pool.offer(us(t), Job::new(i as u64, us(3)));
+                    } else if pool.busy() > 0 {
+                        pool.complete(us(t));
+                    }
+                    assert!(pool.busy() <= *capacity);
                 }
-                prop_assert!(pool.busy() <= capacity);
-            }
-        }
+            },
+        );
     }
 }

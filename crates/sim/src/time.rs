@@ -145,7 +145,7 @@ impl fmt::Display for SimTime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use parc_testkit::Config;
 
     #[test]
     fn constructors_agree() {
@@ -183,25 +183,35 @@ mod tests {
         assert_eq!(SimTime::from_secs(2).scale(0.0), SimTime::ZERO);
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_sub_inverse(a in 0u64..1 << 40, b in 0u64..1 << 40) {
-            let (a, b) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
-            prop_assert_eq!((a + b) - b, a);
-        }
+    #[test]
+    fn prop_add_sub_inverse() {
+        Config::new().check(
+            |src| (src.u64_in(0..1 << 40), src.u64_in(0..1 << 40)),
+            |&(a, b)| {
+                let (a, b) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
+                assert_eq!((a + b) - b, a);
+            },
+        );
+    }
 
-        #[test]
-        fn prop_ordering_consistent_with_nanos(a in any::<u64>(), b in any::<u64>()) {
-            prop_assert_eq!(
-                SimTime::from_nanos(a).cmp(&SimTime::from_nanos(b)),
-                a.cmp(&b)
-            );
-        }
+    #[test]
+    fn prop_ordering_consistent_with_nanos() {
+        Config::new().check(
+            |src| (src.u64_any(), src.u64_any()),
+            |&(a, b)| {
+                assert_eq!(SimTime::from_nanos(a).cmp(&SimTime::from_nanos(b)), a.cmp(&b));
+            },
+        );
+    }
 
-        #[test]
-        fn prop_sum_equals_fold(xs in proptest::collection::vec(0u64..1 << 30, 0..20)) {
-            let sum: SimTime = xs.iter().map(|&x| SimTime::from_nanos(x)).sum();
-            prop_assert_eq!(sum.as_nanos(), xs.iter().sum::<u64>());
-        }
+    #[test]
+    fn prop_sum_equals_fold() {
+        Config::new().check(
+            |src| src.vec_of(0..20, |s| s.u64_in(0..1 << 30)),
+            |xs| {
+                let sum: SimTime = xs.iter().map(|&x| SimTime::from_nanos(x)).sum();
+                assert_eq!(sum.as_nanos(), xs.iter().sum::<u64>());
+            },
+        );
     }
 }

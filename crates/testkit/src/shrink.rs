@@ -1,0 +1,186 @@
+//! Bounded deterministic tape shrinking.
+//!
+//! Works on the choice sequence alone: candidates are produced by
+//! deleting blocks, zeroing blocks, and shrinking single entries (to 0,
+//! half, and minus one). A candidate is accepted when the property still
+//! fails on it and the tape got strictly smaller in the well-founded
+//! `(length, lexicographic)` order — so the loop always terminates, and
+//! the whole procedure is a pure function of the starting tape.
+
+/// Outcome of a shrink run.
+pub struct Shrunk {
+    /// The smallest failing tape found.
+    pub tape: Vec<u64>,
+    /// The failure message observed on that tape, if any candidate ran.
+    pub message: Option<String>,
+    /// Number of candidate executions spent.
+    pub attempts: u32,
+}
+
+/// Shrinks `tape` as far as `budget` candidate executions allow.
+///
+/// `fails` re-runs generator + property over a candidate tape and returns
+/// the failure message when the property still fails on it.
+pub fn shrink_tape(
+    tape: Vec<u64>,
+    budget: u32,
+    mut fails: impl FnMut(&[u64]) -> Option<String>,
+) -> Shrunk {
+    let mut best = tape;
+    let mut message = None;
+    let mut attempts = 0u32;
+    let mut try_candidate =
+        |candidate: &[u64], best: &[u64], message: &mut Option<String>, attempts: &mut u32| -> bool {
+            if *attempts >= budget || !smaller(candidate, best) {
+                return false;
+            }
+            *attempts += 1;
+            match fails(candidate) {
+                Some(m) => {
+                    *message = Some(m);
+                    true
+                }
+                None => false,
+            }
+        };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: delete blocks, large to small (ddmin-style).
+        let mut block = best.len().max(1);
+        while block >= 1 {
+            let mut start = 0;
+            while start < best.len() {
+                let mut candidate = best.clone();
+                candidate.drain(start..(start + block).min(candidate.len()));
+                if try_candidate(&candidate, &best, &mut message, &mut attempts) {
+                    best = candidate;
+                    improved = true;
+                    // Indices shifted; rescan this block size from the top.
+                    start = 0;
+                } else {
+                    start += block;
+                }
+            }
+            if block == 1 {
+                break;
+            }
+            block /= 2;
+        }
+
+        // Pass 2: zero whole blocks.
+        let mut block = best.len().max(1);
+        while block >= 1 {
+            for start in (0..best.len()).step_by(block) {
+                let end = (start + block).min(best.len());
+                if best[start..end].iter().all(|&v| v == 0) {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate[start..end].fill(0);
+                if try_candidate(&candidate, &best, &mut message, &mut attempts) {
+                    best = candidate;
+                    improved = true;
+                }
+            }
+            if block == 1 {
+                break;
+            }
+            block /= 2;
+        }
+
+        // Pass 3: shrink single entries toward zero.
+        for idx in 0..best.len() {
+            while best[idx] > 0 {
+                let smaller_values = [0, best[idx] / 2, best[idx] - 1];
+                let mut any = false;
+                for v in smaller_values {
+                    if v >= best[idx] {
+                        continue;
+                    }
+                    let mut candidate = best.clone();
+                    candidate[idx] = v;
+                    if try_candidate(&candidate, &best, &mut message, &mut attempts) {
+                        best = candidate;
+                        improved = true;
+                        any = true;
+                        break;
+                    }
+                }
+                if !any {
+                    break;
+                }
+            }
+        }
+
+        if !improved || attempts >= budget {
+            return Shrunk { tape: best, message, attempts };
+        }
+    }
+}
+
+/// Strictly-smaller in `(length, lexicographic)` order.
+fn smaller(candidate: &[u64], best: &[u64]) -> bool {
+    candidate.len() < best.len() || (candidate.len() == best.len() && candidate < best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_threshold_constraint_to_minimum() {
+        // Fails whenever any entry is >= 10; the global minimum [10] is
+        // reachable by deleting the other entries and decrementing.
+        let start = vec![7, 15, 9, 23];
+        let result = shrink_tape(start, 4096, |t| {
+            t.iter().any(|&v| v >= 10).then(|| "entry too big".into())
+        });
+        assert_eq!(result.tape, vec![10]);
+        assert_eq!(result.message.as_deref(), Some("entry too big"));
+    }
+
+    #[test]
+    fn sum_constraint_reaches_a_local_minimum() {
+        // Fails whenever the tape sums to >= 10. Tape shrinking cannot
+        // merge entries, so the result is a local minimum: it still
+        // fails, and no deletion or decrement keeps it failing — which
+        // means the sum lands exactly on the threshold.
+        let start = vec![7, 5, 9, 3];
+        let result = shrink_tape(start, 4096, |t| {
+            (t.iter().sum::<u64>() >= 10).then(|| "sum too big".into())
+        });
+        assert_eq!(result.tape.iter().sum::<u64>(), 10);
+        assert!(result.tape.iter().all(|&v| v > 0), "zeroable entries must be gone");
+        assert_eq!(result.message.as_deref(), Some("sum too big"));
+    }
+
+    #[test]
+    fn budget_bounds_attempts() {
+        let start: Vec<u64> = (0..256).collect();
+        let result = shrink_tape(start, 16, |t| {
+            (t.iter().sum::<u64>() >= 10).then(|| "sum too big".into())
+        });
+        assert!(result.attempts <= 16);
+        assert!(result.tape.iter().sum::<u64>() >= 10, "result must still fail");
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let start = vec![901, 17, 0, 44, 3, 3, 99];
+        let run = || {
+            shrink_tape(start.clone(), 4096, |t| {
+                t.iter().any(|&v| v % 7 == 3).then(|| "hit".into())
+            })
+            .tape
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn already_minimal_tape_survives() {
+        let result = shrink_tape(vec![1], 100, |t| (t == [1]).then(|| "only this".into()));
+        assert_eq!(result.tape, vec![1]);
+    }
+}

@@ -1,0 +1,272 @@
+//! The entropy source: a SplitMix64-backed *choice sequence*.
+//!
+//! Every draw records the **chosen value** (already mapped into its
+//! bound), not the raw PRNG output. That makes the tape directly
+//! shrinkable: decrementing an entry shrinks the drawn value by one,
+//! zeroing it yields the generator's minimal choice, and deleting
+//! entries shortens collections — replay fills exhausted tapes with
+//! zeros, so every truncated tape is still a valid (smaller) input.
+
+use std::ops::Range;
+
+use parc_sim::SplitMix64;
+
+enum Mode {
+    /// Drawing fresh entropy from the PRNG and recording the tape.
+    Record(SplitMix64),
+    /// Replaying a (possibly mutated) tape; exhausted reads yield zero.
+    Replay { tape: Vec<u64>, pos: usize },
+}
+
+/// A recording/replaying entropy source handed to generators.
+pub struct Source {
+    mode: Mode,
+    tape: Vec<u64>,
+}
+
+impl Source {
+    /// A fresh recording source seeded with `seed`.
+    pub fn record(seed: u64) -> Source {
+        Source { mode: Mode::Record(SplitMix64::new(seed)), tape: Vec::new() }
+    }
+
+    /// A replaying source over a fixed tape (used by the shrinker).
+    pub fn replay(tape: &[u64]) -> Source {
+        Source { mode: Mode::Replay { tape: tape.to_vec(), pos: 0 }, tape: Vec::new() }
+    }
+
+    /// The recorded choice sequence.
+    pub(crate) fn into_tape(self) -> Vec<u64> {
+        self.tape
+    }
+
+    /// One choice in `[0, bound)`. This is the primitive every other draw
+    /// funnels through; the chosen value lands on the tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        let choice = match &mut self.mode {
+            Mode::Record(rng) => {
+                let c = rng.next_below(bound);
+                self.tape.push(c);
+                c
+            }
+            Mode::Replay { tape, pos } => {
+                let c = tape.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                // A mutated tape may hold an entry from a different draw;
+                // clamp instead of rejecting so every tape is valid.
+                c.min(bound - 1)
+            }
+        };
+        choice
+    }
+
+    /// A full-range `u64` (recorded verbatim on the tape).
+    pub fn u64_any(&mut self) -> u64 {
+        match &mut self.mode {
+            Mode::Record(rng) => {
+                let v = rng.next_u64();
+                self.tape.push(v);
+                v
+            }
+            Mode::Replay { tape, pos } => {
+                let v = tape.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                v
+            }
+        }
+    }
+
+    /// A full-range `i64` (zero-centred under shrinking: tape value 0 maps
+    /// to 0).
+    pub fn i64_any(&mut self) -> i64 {
+        zigzag_decode(self.u64_any())
+    }
+
+    /// A full-range `i32`.
+    pub fn i32_any(&mut self) -> i32 {
+        self.i64_any() as i32
+    }
+
+    /// A uniform draw from a non-empty `u64` range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn u64_in(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.next_below(range.end - range.start)
+    }
+
+    /// A uniform draw from a non-empty `usize` range.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.u64_in(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A uniform draw from a non-empty `i32` range; shrinks toward
+    /// `range.start`.
+    pub fn i32_in(&mut self, range: Range<i32>) -> i32 {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end as i64 - range.start as i64) as u64;
+        (range.start as i64 + self.next_below(span) as i64) as i32
+    }
+
+    /// An arbitrary bit pattern as `f64` — includes NaN and infinities.
+    pub fn f64_any(&mut self) -> f64 {
+        f64::from_bits(self.u64_any())
+    }
+
+    /// An arbitrary non-NaN `f64` (bounded rejection; falls back to 0.0,
+    /// which is also what a zeroed tape yields).
+    pub fn f64_non_nan(&mut self) -> f64 {
+        for _ in 0..8 {
+            let v = self.f64_any();
+            if !v.is_nan() {
+                return v;
+            }
+        }
+        0.0
+    }
+
+    /// An arbitrary finite `f64`.
+    pub fn f64_finite(&mut self) -> f64 {
+        for _ in 0..8 {
+            let v = self.f64_any();
+            if v.is_finite() {
+                return v;
+            }
+        }
+        0.0
+    }
+
+    /// A uniform float in `[0, 1)`; shrinks toward 0.
+    pub fn f64_unit(&mut self) -> f64 {
+        self.next_below(1 << 53) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A boolean; shrinks toward `false`.
+    pub fn bool_any(&mut self) -> bool {
+        self.next_below(2) == 1
+    }
+
+    /// One index into `n` alternatives; shrinks toward alternative 0, so
+    /// order `one_of` arms simplest-first.
+    pub fn choice(&mut self, n: usize) -> usize {
+        self.next_below(n as u64) as usize
+    }
+
+    /// A vector with length drawn from `len` and elements from `element`.
+    pub fn vec_of<T>(
+        &mut self,
+        len: Range<usize>,
+        mut element: impl FnMut(&mut Source) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(len.start..len.end.max(len.start + 1));
+        (0..n).map(|_| element(self)).collect()
+    }
+
+    /// A byte vector with length drawn from `len`.
+    pub fn bytes(&mut self, len: Range<usize>) -> Vec<u8> {
+        self.vec_of(len, |s| s.next_below(256) as u8)
+    }
+
+    /// A string of `len` characters drawn from `alphabet` (the in-tree
+    /// stand-in for proptest's regex string strategies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alphabet` is empty.
+    pub fn string_of(&mut self, alphabet: &str, len: Range<usize>) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        assert!(!chars.is_empty(), "alphabet must be non-empty");
+        self.vec_of(len, |s| chars[s.choice(chars.len())]).into_iter().collect()
+    }
+}
+
+impl std::fmt::Debug for Source {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.mode {
+            Mode::Record(_) => write!(f, "Source::Record({} draws)", self.tape.len()),
+            Mode::Replay { tape, pos } => write!(f, "Source::Replay({pos}/{})", tape.len()),
+        }
+    }
+}
+
+/// Maps `0, 1, 2, 3, ...` to `0, -1, 1, -2, ...` so tape zero is value
+/// zero and small tape entries stay small in magnitude.
+fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_then_replay_reproduces_draws() {
+        let mut rec = Source::record(42);
+        let a: Vec<u64> = (0..20).map(|i| rec.u64_in(0..(i + 1) * 10)).collect();
+        let tape = rec.into_tape();
+        let mut rep = Source::replay(&tape);
+        let b: Vec<u64> = (0..20).map(|i| rep.u64_in(0..(i + 1) * 10)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exhausted_replay_reads_zero() {
+        let mut src = Source::replay(&[5]);
+        assert_eq!(src.next_below(10), 5);
+        assert_eq!(src.next_below(10), 0);
+        assert_eq!(src.u64_any(), 0);
+        assert!(!src.bool_any());
+        assert_eq!(src.i64_any(), 0);
+        assert_eq!(src.f64_finite(), 0.0);
+    }
+
+    #[test]
+    fn replay_clamps_out_of_bound_entries() {
+        let mut src = Source::replay(&[u64::MAX]);
+        assert_eq!(src.next_below(7), 6);
+    }
+
+    #[test]
+    fn ranges_cover_and_stay_in_bounds() {
+        let mut src = Source::record(9);
+        for _ in 0..500 {
+            let v = src.i32_in(-3..4);
+            assert!((-3..4).contains(&v));
+        }
+        let mut src = Source::record(10);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[src.usize_in(0..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zigzag_is_zero_centred() {
+        assert_eq!(zigzag_decode(0), 0);
+        assert_eq!(zigzag_decode(1), -1);
+        assert_eq!(zigzag_decode(2), 1);
+        assert_eq!(zigzag_decode(u64::MAX), i64::MIN);
+    }
+
+    #[test]
+    fn string_of_uses_alphabet() {
+        let mut src = Source::record(3);
+        let s = src.string_of("ab", 10..11);
+        assert_eq!(s.len(), 10);
+        assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        Source::record(0).next_below(0);
+    }
+}

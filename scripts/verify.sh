@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Hermetic verification: the workspace must build and test offline with
+# zero registry dependencies. Run from anywhere; exits non-zero on the
+# first violation.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Gate 1: no crates.io dependency may reappear in any manifest. Path-only
+# dependencies have no `version`/`registry` key, so any of these names in
+# a manifest means a registry dep snuck back in.
+banned='parking_lot|crossbeam|proptest|criterion|rand'
+if grep -rEn "^\s*(${banned})\s*=" Cargo.toml crates/*/Cargo.toml; then
+    echo "FAIL: registry dependency found in a manifest (see above)" >&2
+    exit 1
+fi
+# The lockfile must contain only this workspace's own path crates.
+if grep -En 'source = "registry' Cargo.lock; then
+    echo "FAIL: Cargo.lock references a registry source" >&2
+    exit 1
+fi
+echo "ok: manifests and lockfile are registry-free"
+
+# Gate 2: everything builds and tests with the network forbidden.
+cargo build --release --offline
+cargo test -q --offline --workspace
+echo "ok: offline build + test passed"
