@@ -304,6 +304,6 @@ mod tests {
             .map(|p| p as u32)
             .collect();
         assert_eq!(primes, expected);
-        assert!(rt.stats().batches_sent() > 0, "aggregation must have kicked in");
+        assert!(rt.stats().snapshot().batches_sent > 0, "aggregation must have kicked in");
     }
 }

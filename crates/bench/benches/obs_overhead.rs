@@ -1,0 +1,70 @@
+//! M3 — cost of the observability layer itself.
+//!
+//! The contract is that a disabled span is one relaxed atomic load, so
+//! instrumented hot paths (channel send, PO call, MPI send) stay free
+//! when `PARC_OBS` is off. This bench pins that: `span_disabled` should
+//! sit within a few nanoseconds of `atomic_load_baseline`, while
+//! `span_enabled` shows the real (clock + ring) recording price. The
+//! instrumented inproc round trip is measured both ways for an
+//! end-to-end check.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parc_bench::harness::Criterion;
+use parc_bench::{criterion_group, criterion_main};
+use parc_remoting::dispatcher::FnInvokable;
+use parc_remoting::inproc::InprocNetwork;
+use parc_remoting::{Activator, RemotingError};
+use parc_serial::Value;
+
+fn bench_obs(c: &mut Criterion) {
+    parc_obs::init(parc_obs::ObsConfig { enabled: false, ..Default::default() });
+
+    // The floor a disabled span must stay glued to.
+    static FLAG: AtomicBool = AtomicBool::new(false);
+    c.bench_function("atomic_load_baseline", |b| {
+        b.iter(|| FLAG.load(Ordering::Relaxed));
+    });
+
+    c.bench_function("span_disabled", |b| {
+        b.iter(|| parc_obs::Span::enter(parc_obs::kinds::CALL));
+    });
+
+    parc_obs::set_enabled(true);
+    c.bench_function("span_enabled", |b| {
+        b.iter(|| parc_obs::Span::enter(parc_obs::kinds::CALL));
+    });
+    c.bench_function("event_enabled", |b| {
+        b.iter(|| parc_obs::event(parc_obs::kinds::BATCH_FLUSHED, || "calls=1 bytes=0".into()));
+    });
+    parc_obs::set_enabled(false);
+    parc_obs::reset();
+
+    // End to end: the instrumented inproc fast path with recording off/on.
+    let net = InprocNetwork::new();
+    let ep = net.create_endpoint("obs-bench").unwrap();
+    ep.objects().register_singleton(
+        "Echo",
+        Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+            "echo" => Ok(args.first().cloned().unwrap_or(Value::Null)),
+            _ => Err(RemotingError::MethodNotFound {
+                object: "Echo".into(),
+                method: method.into(),
+            }),
+        })),
+    );
+    let proxy = Activator::get_object(&net, "inproc://obs-bench/Echo").unwrap();
+    c.bench_function("inproc_roundtrip_obs_off", |b| {
+        b.iter(|| proxy.call("echo", vec![Value::I32(1)]).unwrap());
+    });
+    parc_obs::set_enabled(true);
+    c.bench_function("inproc_roundtrip_obs_on", |b| {
+        b.iter(|| proxy.call("echo", vec![Value::I32(1)]).unwrap());
+    });
+    parc_obs::set_enabled(false);
+    parc_obs::reset();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

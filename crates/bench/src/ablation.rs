@@ -83,13 +83,14 @@ pub fn aggregation_sweep(factors: &[usize], calls: usize) -> Vec<AggregationPoin
                 .expect("i64 total");
             let wall = start.elapsed();
             assert_eq!(total, calls as i64, "aggregation must not lose calls");
+            let stats = rt.stats().snapshot();
             AggregationPoint {
                 factor,
-                calls: rt.stats().async_calls(),
+                calls: stats.async_calls,
                 // The final sync "total" also costs one message; report
                 // only the async traffic.
-                messages: rt.stats().messages_sent() - 1,
-                batches: rt.stats().batches_sent(),
+                messages: stats.messages_sent - 1,
+                batches: stats.batches_sent,
                 wall,
                 total,
             }
@@ -131,10 +132,11 @@ pub fn agglomeration_sweep(ratios: &[f64], objects: usize) -> Vec<AgglomerationP
                 let po = rt.create("Acc").expect("create");
                 po.call("total", vec![]).expect("first call");
             }
+            let stats = rt.stats().snapshot();
             AgglomerationPoint {
                 ratio,
-                local: rt.stats().local_creations(),
-                remote: rt.stats().remote_creations(),
+                local: stats.local_creations,
+                remote: stats.remote_creations,
                 wall: start.elapsed(),
             }
         })

@@ -13,6 +13,7 @@
 //! baseline comparison — just stable, order-of-magnitude numbers printed
 //! in the same tables as the paper experiments.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::report;
@@ -170,6 +171,79 @@ struct Stats {
     p95_ns: f64,
 }
 
+/// One finished benchmark case, kept for the machine-readable report.
+struct CaseResult {
+    name: String,
+    median_ns: f64,
+    p95_ns: f64,
+    throughput: Option<Throughput>,
+}
+
+/// Every case the process has run, in execution order. Bench binaries are
+/// single-threaded, but a Mutex keeps the collector safe under `cargo test`.
+static RESULTS: Mutex<Vec<CaseResult>> = Mutex::new(Vec::new());
+
+/// Environment variable overriding where [`write_json_report`] writes.
+pub const JSON_DIR_ENV: &str = "PARC_BENCH_JSON_DIR";
+
+/// Default output directory for machine-readable bench reports: the
+/// workspace's `target/bench-json`, independent of the bench process's
+/// working directory.
+pub const JSON_DIR_DEFAULT: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/bench-json");
+
+/// Renders all recorded cases as one JSON document.
+fn json_report(bench: &str) -> String {
+    let results = RESULTS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    out.push_str("  \"cases\": [\n");
+    for (i, case) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let throughput = match case.throughput {
+            Some(Throughput::Bytes(bytes)) => format!(
+                ", \"bytes_per_iter\": {bytes}, \"mb_per_s\": {:.3}",
+                bytes as f64 / (case.median_ns / 1e9) / 1e6
+            ),
+            Some(Throughput::Elements(n)) => format!(
+                ", \"elems_per_iter\": {n}, \"melem_per_s\": {:.3}",
+                n as f64 / (case.median_ns / 1e9) / 1e6
+            ),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.2}, \"p95_ns\": {:.2}{throughput}}}{sep}\n",
+            case.name.replace('\\', "\\\\").replace('"', "\\\""),
+            case.median_ns,
+            case.p95_ns,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<bench>.json` with every case run so far.
+///
+/// The directory comes from [`JSON_DIR_ENV`] (default
+/// [`JSON_DIR_DEFAULT`]); set it to an empty string to suppress the file.
+/// Invoked by [`criterion_main!`] after all groups finish — failures are
+/// reported on stderr but never fail the bench run.
+pub fn write_json_report(bench: &str) {
+    let dir = std::env::var(JSON_DIR_ENV).unwrap_or_else(|_| JSON_DIR_DEFAULT.to_string());
+    if dir.is_empty() {
+        return;
+    }
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{bench}.json"));
+    let report = json_report(bench);
+    let written = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&path, report));
+    match written {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("bench json report {}: {e}", path.display()),
+    }
+}
+
 /// Nearest-rank percentile over an ascending-sorted sample set.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "no samples");
@@ -182,6 +256,15 @@ fn header() {
 }
 
 fn print_line(name: &str, stats: &Stats, throughput: Option<Throughput>) {
+    RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(CaseResult {
+            name: name.to_string(),
+            median_ns: stats.median_ns,
+            p95_ns: stats.p95_ns,
+            throughput,
+        });
     let rate = match throughput {
         Some(Throughput::Bytes(bytes)) => {
             let mb_s = bytes as f64 / (stats.median_ns / 1e9) / 1e6;
@@ -207,12 +290,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, criterion-style.
+/// Declares the bench binary's `main`, criterion-style. After every group
+/// has run, a machine-readable `BENCH_<binary>.json` summary is written
+/// (see [`harness::write_json_report`](crate::harness::write_json_report)).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::harness::write_json_report(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -253,6 +339,17 @@ mod tests {
     #[test]
     fn benchmark_id_joins_name_and_parameter() {
         assert_eq!(BenchmarkId::new("binary", 64).0, "binary/64");
+    }
+
+    #[test]
+    fn json_report_lists_recorded_cases() {
+        let mut c = fast();
+        c.bench_function("json_case", |b| b.iter(|| 1 + 1));
+        let json = json_report("unit");
+        assert!(json.contains("\"bench\": \"unit\""));
+        assert!(json.contains("\"name\": \"json_case\""));
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"p95_ns\""));
     }
 
     #[test]

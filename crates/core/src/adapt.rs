@@ -28,6 +28,10 @@ pub struct GrainAdapter {
 struct State {
     ewma_call_secs: Option<f64>,
     samples: u64,
+    // Last aggregation factor this adapter recommended; lets
+    // `recommended_aggregation` emit an `agg_size_changed` event exactly
+    // when the knob moves.
+    last_agg: usize,
 }
 
 /// EWMA smoothing factor: recent calls dominate after ~10 samples.
@@ -37,7 +41,7 @@ impl GrainAdapter {
     /// Creates an adapter with the given per-message overhead estimate.
     pub fn new(message_overhead: Duration, max_aggregation: usize) -> GrainAdapter {
         GrainAdapter {
-            inner: Mutex::new(State { ewma_call_secs: None, samples: 0 }),
+            inner: Mutex::new(State { ewma_call_secs: None, samples: 0, last_agg: 1 }),
             message_overhead,
             max_aggregation: max_aggregation.max(1),
         }
@@ -50,6 +54,10 @@ impl GrainAdapter {
 
     /// Records one measured method-execution duration.
     pub fn observe_call(&self, duration: Duration) {
+        if parc_obs::is_enabled() {
+            parc_obs::histogram(parc_obs::kinds::ADAPT_SERVICE)
+                .record(duration.as_nanos() as u64);
+        }
         let mut state = self.inner.lock();
         let secs = duration.as_secs_f64();
         state.ewma_call_secs = Some(match state.ewma_call_secs {
@@ -76,18 +84,33 @@ impl GrainAdapter {
     /// With no samples yet, the recommendation is 1 (no aggregation) —
     /// adaptation only ever *removes* parallelism it has evidence against.
     pub fn recommended_aggregation(&self) -> usize {
-        let Some(call) = self.inner.lock().ewma_call_secs else {
+        let mut state = self.inner.lock();
+        let Some(call) = state.ewma_call_secs else {
             return 1;
         };
-        if call <= 0.0 {
-            return self.max_aggregation;
-        }
         let overhead = self.message_overhead.as_secs_f64();
-        let wanted = (4.0 * overhead / call).ceil();
-        if !wanted.is_finite() {
-            return self.max_aggregation;
+        let agg = if call <= 0.0 {
+            self.max_aggregation
+        } else {
+            let wanted = (4.0 * overhead / call).ceil();
+            if wanted.is_finite() {
+                (wanted as usize).clamp(1, self.max_aggregation)
+            } else {
+                self.max_aggregation
+            }
+        };
+        if agg != state.last_agg {
+            let old = state.last_agg;
+            state.last_agg = agg;
+            parc_obs::event(parc_obs::kinds::AGG_SIZE_CHANGED, || {
+                format!(
+                    "old={old} new={agg} ewma_us={:.2} overhead_us={:.2}",
+                    call * 1e6,
+                    overhead * 1e6
+                )
+            });
         }
-        (wanted as usize).clamp(1, self.max_aggregation)
+        agg
     }
 
     /// Whether new objects should be agglomerated locally: true when a

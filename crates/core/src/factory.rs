@@ -87,6 +87,7 @@ impl FactoryService {
     }
 
     fn create(&self, class: &str) -> Result<String, RemotingError> {
+        let _span = parc_obs::Span::enter(parc_obs::kinds::FACTORY_CREATE);
         let factory = self.registry.get(class).ok_or_else(|| RemotingError::ObjectNotFound {
             object: format!("class {class}"),
         })?;

@@ -74,6 +74,7 @@ impl OmService {
 
 impl Invokable for OmService {
     fn invoke(&self, method: &str, _args: &[Value]) -> Result<Value, RemotingError> {
+        let _span = parc_obs::Span::enter(parc_obs::kinds::OM_DISPATCH);
         match method {
             "load" => Ok(Value::I64(self.state.load())),
             "dispatched" => Ok(Value::I64(self.state.dispatched())),

@@ -137,6 +137,7 @@ impl Po {
         self.stats.record_async_call();
         match &self.target {
             Target::Local(io) => {
+                let _span = parc_obs::Span::enter(parc_obs::kinds::PO_LOCAL);
                 self.stats.record_local_fast_path();
                 let start = Instant::now();
                 io.invoke(method, &args)?;
@@ -172,15 +173,32 @@ impl Po {
             buffer.clear();
             return Ok(());
         };
+        let _span = parc_obs::Span::enter(parc_obs::kinds::BATCH_FLUSH);
         if buffer.len() == 1 {
             let (method, args) = buffer.pop().expect("one element");
             remote.post(&method, args)?;
             self.stats.record_message();
+            parc_obs::event(parc_obs::kinds::BATCH_FLUSHED, || "calls=1 bytes=0".into());
         } else {
             let calls = std::mem::take(buffer);
             let n = calls.len() as u64;
-            remote.post(BATCH_METHOD, vec![encode_batch(&calls)])?;
+            let batch = encode_batch(&calls);
+            // Wire size only matters when recording; the real encode happens
+            // inside `post`, so this duplicate is instrumentation-only cost.
+            let bytes = if parc_obs::is_enabled() {
+                use parc_serial::Formatter as _;
+                parc_serial::BinaryFormatter::new()
+                    .serialize(&batch)
+                    .map(|b| b.len())
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            remote.post(BATCH_METHOD, vec![batch])?;
             self.stats.record_batch(n);
+            parc_obs::event(parc_obs::kinds::BATCH_FLUSHED, || {
+                format!("calls={n} bytes={bytes}")
+            });
         }
         Ok(())
     }
@@ -197,6 +215,7 @@ impl Po {
         self.stats.record_sync_call();
         match &self.target {
             Target::Local(io) => {
+                let _span = parc_obs::Span::enter(parc_obs::kinds::PO_LOCAL);
                 self.stats.record_local_fast_path();
                 let start = Instant::now();
                 let out = io.invoke(method, &args)?;
@@ -204,6 +223,7 @@ impl Po {
                 Ok(out)
             }
             Target::Remote { remote, .. } => {
+                let _span = parc_obs::Span::enter(parc_obs::kinds::PO_CALL);
                 {
                     let mut buffer = self.buffer.lock();
                     self.flush_locked(&mut buffer)?;

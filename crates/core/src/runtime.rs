@@ -287,6 +287,11 @@ impl ParcRuntime {
     /// [`ParcError::UnknownClass`]; remoting failures.
     pub fn create(&self, class: &str) -> Result<Po, ParcError> {
         if self.should_agglomerate() {
+            parc_obs::event(parc_obs::kinds::AGGLOMERATE, || {
+                let reason =
+                    if self.grain.adaptive { "adaptive-ewma" } else { "static-ratio" };
+                format!("object={class} reason={reason}")
+            });
             self.create_local(class)
         } else {
             let node = self.place();
@@ -300,6 +305,7 @@ impl ParcRuntime {
     ///
     /// [`ParcError::UnknownClass`].
     pub fn create_local(&self, class: &str) -> Result<Po, ParcError> {
+        let _span = parc_obs::Span::enter(parc_obs::kinds::FACTORY_CREATE);
         let factory = self
             .registry
             .get(class)
@@ -326,6 +332,7 @@ impl ParcRuntime {
     /// [`ParcError::UnknownClass`] (surfaced as a remote fault), bad node
     /// index, or remoting failures.
     pub fn create_on(&self, class: &str, node: usize) -> Result<Po, ParcError> {
+        let _span = parc_obs::Span::enter(parc_obs::kinds::FACTORY_CREATE);
         if node >= self.nodes() {
             return Err(ParcError::Config {
                 detail: format!("node {node} outside runtime of {} nodes", self.nodes()),
@@ -476,8 +483,9 @@ mod tests {
             c.post("bump", vec![Value::I32(1)]).unwrap();
         }
         assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(11));
-        assert_eq!(rt.stats().batches_sent(), 2);
-        assert_eq!(rt.stats().calls_in_batches(), 8 + 3);
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.batches_sent, 2);
+        assert_eq!(snap.calls_in_batches, 8 + 3);
     }
 
     #[test]
@@ -497,8 +505,9 @@ mod tests {
         c.post("bump", vec![Value::I32(1)]).unwrap();
         c.post("bump", vec![Value::I32(1)]).unwrap();
         assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(2));
-        assert_eq!(rt.stats().batches_sent(), 0, "factor 1 never batches");
-        assert_eq!(rt.stats().messages_sent(), 3);
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.batches_sent, 0, "factor 1 never batches");
+        assert_eq!(snap.messages_sent, 3);
     }
 
     #[test]
@@ -548,8 +557,9 @@ mod tests {
         let rt = runtime(4, GrainConfig { agglomeration_ratio: 1.0, ..GrainConfig::default() });
         let c = rt.create("Counter").unwrap();
         assert!(c.is_local());
-        assert_eq!(rt.stats().local_creations(), 1);
-        assert_eq!(rt.stats().remote_creations(), 0);
+        let snap = rt.stats().snapshot();
+        assert_eq!(snap.local_creations, 1);
+        assert_eq!(snap.remote_creations, 0);
         assert_eq!(rt.node_loads(), vec![0; 4]);
         // Behaviour is unchanged.
         c.post("bump", vec![Value::I32(2)]).unwrap();

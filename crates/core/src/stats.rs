@@ -2,10 +2,15 @@
 //!
 //! The ablation benches (E6/E7 in `DESIGN.md`) read these to show how
 //! aggregation divides message counts and agglomeration removes remote
-//! creations entirely.
+//! creations entirely. The counters are [`parc_obs::Counter`]s held
+//! per-runtime (each `ParcRuntime` keeps independent totals, which the
+//! tests rely on), in contrast to the process-wide registry the obs
+//! exporters render; [`RuntimeStats::snapshot`] is the supported way to
+//! read them.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use parc_obs::Counter;
 
 /// Shared, thread-safe runtime counters. Cloning shares the counters.
 #[derive(Clone, Default)]
@@ -15,14 +20,66 @@ pub struct RuntimeStats {
 
 #[derive(Default)]
 struct Counters {
-    async_calls: AtomicU64,
-    sync_calls: AtomicU64,
-    messages_sent: AtomicU64,
-    batches_sent: AtomicU64,
-    calls_in_batches: AtomicU64,
-    local_creations: AtomicU64,
-    remote_creations: AtomicU64,
-    local_fast_path_calls: AtomicU64,
+    async_calls: Counter,
+    sync_calls: Counter,
+    messages_sent: Counter,
+    batches_sent: Counter,
+    calls_in_batches: Counter,
+    local_creations: Counter,
+    remote_creations: Counter,
+    local_fast_path_calls: Counter,
+}
+
+/// A point-in-time copy of every runtime counter.
+///
+/// Plain data: cheap to take, comparable, and printable — replaces the
+/// getter-at-a-time reads the ablation benches used to do (which could
+/// tear across a running workload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Asynchronous (one-way) method calls issued by proxies.
+    pub async_calls: u64,
+    /// Synchronous (value-returning) method calls issued by proxies.
+    pub sync_calls: u64,
+    /// Wire messages actually sent (aggregation makes this smaller than
+    /// `async_calls + sync_calls`).
+    pub messages_sent: u64,
+    /// Aggregate messages sent.
+    pub batches_sent: u64,
+    /// Calls delivered inside aggregate messages.
+    pub calls_in_batches: u64,
+    /// Parallel objects agglomerated (created locally).
+    pub local_creations: u64,
+    /// Parallel objects created on a remote node via a factory.
+    pub remote_creations: u64,
+    /// Calls served by the intra-grain fast path (PO → local IO, Fig. 3
+    /// call *b*).
+    pub local_fast_path_calls: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean calls per wire message — the aggregation payoff metric.
+    pub fn calls_per_message(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            (self.async_calls + self.sync_calls) as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "async calls        {}", self.async_calls)?;
+        writeln!(f, "sync calls         {}", self.sync_calls)?;
+        writeln!(f, "messages sent      {}", self.messages_sent)?;
+        writeln!(f, "batches sent       {}", self.batches_sent)?;
+        writeln!(f, "calls in batches   {}", self.calls_in_batches)?;
+        writeln!(f, "local creations    {}", self.local_creations)?;
+        writeln!(f, "remote creations   {}", self.remote_creations)?;
+        writeln!(f, "local fast-path    {}", self.local_fast_path_calls)?;
+        write!(f, "calls/message      {:.2}", self.calls_per_message())
+    }
 }
 
 impl RuntimeStats {
@@ -32,97 +89,117 @@ impl RuntimeStats {
     }
 
     pub(crate) fn record_async_call(&self) {
-        self.inner.async_calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.async_calls.incr();
     }
 
     pub(crate) fn record_sync_call(&self) {
-        self.inner.sync_calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.sync_calls.incr();
     }
 
     pub(crate) fn record_message(&self) {
-        self.inner.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.inner.messages_sent.incr();
     }
 
     pub(crate) fn record_batch(&self, calls: u64) {
-        self.inner.batches_sent.fetch_add(1, Ordering::Relaxed);
-        self.inner.calls_in_batches.fetch_add(calls, Ordering::Relaxed);
+        self.inner.batches_sent.incr();
+        self.inner.calls_in_batches.add(calls);
         self.record_message();
     }
 
     pub(crate) fn record_local_creation(&self) {
-        self.inner.local_creations.fetch_add(1, Ordering::Relaxed);
+        self.inner.local_creations.incr();
     }
 
     pub(crate) fn record_remote_creation(&self) {
-        self.inner.remote_creations.fetch_add(1, Ordering::Relaxed);
+        self.inner.remote_creations.incr();
     }
 
     pub(crate) fn record_local_fast_path(&self) {
-        self.inner.local_fast_path_calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.local_fast_path_calls.incr();
+    }
+
+    /// Takes a consistent-enough copy of every counter (each field is an
+    /// atomic read; there is no cross-field lock, same as the old getters).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            async_calls: self.inner.async_calls.get(),
+            sync_calls: self.inner.sync_calls.get(),
+            messages_sent: self.inner.messages_sent.get(),
+            batches_sent: self.inner.batches_sent.get(),
+            calls_in_batches: self.inner.calls_in_batches.get(),
+            local_creations: self.inner.local_creations.get(),
+            remote_creations: self.inner.remote_creations.get(),
+            local_fast_path_calls: self.inner.local_fast_path_calls.get(),
+        }
     }
 
     /// Asynchronous (one-way) method calls issued by proxies.
+    #[deprecated(note = "use snapshot().async_calls")]
     pub fn async_calls(&self) -> u64 {
-        self.inner.async_calls.load(Ordering::Relaxed)
+        self.inner.async_calls.get()
     }
 
     /// Synchronous (value-returning) method calls issued by proxies.
+    #[deprecated(note = "use snapshot().sync_calls")]
     pub fn sync_calls(&self) -> u64 {
-        self.inner.sync_calls.load(Ordering::Relaxed)
+        self.inner.sync_calls.get()
     }
 
     /// Wire messages actually sent (aggregation makes this smaller than
     /// `async_calls + sync_calls`).
+    #[deprecated(note = "use snapshot().messages_sent")]
     pub fn messages_sent(&self) -> u64 {
-        self.inner.messages_sent.load(Ordering::Relaxed)
+        self.inner.messages_sent.get()
     }
 
     /// Aggregate messages sent.
+    #[deprecated(note = "use snapshot().batches_sent")]
     pub fn batches_sent(&self) -> u64 {
-        self.inner.batches_sent.load(Ordering::Relaxed)
+        self.inner.batches_sent.get()
     }
 
     /// Calls delivered inside aggregate messages.
+    #[deprecated(note = "use snapshot().calls_in_batches")]
     pub fn calls_in_batches(&self) -> u64 {
-        self.inner.calls_in_batches.load(Ordering::Relaxed)
+        self.inner.calls_in_batches.get()
     }
 
     /// Parallel objects agglomerated (created locally).
+    #[deprecated(note = "use snapshot().local_creations")]
     pub fn local_creations(&self) -> u64 {
-        self.inner.local_creations.load(Ordering::Relaxed)
+        self.inner.local_creations.get()
     }
 
     /// Parallel objects created on a remote node via a factory.
+    #[deprecated(note = "use snapshot().remote_creations")]
     pub fn remote_creations(&self) -> u64 {
-        self.inner.remote_creations.load(Ordering::Relaxed)
+        self.inner.remote_creations.get()
     }
 
     /// Calls served by the intra-grain fast path (PO → local IO, Fig. 3
     /// call *b*).
+    #[deprecated(note = "use snapshot().local_fast_path_calls")]
     pub fn local_fast_path_calls(&self) -> u64 {
-        self.inner.local_fast_path_calls.load(Ordering::Relaxed)
+        self.inner.local_fast_path_calls.get()
     }
 
     /// Mean calls per wire message — the aggregation payoff metric.
+    #[deprecated(note = "use snapshot().calls_per_message()")]
     pub fn calls_per_message(&self) -> f64 {
-        let msgs = self.messages_sent();
-        if msgs == 0 {
-            0.0
-        } else {
-            (self.async_calls() + self.sync_calls()) as f64 / msgs as f64
-        }
+        self.snapshot().calls_per_message()
     }
 }
 
 impl std::fmt::Debug for RuntimeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
         f.debug_struct("RuntimeStats")
-            .field("async_calls", &self.async_calls())
-            .field("sync_calls", &self.sync_calls())
-            .field("messages_sent", &self.messages_sent())
-            .field("batches_sent", &self.batches_sent())
-            .field("local_creations", &self.local_creations())
-            .field("remote_creations", &self.remote_creations())
+            .field("async_calls", &s.async_calls)
+            .field("sync_calls", &s.sync_calls)
+            .field("messages_sent", &s.messages_sent)
+            .field("batches_sent", &s.batches_sent)
+            .field("local_creations", &s.local_creations)
+            .field("remote_creations", &s.remote_creations)
             .finish()
     }
 }
@@ -139,12 +216,13 @@ mod tests {
         s.record_sync_call();
         s.record_batch(2);
         s.record_message();
-        assert_eq!(s.async_calls(), 2);
-        assert_eq!(s.sync_calls(), 1);
-        assert_eq!(s.messages_sent(), 2);
-        assert_eq!(s.batches_sent(), 1);
-        assert_eq!(s.calls_in_batches(), 2);
-        assert!((s.calls_per_message() - 1.5).abs() < 1e-9);
+        let snap = s.snapshot();
+        assert_eq!(snap.async_calls, 2);
+        assert_eq!(snap.sync_calls, 1);
+        assert_eq!(snap.messages_sent, 2);
+        assert_eq!(snap.batches_sent, 1);
+        assert_eq!(snap.calls_in_batches, 2);
+        assert!((snap.calls_per_message() - 1.5).abs() < 1e-9);
     }
 
     #[test]
@@ -154,13 +232,36 @@ mod tests {
         t.record_local_creation();
         t.record_remote_creation();
         t.record_local_fast_path();
-        assert_eq!(s.local_creations(), 1);
-        assert_eq!(s.remote_creations(), 1);
-        assert_eq!(s.local_fast_path_calls(), 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.local_creations, 1);
+        assert_eq!(snap.remote_creations, 1);
+        assert_eq!(snap.local_fast_path_calls, 1);
     }
 
     #[test]
     fn zero_messages_means_zero_ratio() {
-        assert_eq!(RuntimeStats::new().calls_per_message(), 0.0);
+        assert_eq!(RuntimeStats::new().snapshot().calls_per_message(), 0.0);
+    }
+
+    #[test]
+    fn deprecated_getters_still_agree_with_snapshot() {
+        let s = RuntimeStats::new();
+        s.record_batch(3);
+        #[allow(deprecated)]
+        {
+            assert_eq!(s.batches_sent(), s.snapshot().batches_sent);
+            assert_eq!(s.messages_sent(), s.snapshot().messages_sent);
+        }
+    }
+
+    #[test]
+    fn snapshot_displays_every_counter() {
+        let s = RuntimeStats::new();
+        s.record_async_call();
+        s.record_batch(4);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("async calls"));
+        assert!(text.contains("batches sent"));
+        assert!(text.contains("calls/message"));
     }
 }

@@ -100,6 +100,7 @@ impl Communicator {
     ///
     /// [`MpiError::BadRank`] for an invalid destination.
     pub fn send(&self, dest: usize, tag: i32, data: Vec<u8>) -> Result<(), MpiError> {
+        let _span = parc_obs::Span::enter(parc_obs::kinds::MPI_SEND);
         self.check_rank(dest)?;
         self.mailboxes[dest].deliver(Pending { src: self.rank, tag, data });
         Ok(())
@@ -130,6 +131,7 @@ impl Communicator {
         tag: i32,
         timeout: Duration,
     ) -> Result<(Vec<u8>, Status), MpiError> {
+        let _span = parc_obs::Span::enter(parc_obs::kinds::MPI_RECV);
         if src != ANY_SOURCE {
             self.check_rank(src)?;
         }
@@ -149,7 +151,10 @@ impl Communicator {
     /// As [`Communicator::send`].
     pub fn send_i32(&self, dest: usize, tag: i32, data: &[i32]) -> Result<(), MpiError> {
         let mut buf = crate::pack::PackBuffer::new();
-        buf.pack_i32(data);
+        {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::MPI_PACK);
+            buf.pack_i32(data);
+        }
         self.send(dest, tag, buf.into_bytes())
     }
 
@@ -163,6 +168,7 @@ impl Communicator {
         let (data, status) = self.recv(src, tag)?;
         let count = data.len() / 4;
         let mut buf = crate::pack::PackBuffer::from_bytes(data);
+        let _span = parc_obs::Span::enter(parc_obs::kinds::MPI_UNPACK);
         Ok((buf.unpack_i32(count)?, status))
     }
 
@@ -173,7 +179,10 @@ impl Communicator {
     /// As [`Communicator::send`].
     pub fn send_f64(&self, dest: usize, tag: i32, data: &[f64]) -> Result<(), MpiError> {
         let mut buf = crate::pack::PackBuffer::new();
-        buf.pack_f64(data);
+        {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::MPI_PACK);
+            buf.pack_f64(data);
+        }
         self.send(dest, tag, buf.into_bytes())
     }
 
@@ -186,6 +195,7 @@ impl Communicator {
         let (data, status) = self.recv(src, tag)?;
         let count = data.len() / 8;
         let mut buf = crate::pack::PackBuffer::from_bytes(data);
+        let _span = parc_obs::Span::enter(parc_obs::kinds::MPI_UNPACK);
         Ok((buf.unpack_f64(count)?, status))
     }
 

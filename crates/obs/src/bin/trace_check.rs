@@ -1,0 +1,89 @@
+//! `parc-trace-check` — validates a Chrome `trace_event` JSON file.
+//!
+//! Used by `scripts/verify.sh` as the offline smoke gate: the file must
+//! parse as JSON, the top level must be an array, and every element must
+//! be an object carrying the `name`/`ph`/`ts` fields Perfetto requires.
+//!
+//! Usage: `parc-trace-check <trace.json> [--min-events N]`
+
+use parc_obs::json::{parse, Json};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: parc-trace-check <trace.json> [--min-events N]");
+        std::process::exit(2);
+    };
+    let mut min_events = 1usize;
+    if args.next().as_deref() == Some("--min-events") {
+        min_events = args
+            .next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--min-events needs a number");
+                std::process::exit(2);
+            });
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("FAIL: {path} is not valid JSON: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Json::Array(events) = doc else {
+        eprintln!("FAIL: {path}: top level must be a trace_event array");
+        std::process::exit(1);
+    };
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let Json::Object(_) = ev else {
+            eprintln!("FAIL: {path}: element {i} is not an object");
+            std::process::exit(1);
+        };
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            if ev.get(key).is_none() {
+                eprintln!("FAIL: {path}: element {i} is missing {key:?}");
+                std::process::exit(1);
+            }
+        }
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("X") => {
+                if ev.get("dur").and_then(Json::as_f64).is_none() {
+                    eprintln!("FAIL: {path}: complete event {i} has no dur");
+                    std::process::exit(1);
+                }
+                spans += 1;
+            }
+            Some("i") => instants += 1,
+            Some(other) => {
+                eprintln!("FAIL: {path}: element {i} has unknown phase {other:?}");
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("FAIL: {path}: element {i} ph is not a string");
+                std::process::exit(1);
+            }
+        }
+    }
+    if events.len() < min_events {
+        eprintln!(
+            "FAIL: {path}: {} events, expected at least {min_events}",
+            events.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: {path}: {} trace events ({spans} spans, {instants} instants)",
+        events.len()
+    );
+}

@@ -1,0 +1,249 @@
+//! Exporters: human-readable text summary, Chrome `trace_event` JSON and
+//! a JSONL event dump.
+//!
+//! The Chrome format is the simple "JSON array of event objects" variant
+//! (`[{"name":…,"ph":"X",…}, …]`): spans become complete (`"X"`) events
+//! with microsecond `ts`/`dur`, point events become thread-scoped
+//! instants (`"i"`). Both `chrome://tracing` and Perfetto open it
+//! directly.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::ring::Record;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the registered metrics and the event counters as a stable,
+/// greppable text report: `name` left-aligned, value right-aligned, one
+/// line per metric; histograms get a `count p50 p95 p99 max` table in
+/// nanoseconds.
+pub fn text_summary() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== parc-obs summary ==");
+
+    let counters = crate::counters_snapshot();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "-- counters --");
+        for (name, value) in &counters {
+            let _ = writeln!(out, "{name:<40} {value:>14}");
+        }
+    }
+
+    let gauges = crate::gauges_snapshot();
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "-- gauges --");
+        for (name, value) in &gauges {
+            let _ = writeln!(out, "{name:<40} {value:>14}");
+        }
+    }
+
+    let histograms = crate::histograms_snapshot();
+    let live: Vec<_> = histograms.iter().filter(|(_, h)| h.count() > 0).collect();
+    if !live.is_empty() {
+        let _ = writeln!(out, "-- latencies (ns) --");
+        let _ = writeln!(
+            out,
+            "{:<40} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "span", "count", "p50", "p95", "p99", "max"
+        );
+        for (name, h) in &live {
+            let _ = writeln!(
+                out,
+                "{:<40} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                name,
+                h.count(),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
+                h.max()
+            );
+        }
+    }
+
+    let ring = crate::recorder();
+    let _ = writeln!(
+        out,
+        "-- ring -- {} records retained of {} recorded (capacity {})",
+        ring.snapshot().len(),
+        ring.pushed(),
+        ring.capacity()
+    );
+    out
+}
+
+/// Renders the ring as a Chrome `trace_event` JSON array.
+pub fn chrome_trace_json() -> String {
+    let records = crate::recorder().snapshot();
+    let mut out = String::with_capacity(records.len() * 96 + 2);
+    out.push('[');
+    let mut first = true;
+    for record in &records {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        match record {
+            Record::Span(s) => {
+                let _ = write!(
+                    out,
+                    r#"{{"name":"{}","cat":"span","ph":"X","ts":{},"dur":{},"pid":1,"tid":{},"args":{{"depth":{}}}}}"#,
+                    escape_json(s.kind),
+                    s.start_ns as f64 / 1e3,
+                    (s.dur_ns as f64 / 1e3).max(0.001),
+                    s.tid,
+                    s.depth
+                );
+            }
+            Record::Event(e) => {
+                let _ = write!(
+                    out,
+                    r#"{{"name":"{}","cat":"event","ph":"i","s":"t","ts":{},"pid":1,"tid":{},"args":{{"detail":"{}"}}}}"#,
+                    escape_json(e.kind),
+                    e.at_ns as f64 / 1e3,
+                    e.tid,
+                    escape_json(&e.detail)
+                );
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Writes [`chrome_trace_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_chrome_trace(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(chrome_trace_json().as_bytes())
+}
+
+/// Renders the ring's point events as JSONL (one object per line).
+pub fn events_jsonl() -> String {
+    let mut out = String::new();
+    for record in crate::recorder().snapshot() {
+        if let Record::Event(e) = record {
+            let _ = writeln!(
+                out,
+                r#"{{"kind":"{}","at_ns":{},"tid":{},"detail":"{}"}}"#,
+                escape_json(e.kind),
+                e.at_ns,
+                e.tid,
+                escape_json(&e.detail)
+            );
+        }
+    }
+    out
+}
+
+/// Writes [`events_jsonl`] to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_events_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(events_jsonl().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::kinds;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_json("x\ny"), "x\\ny");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_span_and_event() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _s = crate::Span::enter(kinds::DISPATCH);
+        }
+        crate::event(kinds::BATCH_FLUSHED, || "calls=3 bytes=120".into());
+        crate::set_enabled(false);
+
+        let text = chrome_trace_json();
+        let parsed = parse(&text).expect("trace must parse");
+        let Json::Array(events) = parsed else { panic!("top level must be an array") };
+        assert_eq!(events.len(), 2);
+        for ev in &events {
+            let Json::Object(fields) = ev else { panic!("event must be an object") };
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(fields.iter().any(|(k, _)| k == key), "missing {key}");
+            }
+        }
+        assert!(text.contains(r#""ph":"X""#));
+        assert!(text.contains(r#""ph":"i""#));
+        assert!(text.contains("calls=3"));
+    }
+
+    #[test]
+    fn empty_ring_is_an_empty_array() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        crate::reset();
+        let parsed = parse(&chrome_trace_json()).expect("parses");
+        assert_eq!(parsed, Json::Array(vec![]));
+    }
+
+    #[test]
+    fn text_summary_lists_counters_and_latencies() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        crate::counter("demo.widgets").add(7);
+        crate::histogram("demo.lat").record(500);
+        crate::set_enabled(false);
+        let s = text_summary();
+        assert!(s.contains("demo.widgets"));
+        assert!(s.contains("7"));
+        assert!(s.contains("demo.lat"));
+        assert!(s.contains("p95"));
+    }
+
+    #[test]
+    fn events_jsonl_is_one_valid_object_per_line() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        crate::event(kinds::AGG_SIZE_CHANGED, || "old=1 new=4".into());
+        crate::event(kinds::AGGLOMERATE, || "object=X reason=y".into());
+        crate::set_enabled(false);
+        let dump = events_jsonl();
+        let lines: Vec<_> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(matches!(parse(line), Ok(Json::Object(_))), "bad line {line}");
+        }
+    }
+}

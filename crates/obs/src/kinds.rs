@@ -1,0 +1,132 @@
+//! The shared span/event vocabulary.
+//!
+//! One constant per stage of a remote call and per adaptation decision, so
+//! real traces (`parc-obs` ring), simulated traces (`parc_sim::Trace`) and
+//! tests all grep for the same strings. `parc-sim` re-exports this module
+//! as `parc_sim::kinds`; use the constants instead of string literals when
+//! recording either kind of trace.
+
+// ---- client-side call path (remoting) ----
+
+/// A synchronous two-way remote call, client side, end to end.
+pub const CALL: &str = "call";
+/// A one-way post, client side.
+pub const POST: &str = "post";
+/// Request/reply encoding through a formatter.
+pub const SERIALIZE: &str = "serialize";
+/// Request/reply decoding through a formatter.
+pub const DESERIALIZE: &str = "deserialize";
+/// Handing the encoded frame to the transport (queue push, socket write).
+pub const CHANNEL_SEND: &str = "channel.send";
+/// Waiting for and reading the reply frame.
+pub const CHANNEL_RECV: &str = "channel.recv";
+
+// ---- server-side dispatch path ----
+
+/// Server-side handling of one frame: decode, route, invoke.
+pub const DISPATCH: &str = "dispatch";
+/// Encoding and sending the reply frame.
+pub const REPLY: &str = "reply";
+/// Histogram-only: time a frame spent queued before a dispatch worker
+/// picked it up.
+pub const QUEUE_WAIT: &str = "queue.wait";
+/// Histogram-only: time a task spent queued in a [`ThreadPool`] before a
+/// worker ran it.
+pub const POOL_WAIT: &str = "pool.wait";
+
+// ---- SCOOPP runtime (parc-core) ----
+
+/// A proxy-object synchronous call (wraps the remoting `call`).
+pub const PO_CALL: &str = "po.call";
+/// A proxy-object asynchronous call on the local fast path.
+pub const PO_LOCAL: &str = "po.local";
+/// Shipping an aggregation buffer as one message.
+pub const BATCH_FLUSH: &str = "batch.flush";
+/// Creating an implementation object (local or via a remote factory).
+pub const FACTORY_CREATE: &str = "factory.create";
+/// One call served by a node's object manager.
+pub const OM_DISPATCH: &str = "om.dispatch";
+/// Histogram of measured per-call service time feeding the grain adapter.
+pub const ADAPT_SERVICE: &str = "adapt.service";
+
+// ---- adaptation-decision events ----
+
+/// Event: the recommended aggregation factor changed
+/// (`old=.. new=.. ewma_us=.. overhead_us=..`).
+pub const AGG_SIZE_CHANGED: &str = "agg_size_changed";
+/// Event: a new object was agglomerated locally (`object=.. reason=..`).
+pub const AGGLOMERATE: &str = "agglomerate";
+/// Event: an aggregation buffer was shipped (`calls=.. bytes=..`).
+pub const BATCH_FLUSHED: &str = "batch_flushed";
+
+// ---- baseline stacks ----
+
+/// One RMI stub call (marshal → dispatch → unmarshal).
+pub const RMI_CALL: &str = "rmi.call";
+/// MPI buffered send.
+pub const MPI_SEND: &str = "mpi.send";
+/// MPI matched receive.
+pub const MPI_RECV: &str = "mpi.recv";
+/// `MPI_Pack` of a typed slice into the contiguous buffer.
+pub const MPI_PACK: &str = "mpi.pack";
+/// `MPI_Unpack` of a typed slice out of the contiguous buffer.
+pub const MPI_UNPACK: &str = "mpi.unpack";
+
+// ---- simulation vocabulary (parc-sim Trace) ----
+//
+// The simulator's deterministic traces use the same strings so a grep for
+// e.g. `dispatch` matches both real and simulated runs. `SEND`/`RECV` are
+// the virtual-wire hops (distinct from the real channel.* spans).
+
+/// Simulated message enters a link.
+pub const SEND: &str = "send";
+/// Simulated message leaves a link.
+pub const RECV: &str = "recv";
+/// Simulated periodic event.
+pub const TICK: &str = "tick";
+/// Simulated external arrival.
+pub const INJECT: &str = "inject";
+/// Simulated same-node shortcut (no link crossed).
+pub const LOOPBACK: &str = "loopback";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vocabulary_is_distinct() {
+        let all = [
+            super::CALL,
+            super::POST,
+            super::SERIALIZE,
+            super::DESERIALIZE,
+            super::CHANNEL_SEND,
+            super::CHANNEL_RECV,
+            super::DISPATCH,
+            super::REPLY,
+            super::QUEUE_WAIT,
+            super::POOL_WAIT,
+            super::PO_CALL,
+            super::PO_LOCAL,
+            super::BATCH_FLUSH,
+            super::FACTORY_CREATE,
+            super::OM_DISPATCH,
+            super::ADAPT_SERVICE,
+            super::AGG_SIZE_CHANGED,
+            super::AGGLOMERATE,
+            super::BATCH_FLUSHED,
+            super::RMI_CALL,
+            super::MPI_SEND,
+            super::MPI_RECV,
+            super::MPI_PACK,
+            super::MPI_UNPACK,
+            super::SEND,
+            super::RECV,
+            super::TICK,
+            super::INJECT,
+            super::LOOPBACK,
+        ];
+        let mut set = std::collections::BTreeSet::new();
+        for k in all {
+            assert!(set.insert(k), "duplicate kind {k}");
+        }
+    }
+}

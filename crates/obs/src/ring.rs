@@ -1,0 +1,187 @@
+//! The bounded record ring the global recorder writes into.
+//!
+//! Writers claim a slot with one `fetch_add` and only then lock that slot,
+//! so concurrent recording never contends on a shared lock (lock-free-ish:
+//! per-slot mutexes, a lock is held only for the move into the slot). Old
+//! records are overwritten once the ring wraps — tracing a long run keeps
+//! the *most recent* `capacity` records, while counters and histograms
+//! (which never wrap) keep lifetime totals.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One timed span, completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span vocabulary entry (see [`crate::kinds`]).
+    pub kind: &'static str,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small per-thread id (dense, assigned on first use).
+    pub tid: u64,
+    /// Nesting depth on its thread (0 = top level).
+    pub depth: u32,
+}
+
+/// One point event (adaptation decisions and the like).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Event vocabulary entry (see [`crate::kinds`]).
+    pub kind: &'static str,
+    /// Timestamp, nanoseconds since the process trace epoch.
+    pub at_ns: u64,
+    /// Small per-thread id.
+    pub tid: u64,
+    /// `key=value` detail pairs, space separated.
+    pub detail: String,
+}
+
+/// A recorded item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A completed span.
+    Span(SpanRecord),
+    /// A point event.
+    Event(EventRecord),
+}
+
+/// Fixed-capacity overwrite-oldest record buffer.
+pub struct Ring {
+    slots: Box<[Mutex<Option<Record>>]>,
+    /// Total records ever pushed; `cursor % capacity` is the next slot.
+    cursor: AtomicU64,
+}
+
+impl Ring {
+    /// Creates a ring with `capacity` slots (minimum 1).
+    pub fn new(capacity: usize) -> Ring {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity).map(|_| Mutex::new(None)).collect::<Vec<_>>();
+        Ring { slots: slots.into_boxed_slice(), cursor: AtomicU64::new(0) }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records pushed over the ring's lifetime (≥ retained count).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Appends a record, overwriting the oldest once full.
+    pub fn push(&self, record: Record) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.slots.len() as u64) as usize;
+        *self.slots[slot].lock().expect("ring slot poisoned") = Some(record);
+    }
+
+    /// Copies the retained records out, oldest first.
+    pub fn snapshot(&self) -> Vec<Record> {
+        let pushed = self.pushed();
+        let cap = self.slots.len() as u64;
+        let (start, len) =
+            if pushed <= cap { (0, pushed) } else { (pushed % cap, cap) };
+        let mut out = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            let slot = ((start + i) % cap) as usize;
+            if let Some(r) = self.slots[slot].lock().expect("ring slot poisoned").clone() {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Drops every retained record and resets the push count.
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            *slot.lock().expect("ring slot poisoned") = None;
+        }
+        self.cursor.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Ring {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ring")
+            .field("capacity", &self.capacity())
+            .field("pushed", &self.pushed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> Record {
+        Record::Event(EventRecord { kind: "tick", at_ns: n, tid: 0, detail: String::new() })
+    }
+
+    fn at(r: &Record) -> u64 {
+        match r {
+            Record::Event(e) => e.at_ns,
+            Record::Span(s) => s.start_ns,
+        }
+    }
+
+    #[test]
+    fn keeps_everything_below_capacity() {
+        let ring = Ring::new(8);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.iter().map(at).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(ring.pushed(), 5);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let ring = Ring::new(4);
+        for i in 0..10 {
+            ring.push(ev(i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.iter().map(at).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(ring.pushed(), 10);
+        assert_eq!(ring.capacity(), 4);
+    }
+
+    #[test]
+    fn clear_empties_the_ring() {
+        let ring = Ring::new(4);
+        ring.push(ev(1));
+        ring.clear();
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.pushed(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let ring = Ring::new(0);
+        ring.push(ev(7));
+        assert_eq!(ring.capacity(), 1);
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_lose_the_ring() {
+        let ring = std::sync::Arc::new(Ring::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        ring.push(ev(t * 1000 + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.pushed(), 4000);
+        assert_eq!(ring.snapshot().len(), 64);
+    }
+}

@@ -1,0 +1,163 @@
+//! RAII timing spans with a thread-local nesting stack.
+//!
+//! `Span::enter(kind)` starts a span; dropping the guard records it into
+//! the global ring and the per-kind latency histogram. Nesting depth is
+//! tracked per thread, so exporters can rebuild each thread's span tree
+//! (Chrome's `trace_event` viewer does it by timestamp containment).
+//!
+//! The disabled path is the contract the whole stack relies on: when
+//! recording is off, `enter` is one relaxed atomic load and the guard
+//! drop is a `None` check — cheap enough to leave in every hot path
+//! (`crates/bench/benches/obs_overhead.rs` pins the cost).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::ring::{Record, SpanRecord};
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The dense id assigned to the calling thread on first use.
+pub fn thread_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+struct ActiveSpan {
+    kind: &'static str,
+    start: Instant,
+    start_ns: u64,
+    depth: u32,
+}
+
+/// A live span; records itself when dropped.
+#[must_use = "a span measures the scope it is bound to"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// Enters a span of `kind`. When recording is disabled this is a
+    /// single relaxed atomic load and the returned guard is inert.
+    #[inline]
+    pub fn enter(kind: &'static str) -> Span {
+        if !crate::is_enabled() {
+            return Span { active: None };
+        }
+        Span::enter_cold(kind)
+    }
+
+    #[cold]
+    fn enter_cold(kind: &'static str) -> Span {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        Span {
+            active: Some(ActiveSpan {
+                kind,
+                start: Instant::now(),
+                start_ns: crate::now_ns(),
+                depth,
+            }),
+        }
+    }
+
+    /// True when this guard is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let dur_ns = active.start.elapsed().as_nanos() as u64;
+        crate::histogram(active.kind).record(dur_ns);
+        crate::recorder().push(Record::Span(SpanRecord {
+            kind: active.kind,
+            start_ns: active.start_ns,
+            dur_ns,
+            tid: thread_id(),
+            depth: active.depth,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global recorder state is shared across the whole test binary; the
+    // lib-level lock keeps these tests and the exporter tests apart.
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(false);
+        crate::reset();
+        {
+            let s = Span::enter("call");
+            assert!(!s.is_recording());
+        }
+        assert_eq!(crate::recorder().pushed(), 0);
+    }
+
+    #[test]
+    fn nested_spans_carry_depth_and_close_inner_first() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _outer = Span::enter("call");
+            let _inner = Span::enter("serialize");
+        }
+        crate::set_enabled(false);
+        let records = crate::recorder().snapshot();
+        let spans: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 2);
+        // Inner drops (and records) first.
+        assert_eq!(spans[0].kind, "serialize");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].kind, "call");
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[0].tid, spans[1].tid);
+        assert!(spans[0].start_ns >= spans[1].start_ns);
+        assert!(crate::histogram("call").count() >= 1);
+    }
+
+    #[test]
+    fn depth_recovers_after_unbalanced_drop_order() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let a = Span::enter("call");
+        let b = Span::enter("serialize");
+        drop(a); // wrong order on purpose
+        drop(b);
+        crate::set_enabled(false);
+        // Depth underflow must not panic and the counter must be back at 0.
+        let _fresh = {
+            crate::set_enabled(true);
+            let s = Span::enter("dispatch");
+            crate::set_enabled(false);
+            s
+        };
+        assert!(DEPTH.with(|d| d.get()) <= 1);
+    }
+}

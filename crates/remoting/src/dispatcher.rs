@@ -45,6 +45,7 @@ impl<T: Invokable + ?Sized> Invokable for Arc<T> {
 /// [`ReturnMessage`] for two-way calls and is silently dropped for one-way
 /// calls (matching fire-and-forget delegate semantics).
 pub fn dispatch(table: &ObjectTable, call: &CallMessage) -> Option<ReturnMessage> {
+    let _span = parc_obs::Span::enter(parc_obs::kinds::DISPATCH);
     let outcome = table
         .resolve(&call.object)
         .and_then(|obj| obj.invoke(&call.method, &call.args));

@@ -175,6 +175,7 @@ fn serve_connection(stream: TcpStream, objects: ObjectTable, stop: Arc<AtomicBoo
         match CallMessage::decode(&formatter, &body) {
             Ok(call) => match dispatch(&objects, &call) {
                 Some(reply) => {
+                    let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
                     let Ok(bytes) = reply.encode(&formatter) else { return };
                     if write_response(&mut writer, "200 OK", &bytes).is_err() {
                         return;
@@ -222,10 +223,17 @@ impl HttpClientChannel {
     }
 
     fn exchange(&self, msg: &CallMessage) -> Result<(String, Vec<u8>), RemotingError> {
-        let body = msg.encode(&self.formatter)?;
+        let body = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
+            msg.encode(&self.formatter)?
+        };
         let mut guard = self.connection.lock();
         let (reader, writer) = &mut *guard;
-        write_request(writer, &msg.object, &body)?;
+        {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
+            write_request(writer, &msg.object, &body)?;
+        }
+        let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
         read_message(reader)?
             .ok_or(RemotingError::Transport { detail: "server closed connection".into() })
     }
@@ -234,6 +242,7 @@ impl HttpClientChannel {
 impl ClientChannel for HttpClientChannel {
     fn call(&self, msg: &CallMessage) -> Result<ReturnMessage, RemotingError> {
         let (_status, body) = self.exchange(msg)?;
+        let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
         Ok(ReturnMessage::decode(&self.formatter, &body)?)
     }
 

@@ -36,6 +36,9 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 struct Envelope {
     bytes: Vec<u8>,
     reply: Option<Sender<Vec<u8>>>,
+    // 0 unless obs recording was enabled at send time; lets the pump
+    // measure queue wait without paying for a clock read when disabled.
+    enqueued_ns: u64,
 }
 
 struct EndpointShared {
@@ -149,6 +152,7 @@ fn pump(rx: Receiver<Envelope>, objects: ObjectTable, shared: Arc<EndpointShared
         shared.messages_received.fetch_add(1, Ordering::Relaxed);
         let objects = objects.clone();
         pool.submit(move || {
+            parc_obs::record_wait(parc_obs::kinds::QUEUE_WAIT, envelope.enqueued_ns);
             let reply = match CallMessage::decode(&formatter, &envelope.bytes) {
                 Ok(call) => dispatch(&objects, &call),
                 Err(e) => {
@@ -158,6 +162,7 @@ fn pump(rx: Receiver<Envelope>, objects: ObjectTable, shared: Arc<EndpointShared
                 }
             };
             if let (Some(reply), Some(tx)) = (reply, envelope.reply) {
+                let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
                 if let Ok(bytes) = reply.encode(&formatter) {
                     let _ = tx.send(bytes);
                 }
@@ -213,9 +218,13 @@ pub struct InprocClient {
 
 impl InprocClient {
     fn send(&self, msg: &CallMessage, reply: Option<Sender<Vec<u8>>>) -> Result<(), RemotingError> {
-        let bytes = msg.encode(&BinaryFormatter::new())?;
+        let bytes = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
+            msg.encode(&BinaryFormatter::new())?
+        };
+        let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
         self.tx
-            .send(Envelope { bytes, reply })
+            .send(Envelope { bytes, reply, enqueued_ns: parc_obs::timestamp_if_enabled() })
             .map_err(|_| RemotingError::Transport { detail: "endpoint stopped".into() })
     }
 }
@@ -224,9 +233,13 @@ impl ClientChannel for InprocClient {
     fn call(&self, msg: &CallMessage) -> Result<crate::message::ReturnMessage, RemotingError> {
         let (reply_tx, reply_rx) = bounded(1);
         self.send(msg, Some(reply_tx))?;
-        let bytes = reply_rx
-            .recv_timeout(self.timeout)
-            .map_err(|_| RemotingError::Timeout)?;
+        let bytes = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
+            reply_rx
+                .recv_timeout(self.timeout)
+                .map_err(|_| RemotingError::Timeout)?
+        };
+        let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
         Ok(crate::message::ReturnMessage::decode(&BinaryFormatter::new(), &bytes)?)
     }
 

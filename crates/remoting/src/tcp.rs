@@ -149,6 +149,7 @@ fn serve_connection(mut stream: TcpStream, objects: ObjectTable, stop: Arc<Atomi
             Err(e) => Some(ReturnMessage::fault(0, e.to_string())),
         };
         if let Some(reply) = reply {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
             let Ok(bytes) = reply.encode(&formatter) else { return };
             if write_frame(&mut stream, &bytes).is_err() {
                 return;
@@ -179,17 +180,31 @@ impl TcpClientChannel {
 
 impl ClientChannel for TcpClientChannel {
     fn call(&self, msg: &CallMessage) -> Result<ReturnMessage, RemotingError> {
-        let bytes = msg.encode(&self.formatter)?;
+        let bytes = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
+            msg.encode(&self.formatter)?
+        };
         let mut stream = self.stream.lock();
-        write_frame(&mut *stream, &bytes)?;
-        let reply = read_frame(&mut *stream)?
-            .ok_or(RemotingError::Transport { detail: "server closed connection".into() })?;
+        {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
+            write_frame(&mut *stream, &bytes)?;
+        }
+        let reply = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
+            read_frame(&mut *stream)?
+                .ok_or(RemotingError::Transport { detail: "server closed connection".into() })?
+        };
+        let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
         Ok(ReturnMessage::decode(&self.formatter, &reply)?)
     }
 
     fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
-        let bytes = msg.encode(&self.formatter)?;
+        let bytes = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
+            msg.encode(&self.formatter)?
+        };
         let mut stream = self.stream.lock();
+        let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
         write_frame(&mut *stream, &bytes)?;
         Ok(())
     }

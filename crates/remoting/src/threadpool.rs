@@ -77,10 +77,14 @@ impl ThreadPool {
     /// Submits a task for execution.
     pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
         self.counters.queued.fetch_add(1, Ordering::SeqCst);
+        let submitted_ns = parc_obs::timestamp_if_enabled();
         self.tx
             .as_ref()
             .expect("pool alive")
-            .send(Box::new(task))
+            .send(Box::new(move || {
+                parc_obs::record_wait(parc_obs::kinds::POOL_WAIT, submitted_ns);
+                task();
+            }))
             .expect("workers alive");
     }
 

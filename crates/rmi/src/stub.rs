@@ -65,13 +65,20 @@ impl RmiStub {
     ///
     /// Any [`RemoteException`] from marshalling, resolution, or the server.
     pub fn call(&self, method: &str, args: Vec<Value>) -> Result<Value, RemoteException> {
+        let _call_span = parc_obs::Span::enter(parc_obs::kinds::RMI_CALL);
         // Client side: marshal the call.
         let call = Value::List(vec![Value::Str(method.to_string()), Value::List(args)]);
-        let request = self.formatter.serialize(&call)?;
+        let request = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
+            self.formatter.serialize(&call)?
+        };
         self.bytes_sent.fetch_add(request.len() as u64, Ordering::Relaxed);
 
         // Server side: unmarshal and dispatch.
-        let decoded = self.formatter.deserialize(&request)?;
+        let decoded = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
+            self.formatter.deserialize(&request)?
+        };
         let items = decoded.as_list().ok_or(RemoteException::Unmarshal {
             detail: "call frame is not a list".into(),
         })?;
@@ -93,9 +100,15 @@ impl RmiStub {
         let result = server.invoke(method_name, args_list)?;
 
         // Server side: marshal the reply; client side: unmarshal it.
-        let reply = self.formatter.serialize(&result)?;
+        let reply = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
+            self.formatter.serialize(&result)?
+        };
         self.bytes_received.fetch_add(reply.len() as u64, Ordering::Relaxed);
-        let value = self.formatter.deserialize(&reply)?;
+        let value = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
+            self.formatter.deserialize(&reply)?
+        };
         self.calls.fetch_add(1, Ordering::Relaxed);
         Ok(value)
     }

@@ -37,6 +37,11 @@
 //! assert_eq!(engine.now(), SimTime::from_micros(10));
 //! ```
 
+/// Shared trace-event vocabulary, re-exported from `parc-obs` so simulated
+/// and real runs label the same activity with the same strings (e.g.
+/// `kinds::SEND`, `kinds::RECV`, `kinds::TICK`).
+pub use parc_obs::kinds;
+
 pub mod cluster;
 pub mod engine;
 pub mod link;

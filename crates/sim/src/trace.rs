@@ -15,7 +15,11 @@ use crate::time::SimTime;
 pub struct TraceEntry {
     /// Virtual timestamp.
     pub at: SimTime,
-    /// Event category (e.g. "dispatch", "reply", "inject").
+    /// Event category — use the shared [`crate::kinds`] vocabulary (e.g.
+    /// [`kinds::DISPATCH`](crate::kinds::DISPATCH),
+    /// [`kinds::REPLY`](crate::kinds::REPLY),
+    /// [`kinds::INJECT`](crate::kinds::INJECT)) so simulated traces line up
+    /// with real-run observability output.
     pub kind: &'static str,
     /// Free-form detail (task ids, nodes, sizes).
     pub detail: String,
@@ -90,17 +94,27 @@ impl Trace {
 mod tests {
     use super::*;
     use crate::engine::Engine;
+    use crate::kinds;
 
     #[test]
     fn records_in_order_and_filters_by_kind() {
         let mut t = Trace::new();
-        t.record(SimTime::from_micros(1), "send", "msg 1");
-        t.record(SimTime::from_micros(2), "recv", "msg 1");
-        t.record(SimTime::from_micros(2), "send", "msg 2");
+        t.record(SimTime::from_micros(1), kinds::SEND, "msg 1");
+        t.record(SimTime::from_micros(2), kinds::RECV, "msg 1");
+        t.record(SimTime::from_micros(2), kinds::SEND, "msg 2");
         assert_eq!(t.len(), 3);
-        assert_eq!(t.of_kind("send").len(), 2);
-        assert_eq!(t.of_kind("recv")[0].detail, "msg 1");
+        assert_eq!(t.of_kind(kinds::SEND).len(), 2);
+        assert_eq!(t.of_kind(kinds::RECV)[0].detail, "msg 1");
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn shared_kind_constants_match_historic_strings() {
+        // Traces recorded before the kinds module existed used these
+        // literals; the constants must keep traces byte-identical.
+        assert_eq!(kinds::SEND, "send");
+        assert_eq!(kinds::RECV, "recv");
+        assert_eq!(kinds::TICK, "tick");
     }
 
     #[test]
@@ -115,8 +129,8 @@ mod tests {
     #[test]
     fn render_is_line_per_event() {
         let mut t = Trace::new();
-        t.record(SimTime::from_micros(1), "send", "x");
-        t.record(SimTime::from_micros(3), "recv", "x");
+        t.record(SimTime::from_micros(1), kinds::SEND, "x");
+        t.record(SimTime::from_micros(3), kinds::RECV, "x");
         let text = t.render();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("send: x"));
@@ -128,7 +142,7 @@ mod tests {
             let mut engine: Engine<Trace> = Engine::new();
             for i in 0..10u64 {
                 engine.schedule_in(SimTime::from_micros(i % 3 * 10), move |eng, trace: &mut Trace| {
-                    trace.record(eng.now(), "tick", format!("event {i}"));
+                    trace.record(eng.now(), kinds::TICK, format!("event {i}"));
                 });
             }
             let mut trace = Trace::new();

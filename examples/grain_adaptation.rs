@@ -60,12 +60,12 @@ fn run(label: &str, grain: GrainConfig) -> Result<(), Box<dyn std::error::Error>
     let expected: i64 = (0..CALLS as i64).map(|i| i % 7).sum();
     assert_eq!(total, Value::I64(expected), "no calls may be lost");
 
-    let s = rt.stats();
+    let s = rt.stats().snapshot();
     println!(
         "{label:<28} placement={:<7} messages={:<6} batches={:<5} calls/msg={:<7.1} wall={wall:?}",
         if po.is_local() { "local" } else { "remote" },
-        s.messages_sent(),
-        s.batches_sent(),
+        s.messages_sent,
+        s.batches_sent,
         s.calls_per_message(),
     );
     Ok(())

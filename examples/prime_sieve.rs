@@ -3,12 +3,17 @@
 //! aggregation enabled.
 //!
 //! Run with: `cargo run --example prime_sieve [limit]`
+//!
+//! Set `PARC_OBS=1` to record spans/events; the run then prints the
+//! metrics summary and writes a Chrome/Perfetto trace to
+//! `target/prime_sieve_trace.json`.
 
 use parc::scoopp::{ParcRuntime, Pipeline};
 use parc::serial::Value;
 use parc_apps::sieve::{reference_primes, register_prime_filter_class, PRIME_SERVER_CLASS};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    parc::obs::init_from_env();
     let limit: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
     let expected = reference_primes(limit);
 
@@ -46,13 +51,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "pipeline must agree with the sequential sieve"
     );
 
-    let stats = runtime.stats();
+    let stats = runtime.stats().snapshot();
     println!(
         "traffic: {} async calls became {} wire messages ({} aggregated batches, {:.1} calls/msg)",
-        stats.async_calls(),
-        stats.messages_sent(),
-        stats.batches_sent(),
+        stats.async_calls,
+        stats.messages_sent,
+        stats.batches_sent,
         stats.calls_per_message(),
     );
+
+    if parc::obs::is_enabled() {
+        let trace = "target/prime_sieve_trace.json";
+        parc::obs::export::write_chrome_trace(trace)?;
+        println!("\n{}", parc::obs::export::text_summary());
+        println!("chrome trace written to {trace} (load in ui.perfetto.dev)");
+    }
     Ok(())
 }

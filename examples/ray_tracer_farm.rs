@@ -3,6 +3,10 @@
 //! render.
 //!
 //! Run with: `cargo run --release --example ray_tracer_farm [size]`
+//!
+//! Set `PARC_OBS=1` to record spans/events; the run then prints the
+//! metrics summary and writes a Chrome/Perfetto trace to
+//! `target/ray_tracer_farm_trace.json`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -14,6 +18,7 @@ use parc::serial::Value;
 use parc_apps::raytracer::{render_image, render_line, Scene};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    parc::obs::init_from_env();
     let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
     let scene = Scene::jgf(64);
 
@@ -72,5 +77,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "speedup {:.2}x (in-process nodes share this machine's cores)",
         seq.as_secs_f64() / par.as_secs_f64()
     );
+
+    if parc::obs::is_enabled() {
+        let trace = "target/ray_tracer_farm_trace.json";
+        parc::obs::export::write_chrome_trace(trace)?;
+        println!("\n{}", parc::obs::export::text_summary());
+        println!("chrome trace written to {trace} (load in ui.perfetto.dev)");
+    }
     Ok(())
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs every bench target and collects the machine-readable reports in
+# target/bench-json/BENCH_<name>.json (override the directory with
+# PARC_BENCH_JSON_DIR). Pass bench names to run a subset:
+#
+#   scripts/bench.sh                   # everything
+#   scripts/bench.sh obs_overhead      # just the observability costs
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+    for name in "$@"; do
+        cargo bench --offline -p parc-bench --bench "$name"
+    done
+else
+    cargo bench --offline -p parc-bench --benches
+fi
+
+dir="${PARC_BENCH_JSON_DIR:-target/bench-json}"
+echo
+echo "bench reports in ${dir}:"
+ls -1 "${dir}" 2>/dev/null || echo "  (none written)"

@@ -25,3 +25,17 @@ echo "ok: manifests and lockfile are registry-free"
 cargo build --release --offline
 cargo test -q --offline --workspace
 echo "ok: offline build + test passed"
+
+# Gate 3: observability smoke test. A traced sieve run must record
+# aggregation activity (batch_flushed events in the metrics summary) and
+# produce a structurally valid Chrome trace.
+obs_out=$(PARC_OBS=1 cargo run --release --offline -q --example prime_sieve 2>&1)
+batch_flushed=$(printf '%s\n' "$obs_out" | awk '$1 == "batch_flushed" { print $2 }')
+if [ -z "${batch_flushed}" ] || [ "${batch_flushed}" -eq 0 ]; then
+    printf '%s\n' "$obs_out" >&2
+    echo "FAIL: traced sieve run recorded no batch_flushed events" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
+    target/prime_sieve_trace.json --min-events 10
+echo "ok: obs smoke test passed (${batch_flushed} batch_flushed events, trace valid)"

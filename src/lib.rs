@@ -10,7 +10,10 @@
 //! * [`sim`] — the discrete-event cluster simulator;
 //! * [`scoopp`] — the paper's contribution: the SCOOPP/ParC# runtime;
 //! * [`apps`] — the evaluation workloads (Ray Tracer, prime sieve, ...);
-//! * [`bench`] — calibration models and experiment runners.
+//! * [`bench`] — calibration models and experiment runners;
+//! * [`obs`] — runtime tracing, metrics and adaptation telemetry
+//!   (enable with `PARC_OBS=1`, export Chrome traces via
+//!   [`obs::export`](parc_obs::export)).
 //!
 //! See `README.md` for a guided tour and `DESIGN.md` for the paper-to-code
 //! map.
@@ -19,6 +22,7 @@ pub use parc_apps as apps;
 pub use parc_bench as bench;
 pub use parc_core as scoopp;
 pub use parc_mpi as mpi;
+pub use parc_obs as obs;
 pub use parc_remoting as remoting;
 pub use parc_rmi as rmi;
 pub use parc_serial as serial;

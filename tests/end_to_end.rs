@@ -134,7 +134,7 @@ fn aggregation_is_transparent_to_results() {
         }
         po.flush().unwrap();
         let total = po.call("total", vec![]).unwrap();
-        (total, rt.stats().messages_sent())
+        (total, rt.stats().snapshot().messages_sent)
     };
     let (plain_total, plain_msgs) = run(1);
     let (agg_total, agg_msgs) = run(50);

@@ -1,0 +1,148 @@
+//! Property tests for the observability substrate, driven by the
+//! in-tree `parc-testkit` tape generator: ring overwrite semantics,
+//! histogram bucket/percentile invariants, and span-nesting depths.
+
+use parc::obs::kinds;
+use parc::obs::metrics::{bucket_index, bucket_upper_bound, Histogram, BUCKETS};
+use parc::obs::ring::{EventRecord, Record, Ring, SpanRecord};
+use parc_testkit::Config;
+
+#[test]
+fn ring_keeps_the_most_recent_capacity_records() {
+    Config::cases(128).check(
+        |src| {
+            let capacity = src.usize_in(1..48);
+            let pushes = src.usize_in(0..160);
+            (capacity, pushes)
+        },
+        |&(capacity, pushes)| {
+            let ring = Ring::new(capacity);
+            for i in 0..pushes {
+                ring.push(Record::Event(EventRecord {
+                    kind: kinds::TICK,
+                    at_ns: i as u64,
+                    tid: 0,
+                    detail: i.to_string(),
+                }));
+            }
+            assert_eq!(ring.pushed(), pushes as u64);
+            let snap = ring.snapshot();
+            assert_eq!(snap.len(), pushes.min(capacity), "ring never exceeds capacity");
+            // Oldest-first, and exactly the latest `len` pushes survive.
+            let first_kept = pushes - snap.len();
+            for (offset, record) in snap.iter().enumerate() {
+                match record {
+                    Record::Event(e) => {
+                        assert_eq!(e.at_ns, (first_kept + offset) as u64, "overwrite-oldest order")
+                    }
+                    Record::Span(_) => panic!("only events were pushed"),
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn histogram_totals_and_percentiles_track_the_raw_samples() {
+    Config::cases(96).check(
+        |src| {
+            let n = src.usize_in(1..64);
+            (0..n).map(|_| src.u64_in(1..2_000_000_000)).collect::<Vec<u64>>()
+        },
+        |samples| {
+            let h = Histogram::new();
+            for &v in samples {
+                h.record(v);
+            }
+            let min = *samples.iter().min().unwrap();
+            let max = *samples.iter().max().unwrap();
+            assert_eq!(h.count(), samples.len() as u64);
+            assert_eq!(h.sum(), samples.iter().sum::<u64>());
+            assert_eq!(h.min(), Some(min), "min is exact, not bucketed");
+            assert_eq!(h.max(), max, "max is exact, not bucketed");
+            for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+                let q = h.percentile(p);
+                assert!(q >= min && q <= max, "p{p} = {q} outside [{min}, {max}]");
+            }
+            assert!(h.percentile(50.0) <= h.percentile(95.0));
+            assert!(h.percentile(95.0) <= h.percentile(99.0));
+        },
+    );
+}
+
+#[test]
+fn bucket_mapping_is_monotone_and_bounds_every_value() {
+    Config::cases(96).check(
+        |src| {
+            let n = src.usize_in(2..64);
+            let mut vals: Vec<u64> = (0..n).map(|_| src.u64_any() >> src.u64_in(0..40)).collect();
+            vals.sort_unstable();
+            vals
+        },
+        |vals| {
+            for window in vals.windows(2) {
+                assert!(
+                    bucket_index(window[0]) <= bucket_index(window[1]),
+                    "bucket_index must be monotone: {} vs {}",
+                    window[0],
+                    window[1]
+                );
+            }
+            for &v in vals {
+                let idx = bucket_index(v);
+                assert!(idx < BUCKETS, "index {idx} out of range for {v}");
+                let upper = bucket_upper_bound(idx);
+                assert!(upper >= v, "upper bound {upper} below value {v}");
+                // Log-linear with 4 sub-buckets per octave: the bucket's
+                // upper bound overshoots by at most ~25% (plus slack for
+                // the tiny exact buckets).
+                assert!(
+                    upper <= v.saturating_mul(2),
+                    "bucket too coarse: {v} mapped under {upper}"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn nested_spans_record_matching_depths_and_containment() {
+    fn nest(levels: usize) {
+        let _span = parc::obs::Span::enter(kinds::CALL);
+        if levels > 1 {
+            nest(levels - 1);
+        }
+    }
+
+    let _guard = parc::obs::test_lock();
+    parc::obs::set_enabled(true);
+    Config::cases(32).check(
+        |src| src.usize_in(1..24),
+        |&levels| {
+            parc::obs::reset();
+            nest(levels);
+            let spans: Vec<SpanRecord> = parc::obs::recorder()
+                .snapshot()
+                .into_iter()
+                .filter_map(|r| match r {
+                    Record::Span(s) => Some(s),
+                    Record::Event(_) => None,
+                })
+                .collect();
+            assert_eq!(spans.len(), levels, "one record per nesting level");
+            // Spans complete innermost-first, so the ring holds depths
+            // levels-1 .. 0 in push order.
+            for (i, span) in spans.iter().enumerate() {
+                assert_eq!(span.depth as usize, levels - 1 - i);
+            }
+            // Each parent's window contains its child's.
+            for pair in spans.windows(2) {
+                let (child, parent) = (&pair[0], &pair[1]);
+                assert!(parent.start_ns <= child.start_ns);
+                assert!(parent.start_ns + parent.dur_ns >= child.start_ns + child.dur_ns);
+            }
+        },
+    );
+    parc::obs::set_enabled(false);
+    parc::obs::reset();
+}
