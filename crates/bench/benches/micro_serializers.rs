@@ -1,8 +1,9 @@
 //! M1 — microbenchmarks of the serialization substrate: the
 //! real-machine costs behind the Fig. 8 per-byte model parameters.
 
-use parc_bench::harness::{BenchmarkId, Criterion, Throughput};
+use parc_bench::harness::{metric, BenchmarkId, Criterion, Throughput};
 use parc_bench::{criterion_group, criterion_main};
+use parc_remoting::bufpool::BufferPool;
 use parc_serial::{BinaryFormatter, Formatter, JavaFormatter, SoapFormatter, Value};
 
 fn bench_serialize(c: &mut Criterion) {
@@ -34,5 +35,36 @@ fn bench_serialize(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serialize);
+/// The zero-copy hot path: `serialize_into` with a recycled pool buffer
+/// against plain `serialize` (fresh allocation per call). In steady state
+/// every checkout should hit the pool — `bufpool_hit_rate` in the JSON
+/// report asserts exactly that.
+fn bench_serialize_into_pooled(c: &mut Criterion) {
+    let f = BinaryFormatter::new();
+    let pool = BufferPool::default();
+    let mut group = c.benchmark_group("serialize_into_pooled");
+    for size in [64usize, 1024, 16384] {
+        let v = Value::I32Array((0..size as i32).collect());
+        group.throughput(Throughput::Bytes((size * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("alloc_per_call", size), &v, |b, v| {
+            b.iter(|| f.serialize(std::hint::black_box(v)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("pooled", size), &v, |b, v| {
+            b.iter(|| {
+                let mut buf = pool.checkout();
+                f.serialize_into(std::hint::black_box(v), &mut buf).unwrap();
+                let len = buf.len();
+                pool.checkin(buf);
+                len
+            });
+        });
+    }
+    group.finish();
+    // Only the very first checkout allocates; every later iteration (and
+    // every larger payload, which grows the recycled buffer in place)
+    // reuses it, so the rate lands at ~1.0.
+    metric("bufpool_hit_rate", pool.hit_rate());
+}
+
+criterion_group!(benches, bench_serialize, bench_serialize_into_pooled);
 criterion_main!(benches);

@@ -183,6 +183,23 @@ struct CaseResult {
 /// single-threaded, but a Mutex keeps the collector safe under `cargo test`.
 static RESULTS: Mutex<Vec<CaseResult>> = Mutex::new(Vec::new());
 
+/// Free-form named metrics recorded with [`metric`], in insertion order.
+static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Records a named scalar (a ratio, a hit rate, a derived calls/s figure)
+/// into the bench's JSON report alongside the timed cases. Re-recording a
+/// name overwrites its value, so benches can refine a metric as later
+/// groups run.
+pub fn metric(name: &str, value: f64) {
+    let mut metrics = METRICS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(slot) = metrics.iter_mut().find(|(n, _)| n == name) {
+        slot.1 = value;
+    } else {
+        metrics.push((name.to_string(), value));
+    }
+    report::row(name, &[format!("{value:.4}"), String::new(), String::new()]);
+}
+
 /// Environment variable overriding where [`write_json_report`] writes.
 pub const JSON_DIR_ENV: &str = "PARC_BENCH_JSON_DIR";
 
@@ -219,7 +236,22 @@ fn json_report(bench: &str) -> String {
             case.p95_ns,
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    let metrics = METRICS.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    out.push_str("  \"metrics\": {");
+    for (i, (name, value)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!(
+            "\n    \"{}\": {value:.6}{sep}",
+            name.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
+    if metrics.is_empty() {
+        out.push_str("}\n");
+    } else {
+        out.push_str("\n  }\n");
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -350,6 +382,17 @@ mod tests {
         assert!(json.contains("\"name\": \"json_case\""));
         assert!(json.contains("\"median_ns\""));
         assert!(json.contains("\"p95_ns\""));
+    }
+
+    #[test]
+    fn metrics_land_in_the_json_report() {
+        metric("test_ratio", 2.5);
+        metric("test_ratio", 3.5); // re-recording overwrites
+        metric("test_rate", 0.99);
+        let json = json_report("unit");
+        assert!(json.contains("\"metrics\": {"), "{json}");
+        assert!(json.contains("\"test_ratio\": 3.500000"), "{json}");
+        assert!(json.contains("\"test_rate\": 0.990000"), "{json}");
     }
 
     #[test]

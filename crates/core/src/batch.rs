@@ -16,15 +16,19 @@ use parc_serial::{StructValue, Value};
 pub const BATCH_METHOD: &str = "__batch";
 
 /// Encodes `(method, args)` pairs into the single batch argument.
-pub fn encode_batch(calls: &[(String, Vec<Value>)]) -> Value {
+///
+/// Takes the calls by value: the method strings and argument vectors move
+/// into the wire [`Value`] unchanged, so flushing an aggregation buffer of
+/// N calls is N moves, not N deep clones of every argument payload.
+pub fn encode_batch(calls: Vec<(String, Vec<Value>)>) -> Value {
     Value::List(
         calls
-            .iter()
+            .into_iter()
             .map(|(m, a)| {
                 Value::Struct(
                     StructValue::new("Call")
-                        .with_field("m", Value::Str(m.clone()))
-                        .with_field("a", Value::List(a.clone())),
+                        .with_field("m", Value::Str(m))
+                        .with_field("a", Value::List(a)),
                 )
             })
             .collect(),
@@ -123,7 +127,7 @@ mod tests {
             ("b".to_string(), vec![Value::I32(2), Value::Str("x".into())]),
             ("c".to_string(), vec![]),
         ];
-        assert_eq!(decode_batch(&encode_batch(&calls)).unwrap(), calls);
+        assert_eq!(decode_batch(&encode_batch(calls.clone())).unwrap(), calls);
     }
 
     #[test]
@@ -132,7 +136,7 @@ mod tests {
         let d = BatchDispatcher::new(obj);
         let calls: Vec<(String, Vec<Value>)> =
             (0..10).map(|i| ("work".to_string(), vec![Value::I32(i)])).collect();
-        d.invoke(BATCH_METHOD, &[encode_batch(&calls)]).unwrap();
+        d.invoke(BATCH_METHOD, &[encode_batch(calls)]).unwrap();
         let seen: Vec<i32> = log.lock().iter().map(|(_, v)| *v).collect();
         assert_eq!(seen, (0..10).collect::<Vec<_>>());
     }
@@ -146,7 +150,7 @@ mod tests {
             ("second".to_string(), vec![Value::I32(2)]),
             ("first".to_string(), vec![Value::I32(3)]),
         ];
-        d.invoke(BATCH_METHOD, &[encode_batch(&calls)]).unwrap();
+        d.invoke(BATCH_METHOD, &[encode_batch(calls)]).unwrap();
         let names: Vec<String> = log.lock().iter().map(|(m, _)| m.clone()).collect();
         assert_eq!(names, vec!["first", "second", "first"]);
     }
@@ -168,7 +172,7 @@ mod tests {
             ("boom".to_string(), vec![]),
             ("never".to_string(), vec![Value::I32(3)]),
         ];
-        assert!(d.invoke(BATCH_METHOD, &[encode_batch(&calls)]).is_err());
+        assert!(d.invoke(BATCH_METHOD, &[encode_batch(calls)]).is_err());
         assert_eq!(log.lock().len(), 1);
     }
 

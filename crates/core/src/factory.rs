@@ -173,7 +173,7 @@ mod tests {
         let (svc, objects, _) = service();
         let name = svc.invoke("create", &[Value::Str("Echo".into())]).unwrap();
         let io = objects.resolve(name.as_str().unwrap()).unwrap();
-        let batch = encode_batch(&[("echo".into(), vec![Value::I32(1)])]);
+        let batch = encode_batch(vec![("echo".into(), vec![Value::I32(1)])]);
         assert_eq!(io.invoke(BATCH_METHOD, &[batch]).unwrap(), Value::Null);
     }
 

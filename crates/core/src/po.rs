@@ -182,7 +182,9 @@ impl Po {
         } else {
             let calls = std::mem::take(buffer);
             let n = calls.len() as u64;
-            let batch = encode_batch(&calls);
+            // By-value encode: the buffered arguments move straight into
+            // the wire value instead of being deep-cloned per flush.
+            let batch = encode_batch(calls);
             // Wire size only matters when recording; the real encode happens
             // inside `post`, so this duplicate is instrumentation-only cost.
             let bytes = if parc_obs::is_enabled() {

@@ -20,6 +20,18 @@ pub const DESERIALIZE: &str = "deserialize";
 pub const CHANNEL_SEND: &str = "channel.send";
 /// Waiting for and reading the reply frame.
 pub const CHANNEL_RECV: &str = "channel.recv";
+/// One pipelined call on a multiplexed channel, send through demuxed
+/// reply (covers the whole in-flight window, not just socket I/O).
+pub const CHANNEL_PIPELINE: &str = "channel.pipeline";
+
+// ---- channel metrics (gauge/counter names, not span kinds) ----
+
+/// Gauge: calls currently in flight on multiplexed channels.
+pub const INFLIGHT: &str = "channel.inflight";
+/// Counter: buffer-pool checkouts served from the pool.
+pub const BUFPOOL_HIT: &str = "bufpool.hit";
+/// Counter: buffer-pool checkouts that had to allocate.
+pub const BUFPOOL_MISS: &str = "bufpool.miss";
 
 // ---- server-side dispatch path ----
 
@@ -100,6 +112,10 @@ mod tests {
             super::DESERIALIZE,
             super::CHANNEL_SEND,
             super::CHANNEL_RECV,
+            super::CHANNEL_PIPELINE,
+            super::INFLIGHT,
+            super::BUFPOOL_HIT,
+            super::BUFPOOL_MISS,
             super::DISPATCH,
             super::REPLY,
             super::QUEUE_WAIT,

@@ -1,0 +1,283 @@
+//! The v2 wire frame: length, correlation ID and flags ahead of the
+//! formatter payload.
+//!
+//! The original frame was a bare 4-byte length, which forced the client
+//! to hold its stream for the entire request/response round trip — replies
+//! were correlated purely by arrival order. The v2 header carries a
+//! transport-level correlation ID so a dedicated reader thread can demux
+//! replies that arrive in any order, plus a flags byte whose
+//! [`FLAG_ONEWAY`] bit tells the server (before deserializing anything)
+//! that no reply must be produced for this frame.
+//!
+//! ```text
+//! offset 0..4    payload length, u32 big-endian
+//! offset 4..12   correlation id, u64 big-endian
+//! offset 12      flags (bit 0: one-way)
+//! offset 13..    payload (formatter bytes)
+//! ```
+//!
+//! Writes are vectored: header and payload go to the socket in one
+//! `write_all`-equivalent call with no intermediate concatenation. Reads
+//! land in a caller-supplied buffer so one allocation serves a whole
+//! connection's lifetime of frames.
+
+use std::io::{IoSlice, Read, Write};
+
+/// Size of the fixed v2 header.
+pub const HEADER_LEN: usize = 13;
+
+/// Flag bit: the sender expects no reply to this frame.
+pub const FLAG_ONEWAY: u8 = 0b0000_0001;
+
+/// Upper bound on a single frame's payload; larger lengths indicate
+/// corruption (or an unframed peer) and poison the connection.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Decoded v2 frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Transport-level correlation id (echoed verbatim in the reply).
+    pub corr_id: u64,
+    /// Flag bits ([`FLAG_ONEWAY`]).
+    pub flags: u8,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+impl FrameHeader {
+    /// True when the one-way bit is set.
+    pub fn oneway(&self) -> bool {
+        self.flags & FLAG_ONEWAY != 0
+    }
+
+    /// Encodes the header into its 13 wire bytes.
+    pub fn to_bytes(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[0..4].copy_from_slice(&(self.len as u32).to_be_bytes());
+        out[4..12].copy_from_slice(&self.corr_id.to_be_bytes());
+        out[12] = self.flags;
+        out
+    }
+
+    /// Decodes a header from its 13 wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the declared length exceeds [`MAX_FRAME`].
+    pub fn from_bytes(raw: &[u8; HEADER_LEN]) -> std::io::Result<FrameHeader> {
+        let len = u32::from_be_bytes([raw[0], raw[1], raw[2], raw[3]]) as usize;
+        if len > MAX_FRAME {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds limit"),
+            ));
+        }
+        let corr_id = u64::from_be_bytes([
+            raw[4], raw[5], raw[6], raw[7], raw[8], raw[9], raw[10], raw[11],
+        ]);
+        Ok(FrameHeader { corr_id, flags: raw[12], len })
+    }
+}
+
+/// Writes one v2 frame: header and payload in a single vectored
+/// `write_all`-equivalent (no intermediate concatenation).
+///
+/// # Errors
+///
+/// `InvalidInput` for over-long payloads; socket errors otherwise.
+pub fn write_frame(
+    stream: &mut impl Write,
+    corr_id: u64,
+    flags: u8,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    let header = FrameHeader { corr_id, flags, len: payload.len() }.to_bytes();
+    write_all_vectored(stream, &header, payload)?;
+    stream.flush()
+}
+
+/// Drives `write_vectored` to completion over `head` then `tail`,
+/// falling back transparently when the writer consumes partial slices.
+fn write_all_vectored(
+    stream: &mut impl Write,
+    head: &[u8],
+    tail: &[u8],
+) -> std::io::Result<()> {
+    let mut head_done = 0usize;
+    let mut tail_done = 0usize;
+    while head_done < head.len() || tail_done < tail.len() {
+        let slices = [IoSlice::new(&head[head_done..]), IoSlice::new(&tail[tail_done..])];
+        let n = match stream.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "failed to write whole frame",
+                ))
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        let from_head = n.min(head.len() - head_done);
+        head_done += from_head;
+        tail_done += n - from_head;
+    }
+    Ok(())
+}
+
+/// Outcome of one [`read_frame_into`] attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameRead {
+    /// A complete frame arrived; the payload is in the caller's buffer.
+    Frame(FrameHeader),
+    /// Clean EOF at a frame boundary (peer closed between frames).
+    Eof,
+    /// The read timed out *before any header byte arrived* — the
+    /// connection is idle, not broken. Timeouts mid-frame are errors.
+    Idle,
+}
+
+/// Reads one v2 frame into `payload` (cleared and resized in place, so the
+/// buffer's allocation is reused across frames).
+///
+/// # Errors
+///
+/// Socket errors; `InvalidData` for oversized lengths; `UnexpectedEof` for
+/// truncation mid-frame. A timeout with zero bytes consumed is reported as
+/// [`FrameRead::Idle`] rather than an error so multiplexed reader threads
+/// can keep a quiet connection open.
+pub fn read_frame_into(
+    stream: &mut impl Read,
+    payload: &mut Vec<u8>,
+) -> std::io::Result<FrameRead> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut have = 0usize;
+    while have < HEADER_LEN {
+        match stream.read(&mut header[have..]) {
+            Ok(0) if have == 0 => return Ok(FrameRead::Eof),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame header",
+                ))
+            }
+            Ok(n) => have += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if have == 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(FrameRead::Idle)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let header = FrameHeader::from_bytes(&header)?;
+    payload.clear();
+    payload.resize(header.len, 0);
+    stream.read_exact(payload)?;
+    Ok(FrameRead::Frame(header))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrips() {
+        let h = FrameHeader { corr_id: u64::MAX - 3, flags: FLAG_ONEWAY, len: 12345 };
+        assert_eq!(FrameHeader::from_bytes(&h.to_bytes()).unwrap(), h);
+        assert!(h.oneway());
+    }
+
+    #[test]
+    fn frame_roundtrips_through_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 42, 0, b"hello").unwrap();
+        assert_eq!(wire.len(), HEADER_LEN + 5);
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut payload = Vec::new();
+        let FrameRead::Frame(h) = read_frame_into(&mut cursor, &mut payload).unwrap() else {
+            panic!("expected frame");
+        };
+        assert_eq!((h.corr_id, h.flags, payload.as_slice()), (42, 0, &b"hello"[..]));
+        assert_eq!(read_frame_into(&mut cursor, &mut payload).unwrap(), FrameRead::Eof);
+    }
+
+    #[test]
+    fn payload_buffer_is_reused_across_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, 0, &[7u8; 64]).unwrap();
+        write_frame(&mut wire, 2, 0, &[9u8; 8]).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut payload = Vec::new();
+        let _ = read_frame_into(&mut cursor, &mut payload).unwrap();
+        let cap = payload.capacity();
+        let FrameRead::Frame(h) = read_frame_into(&mut cursor, &mut payload).unwrap() else {
+            panic!("expected frame");
+        };
+        assert_eq!((h.corr_id, payload.len()), (2, 8));
+        assert_eq!(payload.capacity(), cap, "second read reuses the allocation");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut wire = FrameHeader { corr_id: 0, flags: 0, len: 0 }.to_bytes().to_vec();
+        wire[0..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut payload = Vec::new();
+        let err = read_frame_into(&mut std::io::Cursor::new(wire), &mut payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_mid_header_and_mid_payload_are_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 5, 0, b"abcdef").unwrap();
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN + 2] {
+            let mut payload = Vec::new();
+            let err = read_frame_into(
+                &mut std::io::Cursor::new(wire[..cut].to_vec()),
+                &mut payload,
+            )
+            .unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    /// A writer that forces one-byte progress to exercise the partial
+    /// vectored-write resumption logic.
+    struct OneByteWriter(Vec<u8>);
+
+    impl Write for OneByteWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partial_vectored_writes_still_produce_a_whole_frame() {
+        let mut w = OneByteWriter(Vec::new());
+        write_frame(&mut w, 77, FLAG_ONEWAY, b"slow").unwrap();
+        let mut payload = Vec::new();
+        let FrameRead::Frame(h) =
+            read_frame_into(&mut std::io::Cursor::new(w.0), &mut payload).unwrap()
+        else {
+            panic!("expected frame");
+        };
+        assert_eq!((h.corr_id, h.oneway(), payload.as_slice()), (77, true, &b"slow"[..]));
+    }
+}

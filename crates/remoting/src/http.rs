@@ -199,27 +199,87 @@ fn serve_connection(stream: TcpStream, objects: ObjectTable, stop: Arc<AtomicBoo
     }
 }
 
-/// Client half of the HTTP channel.
+/// Default number of keep-alive connections an [`HttpClientChannel`]
+/// retains per authority.
+pub const DEFAULT_HTTP_POOL: usize = 2;
+
+/// One keep-alive connection: buffered read half plus raw write half.
+struct HttpConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpConn {
+    fn dial(addr: &str) -> Result<HttpConn, RemotingError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        Ok(HttpConn { reader: BufReader::new(stream), writer })
+    }
+}
+
+/// Client half of the HTTP channel: a small pool of keep-alive
+/// connections per authority, so concurrent callers no longer serialize
+/// on one socket. Each request checks a connection out for its round
+/// trip; healthy connections return to the pool (up to
+/// [`DEFAULT_HTTP_POOL`]), failed ones are dropped and redialed lazily.
 pub struct HttpClientChannel {
-    connection: Mutex<(BufReader<TcpStream>, TcpStream)>,
+    addr: String,
+    idle: Mutex<Vec<HttpConn>>,
+    max_idle: usize,
     formatter: SoapFormatter,
 }
 
 impl HttpClientChannel {
-    /// Connects (keep-alive) to a server.
+    /// Connects (keep-alive) to a server with the default pool size.
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect(addr: &str) -> Result<HttpClientChannel, RemotingError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        let writer = stream.try_clone()?;
+        HttpClientChannel::connect_pooled(addr, DEFAULT_HTTP_POOL)
+    }
+
+    /// Connects with an explicit keep-alive pool cap (`>= 1`). One
+    /// connection is dialed eagerly so bad addresses fail here, matching
+    /// the previous single-connection behavior.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect_pooled(addr: &str, max_idle: usize) -> Result<HttpClientChannel, RemotingError> {
+        let first = HttpConn::dial(addr)?;
         Ok(HttpClientChannel {
-            connection: Mutex::new((BufReader::new(stream), writer)),
+            addr: addr.to_string(),
+            idle: Mutex::new(vec![first]),
+            max_idle: max_idle.max(1),
             formatter: SoapFormatter::new(),
         })
+    }
+
+    /// Keep-alive connections currently idle in the pool.
+    pub fn idle_connections(&self) -> usize {
+        self.idle.lock().len()
+    }
+
+    /// Pops an idle connection or dials a new one — callers beyond the
+    /// pool's idle cap get their own socket for the duration of the call.
+    fn checkout(&self) -> Result<HttpConn, RemotingError> {
+        let recycled = self.idle.lock().pop();
+        match recycled {
+            Some(conn) => Ok(conn),
+            None => HttpConn::dial(&self.addr),
+        }
+    }
+
+    /// Returns a healthy connection to the pool, dropping it when the
+    /// pool already holds `max_idle` connections.
+    fn checkin(&self, conn: HttpConn) {
+        let mut idle = self.idle.lock();
+        if idle.len() < self.max_idle {
+            idle.push(conn);
+        }
     }
 
     fn exchange(&self, msg: &CallMessage) -> Result<(String, Vec<u8>), RemotingError> {
@@ -227,15 +287,22 @@ impl HttpClientChannel {
             let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
             msg.encode(&self.formatter)?
         };
-        let mut guard = self.connection.lock();
-        let (reader, writer) = &mut *guard;
-        {
-            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
-            write_request(writer, &msg.object, &body)?;
+        let mut conn = self.checkout()?;
+        // Any error drops the connection (it may hold half a response);
+        // only a clean round trip returns it to the pool.
+        let outcome = (|| {
+            {
+                let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
+                write_request(&mut conn.writer, &msg.object, &body)?;
+            }
+            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
+            read_message(&mut conn.reader)?
+                .ok_or(RemotingError::Transport { detail: "server closed connection".into() })
+        })();
+        if outcome.is_ok() {
+            self.checkin(conn);
         }
-        let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
-        read_message(reader)?
-            .ok_or(RemotingError::Transport { detail: "server closed connection".into() })
+        outcome
     }
 }
 
@@ -394,6 +461,47 @@ mod tests {
         let raw = b"POST / HTTP/1.1\r\nHost: x\r\n\r\n";
         let mut reader = BufReader::new(std::io::Cursor::new(raw.to_vec()));
         assert!(read_message(&mut reader).is_err());
+    }
+
+    #[test]
+    fn concurrent_callers_use_pooled_connections() {
+        let server = start_server();
+        let chan = Arc::new(
+            HttpClientChannel::connect_pooled(&server.local_addr().to_string(), 2).unwrap(),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..4i32 {
+                let chan = Arc::clone(&chan);
+                scope.spawn(move || {
+                    let proxy = crate::channel::RemoteObject::new(
+                        Arc::clone(&chan) as Arc<dyn ClientChannel>,
+                        "Svc",
+                    );
+                    for i in 0..10 {
+                        let v = proxy.call("double", vec![Value::I32(t * 100 + i)]).unwrap();
+                        assert_eq!(v, Value::I32((t * 100 + i) * 2));
+                    }
+                });
+            }
+        });
+        // Overflow connections (beyond the idle cap) were dropped, not kept.
+        assert!(chan.idle_connections() <= 2);
+    }
+
+    #[test]
+    fn pool_keeps_at_most_the_configured_idle_connections() {
+        let server = start_server();
+        let chan =
+            HttpClientChannel::connect_pooled(&server.local_addr().to_string(), 1).unwrap();
+        assert_eq!(chan.idle_connections(), 1);
+        // Sequential calls reuse the single pooled connection.
+        let proxy = crate::channel::RemoteObject::new(
+            Arc::new(chan) as Arc<dyn ClientChannel>,
+            "Svc",
+        );
+        for i in 0..5 {
+            assert_eq!(proxy.call("double", vec![Value::I32(i)]).unwrap(), Value::I32(i * 2));
+        }
     }
 
     #[test]

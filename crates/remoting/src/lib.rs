@@ -59,10 +59,12 @@
 //! ```
 
 pub mod activator;
+pub mod bufpool;
 pub mod channel;
 pub mod delegate;
 pub mod dispatcher;
 pub mod error;
+pub mod frame;
 pub mod http;
 pub mod inproc;
 pub mod lease;

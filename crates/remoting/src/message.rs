@@ -81,6 +81,15 @@ impl CallMessage {
         f.serialize(&self.to_value())
     }
 
+    /// Serializes through a formatter into a reused buffer (appends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates formatter failures.
+    pub fn encode_into(&self, f: &dyn Formatter, out: &mut Vec<u8>) -> Result<(), SerialError> {
+        f.serialize_into(&self.to_value(), out)
+    }
+
     /// Deserializes through a formatter.
     ///
     /// # Errors
@@ -147,6 +156,15 @@ impl ReturnMessage {
     /// Propagates formatter failures.
     pub fn encode(&self, f: &dyn Formatter) -> Result<Vec<u8>, SerialError> {
         f.serialize(&self.to_value())
+    }
+
+    /// Serializes through a formatter into a reused buffer (appends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates formatter failures.
+    pub fn encode_into(&self, f: &dyn Formatter, out: &mut Vec<u8>) -> Result<(), SerialError> {
+        f.serialize_into(&self.to_value(), out)
     }
 
     /// Deserializes through a formatter.

@@ -1,62 +1,72 @@
 //! The TCP channel: binary formatter over framed sockets — Mono's
-//! `TcpChannel`.
+//! `TcpChannel`, rebuilt as a **multiplexed, pipelined connection**.
 //!
-//! Frames are a 4-byte big-endian length followed by the formatter payload.
+//! Frames are the v2 format of [`crate::frame`]: a 13-byte header
+//! (length, correlation ID, flags) followed by the formatter payload.
+//! Each client connection owns a dedicated reader thread that demuxes
+//! reply frames by correlation ID into per-call completion slots, so N
+//! callers can have calls in flight on one socket simultaneously — the
+//! stream mutex covers only the `write`, never the round trip. On top of
+//! the multiplexing sits a small per-authority socket pool (default
+//! [`DEFAULT_POOL_SIZE`], override with the `PARC_TCP_POOL` environment
+//! variable) for bandwidth-bound payloads.
+//!
 //! The server accepts connections on a loopback-or-LAN socket and serves
-//! each connection from its own thread (requests on one connection are
-//! handled in order; concurrency comes from multiple connections, as in
-//! real remoting where each client proxy holds its own connection).
+//! each connection from its own reader thread. One-way posts are
+//! dispatched inline on that thread, in arrival order — which preserves
+//! every per-thread ordering contract, because a caller's next frame
+//! after a two-way call is only ever sent once its reply came back.
+//! Two-way calls go to a shared bounded dispatch pool (the analogue of
+//! Mono serving remoting from its managed thread pool) and their replies
+//! are written back in completion order: the correlation ID is what makes
+//! out-of-order replies safe, so a slow call no longer convoys the fast
+//! calls pipelined behind it.
+//!
+//! The pre-multiplexing client — one connection, stream mutex held across
+//! the entire round trip — survives as [`LockStepClientChannel`] so the
+//! `tcp_concurrency` benchmark can measure exactly what the redesign buys.
 
-use std::io::{Read, Write};
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parc_serial::BinaryFormatter;
-use parc_sync::Mutex;
+use parc_sync::{Condvar, Mutex};
 
+use crate::bufpool;
 use crate::channel::{ChannelProvider, ClientChannel};
 use crate::dispatcher::dispatch;
 use crate::error::RemotingError;
+use crate::frame::{self, FrameRead, FLAG_ONEWAY};
 use crate::message::{CallMessage, ReturnMessage};
+use crate::threadpool::ThreadPool;
 use crate::uri::{ObjectUri, Scheme};
 use crate::wellknown::ObjectTable;
 
-/// Upper bound on a single frame; larger frames indicate corruption.
-pub const MAX_FRAME: usize = 64 << 20;
+pub use crate::frame::MAX_FRAME;
 
-/// Default socket read timeout.
+/// Default socket read timeout (also the per-call reply deadline).
 pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Writes one length-prefixed frame.
-pub(crate) fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
-    stream.write_all(&len.to_be_bytes())?;
-    stream.write_all(payload)?;
-    stream.flush()
-}
+/// Default per-authority socket-pool size.
+pub const DEFAULT_POOL_SIZE: usize = 2;
 
-/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
-/// boundary.
-pub(crate) fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    match stream.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds limit"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
-    Ok(Some(payload))
+/// Worker threads in a server's shared two-way dispatch pool.
+pub const DISPATCH_WORKERS: usize = 4;
+
+/// Environment variable overriding the per-authority socket-pool size.
+pub const POOL_SIZE_ENV: &str = "PARC_TCP_POOL";
+
+/// The configured pool size: `PARC_TCP_POOL` when set and positive,
+/// otherwise [`DEFAULT_POOL_SIZE`].
+pub fn pool_size_from_env() -> usize {
+    std::env::var(POOL_SIZE_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_POOL_SIZE)
 }
 
 /// Server half of the TCP channel.
@@ -78,11 +88,16 @@ impl TcpServerChannel {
         let local = listener.local_addr()?;
         let objects = ObjectTable::new();
         let stop = Arc::new(AtomicBool::new(false));
+        // One bounded dispatch pool per server, shared by every connection:
+        // the analogue of Mono serving remoting requests from its managed
+        // thread pool. Sized small on purpose — a saturated pool applies
+        // backpressure instead of unbounded thread growth.
+        let dispatch = Arc::new(ThreadPool::new(DISPATCH_WORKERS));
         let accept_objects = objects.clone();
         let accept_stop = Arc::clone(&stop);
         std::thread::Builder::new()
             .name(format!("tcp-accept-{local}"))
-            .spawn(move || accept_loop(listener, accept_objects, accept_stop))
+            .spawn(move || accept_loop(listener, accept_objects, accept_stop, dispatch))
             .expect("spawning tcp accept thread");
         Ok(TcpServerChannel { addr: local, objects, stop })
     }
@@ -117,7 +132,12 @@ impl std::fmt::Debug for TcpServerChannel {
     }
 }
 
-fn accept_loop(listener: TcpListener, objects: ObjectTable, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    objects: ObjectTable,
+    stop: Arc<AtomicBool>,
+    dispatch_pool: Arc<ThreadPool>,
+) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             return;
@@ -125,88 +145,354 @@ fn accept_loop(listener: TcpListener, objects: ObjectTable, stop: Arc<AtomicBool
         let Ok(stream) = conn else { continue };
         let objects = objects.clone();
         let stop = Arc::clone(&stop);
+        let dispatch_pool = Arc::clone(&dispatch_pool);
         let _ = std::thread::Builder::new()
             .name("tcp-conn".into())
-            .spawn(move || serve_connection(stream, objects, stop));
+            .spawn(move || serve_connection(stream, objects, stop, dispatch_pool));
     }
 }
 
-fn serve_connection(mut stream: TcpStream, objects: ObjectTable, stop: Arc<AtomicBool>) {
+fn serve_connection(
+    mut stream: TcpStream,
+    objects: ObjectTable,
+    stop: Arc<AtomicBool>,
+    dispatch_pool: Arc<ThreadPool>,
+) {
     let formatter = BinaryFormatter::new();
     let _ = stream.set_nodelay(true);
+    // The read half stays on this thread; replies are written by dispatch
+    // workers under this mutex, in completion order. Correlation IDs are
+    // what make completion-order replies safe for the client.
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    // The request buffer is recycled through the global pool: one-way
+    // frames decode inline and reuse it directly, two-way frames hand it
+    // to a worker and take a fresh (pooled) buffer for the next read.
+    let mut payload = bufpool::global().checkout();
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(f)) => f,
-            Ok(None) | Err(_) => return,
+        let header = match frame::read_frame_into(&mut stream, &mut payload) {
+            Ok(FrameRead::Frame(h)) => h,
+            Ok(FrameRead::Idle) => continue,
+            Ok(FrameRead::Eof) | Err(_) => break,
         };
         // A stopped server closes its connections instead of serving new
         // requests (clients observe EOF -> transport error).
         if stop.load(Ordering::SeqCst) {
-            return;
+            break;
         }
-        let reply = match CallMessage::decode(&formatter, &frame) {
-            Ok(call) => dispatch(&objects, &call),
-            Err(e) => Some(ReturnMessage::fault(0, e.to_string())),
-        };
-        if let Some(reply) = reply {
-            let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
-            let Ok(bytes) = reply.encode(&formatter) else { return };
-            if write_frame(&mut stream, &bytes).is_err() {
-                return;
+        // Trust the frame flag over the payload: a post never gets a reply,
+        // so it can never consume (or corrupt) a caller's slot — and it is
+        // dispatched inline, in arrival order, before any later frame from
+        // the same connection is even read. That preserves every per-thread
+        // ordering contract (a caller's next frame after a two-way call is
+        // only sent once its reply came back).
+        if header.oneway() {
+            if let Ok(call) = CallMessage::decode(&formatter, &payload) {
+                let _ = dispatch(&objects, &call);
             }
+            continue;
+        }
+        // Two-way call: run it on the shared pool so a slow call does not
+        // convoy the calls pipelined behind it on this connection.
+        let mut req = bufpool::global().checkout();
+        std::mem::swap(&mut req, &mut payload);
+        let objects = objects.clone();
+        let writer = Arc::clone(&writer);
+        let corr_id = header.corr_id;
+        dispatch_pool.submit(move || {
+            let formatter = BinaryFormatter::new();
+            let reply = match CallMessage::decode(&formatter, &req) {
+                Ok(call) => dispatch_call(&objects, &call),
+                Err(e) => ReturnMessage::fault(0, e.to_string()),
+            };
+            bufpool::global().checkin(req);
+            let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
+            let mut reply_buf = bufpool::global().checkout();
+            if reply.encode_into(&formatter, &mut reply_buf).is_ok() {
+                let mut w = writer.lock();
+                if frame::write_frame(&mut *w, corr_id, 0, &reply_buf).is_err() {
+                    // Tear the connection down so the read half unblocks:
+                    // a half-written reply stream cannot be resynced.
+                    let _ = w.shutdown(std::net::Shutdown::Both);
+                }
+            }
+            bufpool::global().checkin(reply_buf);
+        });
+    }
+    bufpool::global().checkin(payload);
+}
+
+/// Dispatches a two-way call, turning a "no reply" dispatch outcome (which
+/// only one-way posts produce) into an explicit fault instead of leaving
+/// the caller to time out.
+fn dispatch_call(objects: &ObjectTable, call: &CallMessage) -> ReturnMessage {
+    dispatch(objects, call)
+        .unwrap_or_else(|| ReturnMessage::fault(call.call_id, "call produced no reply"))
+}
+
+/// One completion slot a caller parks on while its call is in flight.
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+enum SlotState {
+    Waiting,
+    Done(Result<Vec<u8>, RemotingError>),
+}
+
+impl Slot {
+    fn new() -> Arc<Slot> {
+        Arc::new(Slot { state: Mutex::new(SlotState::Waiting), cv: Condvar::new() })
+    }
+
+    fn complete(&self, outcome: Result<Vec<u8>, RemotingError>) {
+        *self.state.lock() = SlotState::Done(outcome);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) -> Result<Vec<u8>, RemotingError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if let SlotState::Done(outcome) = std::mem::replace(&mut *state, SlotState::Waiting) {
+                return outcome;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RemotingError::Timeout);
+            }
+            self.cv.wait_for(&mut state, deadline - now);
         }
     }
 }
 
-/// Client half of the TCP channel: one connection, calls serialized on it.
-pub struct TcpClientChannel {
-    stream: Mutex<TcpStream>,
+/// State shared between callers and a connection's reader thread.
+struct MuxShared {
+    pending: Mutex<HashMap<u64, Arc<Slot>>>,
+    /// Set once the reader dies; later calls fail fast with this detail.
+    dead: Mutex<Option<String>>,
+}
+
+impl MuxShared {
+    /// Fails every parked caller and remembers why, so calls issued after
+    /// the connection broke do not block until their timeout.
+    fn poison(&self, detail: &str) {
+        *self.dead.lock() = Some(detail.to_string());
+        let drained: Vec<Arc<Slot>> = self.pending.lock().drain().map(|(_, s)| s).collect();
+        for slot in drained {
+            if parc_obs::is_enabled() {
+                parc_obs::gauge(parc_obs::kinds::INFLIGHT).adjust(-1);
+            }
+            slot.complete(Err(RemotingError::Transport { detail: detail.to_string() }));
+        }
+    }
+}
+
+/// One multiplexed connection: writers interleave frames under a short
+/// write lock; a dedicated reader thread routes replies to their slots.
+struct MuxConnection {
+    writer: Mutex<TcpStream>,
+    shared: Arc<MuxShared>,
+    next_corr: AtomicU64,
     formatter: BinaryFormatter,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MuxConnection {
+    fn connect(addr: &str) -> Result<MuxConnection, RemotingError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // The reader thread treats a timeout at a frame boundary as "idle"
+        // (see `frame::FrameRead::Idle`), so this timeout only bounds how
+        // long a *partial* frame may stall.
+        stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+        let reader_stream = stream.try_clone()?;
+        let shared = Arc::new(MuxShared {
+            pending: Mutex::new(HashMap::new()),
+            dead: Mutex::new(None),
+        });
+        let reader_shared = Arc::clone(&shared);
+        let reader = std::thread::Builder::new()
+            .name("tcp-mux-reader".into())
+            .spawn(move || reader_loop(reader_stream, &reader_shared))
+            .expect("spawning tcp mux reader");
+        Ok(MuxConnection {
+            writer: Mutex::new(stream),
+            shared,
+            next_corr: AtomicU64::new(1),
+            formatter: BinaryFormatter::new(),
+            reader: Some(reader),
+        })
+    }
+
+    fn check_alive(&self) -> Result<(), RemotingError> {
+        if let Some(detail) = self.shared.dead.lock().clone() {
+            return Err(RemotingError::Transport { detail });
+        }
+        Ok(())
+    }
+
+    /// Serializes `msg` into a pooled buffer and writes one frame. The
+    /// write lock covers only the socket write — never a round trip.
+    fn send_frame(&self, msg: &CallMessage, corr_id: u64, flags: u8) -> Result<(), RemotingError> {
+        let pool = bufpool::global();
+        let mut buf = pool.checkout();
+        let encoded = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
+            msg.encode_into(&self.formatter, &mut buf)
+        };
+        if let Err(e) = encoded {
+            pool.checkin(buf);
+            return Err(e.into());
+        }
+        let written = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
+            let mut writer = self.writer.lock();
+            frame::write_frame(&mut *writer, corr_id, flags, &buf)
+        };
+        pool.checkin(buf);
+        written.map_err(RemotingError::from)
+    }
+
+    fn call(&self, msg: &CallMessage) -> Result<ReturnMessage, RemotingError> {
+        let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_PIPELINE);
+        self.check_alive()?;
+        let corr_id = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let slot = Slot::new();
+        self.shared.pending.lock().insert(corr_id, Arc::clone(&slot));
+        if parc_obs::is_enabled() {
+            parc_obs::gauge(parc_obs::kinds::INFLIGHT).adjust(1);
+        }
+        let outcome = self.call_inner(msg, corr_id, &slot);
+        // Success paths had their slot removed by the reader; make sure
+        // error paths (send failure, timeout) do not leak the entry.
+        self.shared.pending.lock().remove(&corr_id);
+        if parc_obs::is_enabled() {
+            parc_obs::gauge(parc_obs::kinds::INFLIGHT).adjust(-1);
+        }
+        outcome
+    }
+
+    fn call_inner(
+        &self,
+        msg: &CallMessage,
+        corr_id: u64,
+        slot: &Arc<Slot>,
+    ) -> Result<ReturnMessage, RemotingError> {
+        self.send_frame(msg, corr_id, 0)?;
+        let payload = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
+            slot.wait(DEFAULT_TIMEOUT)?
+        };
+        let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
+        let reply = ReturnMessage::decode(&self.formatter, &payload);
+        bufpool::global().checkin(payload);
+        Ok(reply?)
+    }
+
+    fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
+        self.check_alive()?;
+        // One-way posts never register a slot: the server's reply stream
+        // skips them entirely (FLAG_ONEWAY), so they cannot desynchronize
+        // correlation even when the target method does not exist.
+        let corr_id = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        self.send_frame(msg, corr_id, FLAG_ONEWAY)
+    }
+}
+
+impl Drop for MuxConnection {
+    fn drop(&mut self) {
+        // Unblock the reader (it is parked in `read`) and reap it.
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, shared: &Arc<MuxShared>) {
+    let pool = bufpool::global();
+    loop {
+        let mut payload = pool.checkout();
+        let header = match frame::read_frame_into(&mut stream, &mut payload) {
+            Ok(FrameRead::Frame(h)) => h,
+            Ok(FrameRead::Idle) => {
+                pool.checkin(payload);
+                continue;
+            }
+            Ok(FrameRead::Eof) => {
+                pool.checkin(payload);
+                shared.poison("server closed connection");
+                return;
+            }
+            Err(e) => {
+                pool.checkin(payload);
+                shared.poison(&format!("tcp read failed: {e}"));
+                return;
+            }
+        };
+        match shared.pending.lock().remove(&header.corr_id) {
+            Some(slot) => slot.complete(Ok(payload)),
+            // Unknown id: a reply that raced a caller's timeout (its slot
+            // is gone) — drop it and keep the stream healthy.
+            None => pool.checkin(payload),
+        }
+    }
+}
+
+/// Client half of the TCP channel: a small pool of multiplexed
+/// connections; calls from any number of threads pipeline freely.
+pub struct TcpClientChannel {
+    connections: Vec<MuxConnection>,
+    next: AtomicUsize,
 }
 
 impl TcpClientChannel {
-    /// Connects to a server.
+    /// Connects to a server with the configured pool size
+    /// ([`pool_size_from_env`]).
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect(addr: &str) -> Result<TcpClientChannel, RemotingError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
-        Ok(TcpClientChannel { stream: Mutex::new(stream), formatter: BinaryFormatter::new() })
+        TcpClientChannel::connect_pooled(addr, pool_size_from_env())
+    }
+
+    /// Connects with an explicit socket-pool size (`>= 1`).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect_pooled(addr: &str, pool: usize) -> Result<TcpClientChannel, RemotingError> {
+        let pool = pool.max(1);
+        let mut connections = Vec::with_capacity(pool);
+        for _ in 0..pool {
+            connections.push(MuxConnection::connect(addr)?);
+        }
+        Ok(TcpClientChannel { connections, next: AtomicUsize::new(0) })
+    }
+
+    /// Number of sockets in this channel's pool.
+    pub fn pool_size(&self) -> usize {
+        self.connections.len()
+    }
+
+    fn pick(&self) -> &MuxConnection {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        &self.connections[n % self.connections.len()]
     }
 }
 
 impl ClientChannel for TcpClientChannel {
     fn call(&self, msg: &CallMessage) -> Result<ReturnMessage, RemotingError> {
-        let bytes = {
-            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
-            msg.encode(&self.formatter)?
-        };
-        let mut stream = self.stream.lock();
-        {
-            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
-            write_frame(&mut *stream, &bytes)?;
-        }
-        let reply = {
-            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
-            read_frame(&mut *stream)?
-                .ok_or(RemotingError::Transport { detail: "server closed connection".into() })?
-        };
-        let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
-        Ok(ReturnMessage::decode(&self.formatter, &reply)?)
+        self.pick().call(msg)
     }
 
     fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
-        let bytes = {
-            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
-            msg.encode(&self.formatter)?
-        };
-        let mut stream = self.stream.lock();
-        let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
-        write_frame(&mut *stream, &bytes)?;
-        Ok(())
+        self.pick().post(msg)
     }
 
     fn scheme(&self) -> &'static str {
@@ -216,12 +502,98 @@ impl ClientChannel for TcpClientChannel {
 
 impl std::fmt::Debug for TcpClientChannel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpClientChannel").finish_non_exhaustive()
+        f.debug_struct("TcpClientChannel")
+            .field("pool", &self.connections.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The pre-multiplexing client: one connection whose stream mutex is held
+/// across the **entire** request/response round trip, so concurrent
+/// callers fully serialize. Kept as the baseline for the
+/// `tcp_concurrency` benchmark; new code should use [`TcpClientChannel`].
+pub struct LockStepClientChannel {
+    stream: Mutex<TcpStream>,
+    formatter: BinaryFormatter,
+    next_corr: AtomicU64,
+}
+
+impl LockStepClientChannel {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: &str) -> Result<LockStepClientChannel, RemotingError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+        Ok(LockStepClientChannel {
+            stream: Mutex::new(stream),
+            formatter: BinaryFormatter::new(),
+            next_corr: AtomicU64::new(1),
+        })
+    }
+}
+
+impl ClientChannel for LockStepClientChannel {
+    fn call(&self, msg: &CallMessage) -> Result<ReturnMessage, RemotingError> {
+        let bytes = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
+            msg.encode(&self.formatter)?
+        };
+        let corr_id = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let mut stream = self.stream.lock();
+        {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
+            frame::write_frame(&mut *stream, corr_id, 0, &bytes)?;
+        }
+        let mut payload = Vec::new();
+        {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
+            loop {
+                match frame::read_frame_into(&mut *stream, &mut payload)? {
+                    FrameRead::Frame(h) if h.corr_id == corr_id => break,
+                    // Stale reply from a timed-out predecessor: skip it.
+                    FrameRead::Frame(_) => continue,
+                    FrameRead::Idle => return Err(RemotingError::Timeout),
+                    FrameRead::Eof => {
+                        return Err(RemotingError::Transport {
+                            detail: "server closed connection".into(),
+                        })
+                    }
+                }
+            }
+        }
+        let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
+        Ok(ReturnMessage::decode(&self.formatter, &payload)?)
+    }
+
+    fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
+        let bytes = {
+            let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
+            msg.encode(&self.formatter)?
+        };
+        let corr_id = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let mut stream = self.stream.lock();
+        let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
+        frame::write_frame(&mut *stream, corr_id, FLAG_ONEWAY, &bytes)?;
+        Ok(())
+    }
+
+    fn scheme(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+impl std::fmt::Debug for LockStepClientChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockStepClientChannel").finish_non_exhaustive()
     }
 }
 
 /// Channel provider resolving `tcp://host:port/Object` URIs, with one
-/// cached connection per authority.
+/// cached (multiplexed, pooled) channel per authority.
 #[derive(Default)]
 pub struct TcpChannelProvider {
     cache: Mutex<std::collections::HashMap<String, Arc<TcpClientChannel>>>,
@@ -309,16 +681,19 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_clients_each_with_own_connection() {
+    fn concurrent_callers_share_one_multiplexed_channel() {
         let server = start_echo_server();
-        let uri = server.uri_for("Echo");
+        let chan =
+            Arc::new(TcpClientChannel::connect_pooled(&server.local_addr().to_string(), 1).unwrap());
+        assert_eq!(chan.pool_size(), 1);
         std::thread::scope(|scope| {
-            for t in 0..4 {
-                let uri = uri.clone();
+            for t in 0..4i32 {
+                let chan = Arc::clone(&chan);
                 scope.spawn(move || {
-                    // Fresh provider per thread = fresh connection.
-                    let provider = TcpChannelProvider::new();
-                    let proxy = Activator::get_object(&provider, &uri).unwrap();
+                    let proxy = crate::channel::RemoteObject::new(
+                        chan as Arc<dyn ClientChannel>,
+                        "Echo",
+                    );
                     for i in 0..20 {
                         let v = proxy.call("echo", vec![Value::I32(t * 100 + i)]).unwrap();
                         assert_eq!(v, Value::I32(t * 100 + i));
@@ -328,6 +703,52 @@ mod tests {
         });
     }
 
+    /// The server must run pipelined two-way calls concurrently (on its
+    /// dispatch pool), not serially on the connection's reader thread: four
+    /// calls that each sleep 100ms, issued over ONE connection, must finish
+    /// in far less than the 400ms a serial server would need.
+    #[test]
+    fn server_overlaps_pipelined_calls_from_one_connection() {
+        let server = TcpServerChannel::bind("127.0.0.1:0").unwrap();
+        server.objects().register_singleton(
+            "Sleepy",
+            Arc::new(crate::dispatcher::FnInvokable(|method: &str, _args: &[Value]| {
+                match method {
+                    "nap" => {
+                        std::thread::sleep(Duration::from_millis(100));
+                        Ok(Value::Null)
+                    }
+                    _ => Err(RemotingError::MethodNotFound {
+                        object: "Sleepy".into(),
+                        method: method.into(),
+                    }),
+                }
+            })),
+        );
+        let chan =
+            Arc::new(TcpClientChannel::connect_pooled(&server.local_addr().to_string(), 1).unwrap());
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let chan = Arc::clone(&chan);
+                scope.spawn(move || {
+                    let proxy = crate::channel::RemoteObject::new(
+                        chan as Arc<dyn ClientChannel>,
+                        "Sleepy",
+                    );
+                    proxy.call("nap", vec![]).unwrap();
+                });
+            }
+        });
+        let elapsed = start.elapsed();
+        // DISPATCH_WORKERS = 4, so all four naps overlap: ~100ms plus
+        // scheduling slack. A serial server would take >= 400ms.
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "4 overlapped 100ms calls took {elapsed:?} — server is dispatching serially"
+        );
+    }
+
     #[test]
     fn provider_caches_connections_per_authority() {
         let server = start_echo_server();
@@ -335,10 +756,7 @@ mod tests {
         let uri_a: ObjectUri = server.uri_for("Echo").parse().unwrap();
         let a = provider.open(&uri_a).unwrap();
         let b = provider.open(&uri_a).unwrap();
-        assert!(Arc::ptr_eq(
-            &(a as Arc<dyn ClientChannel>),
-            &(b as Arc<dyn ClientChannel>)
-        ));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]
@@ -374,19 +792,85 @@ mod tests {
     }
 
     #[test]
-    fn frame_codec_roundtrips() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        let mut cursor = std::io::Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
-        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    fn interleaved_posts_and_calls_from_many_threads_stay_correlated() {
+        // The multiplexing regression this guards: a post must never
+        // consume a reply slot, so posts to missing methods interleaved
+        // with calls from other threads cannot desynchronize replies.
+        let server = start_echo_server();
+        let chan =
+            Arc::new(TcpClientChannel::connect_pooled(&server.local_addr().to_string(), 1).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..4i32 {
+                let chan = Arc::clone(&chan);
+                scope.spawn(move || {
+                    let proxy = crate::channel::RemoteObject::new(
+                        chan as Arc<dyn ClientChannel>,
+                        "Echo",
+                    );
+                    for i in 0..25 {
+                        // Posts to both valid and missing methods...
+                        proxy.post("echo", vec![Value::I32(i)]).unwrap();
+                        proxy.post("missing", vec![]).unwrap();
+                        // ...never corrupt the next synchronous reply.
+                        let expect = t * 1000 + i;
+                        let v = proxy.call("echo", vec![Value::I32(expect)]).unwrap();
+                        assert_eq!(v, Value::I32(expect));
+                    }
+                });
+            }
+        });
     }
 
     #[test]
-    fn oversized_frame_rejected() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
-        let mut cursor = std::io::Cursor::new(buf);
-        assert!(read_frame(&mut cursor).is_err());
+    fn lockstep_baseline_still_roundtrips() {
+        let server = start_echo_server();
+        let chan = Arc::new(
+            LockStepClientChannel::connect(&server.local_addr().to_string()).unwrap(),
+        );
+        let proxy =
+            crate::channel::RemoteObject::new(chan as Arc<dyn ClientChannel>, "Echo");
+        proxy.post("missing", vec![]).unwrap();
+        for i in 0..10 {
+            assert_eq!(proxy.call("echo", vec![Value::I32(i)]).unwrap(), Value::I32(i));
+        }
+    }
+
+    #[test]
+    fn pool_size_env_parsing() {
+        // Don't mutate the process env (tests run threaded); exercise the
+        // default path and the explicit constructor instead.
+        assert!(pool_size_from_env() >= 1);
+        let server = start_echo_server();
+        let chan =
+            TcpClientChannel::connect_pooled(&server.local_addr().to_string(), 3).unwrap();
+        assert_eq!(chan.pool_size(), 3);
+        let chan = TcpClientChannel::connect_pooled(&server.local_addr().to_string(), 0).unwrap();
+        assert_eq!(chan.pool_size(), 1, "pool size is clamped to >= 1");
+    }
+
+    #[test]
+    fn dead_connection_fails_fast_after_poison() {
+        let server = start_echo_server();
+        let addr = server.local_addr().to_string();
+        let chan = TcpClientChannel::connect_pooled(&addr, 1).unwrap();
+        let proxy = crate::channel::RemoteObject::new(
+            Arc::new(chan) as Arc<dyn ClientChannel>,
+            "Echo",
+        );
+        assert!(proxy.call("echo", vec![Value::I32(1)]).is_ok());
+        drop(server);
+        // Once the reader observes the close, calls must fail quickly with
+        // a transport error rather than waiting out the 30 s timeout.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match proxy.call("echo", vec![Value::I32(2)]) {
+                Err(RemotingError::Transport { .. }) | Err(RemotingError::Timeout) => break,
+                Err(other) => panic!("unexpected error class: {other:?}"),
+                Ok(_) => {
+                    assert!(Instant::now() < deadline, "dead connection kept answering");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
     }
 }

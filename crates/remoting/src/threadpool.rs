@@ -15,6 +15,13 @@ use parc_sync::channel::{unbounded, Receiver, Sender};
 
 type Task = Box<dyn FnOnce() + Send>;
 
+/// Monitoring counters. These are statistics, not synchronization: no
+/// other memory access is ordered by them, so every operation is
+/// `Relaxed` — SeqCst here bought nothing but fence traffic on the
+/// submit/execute hot path. Each counter is still individually coherent
+/// (`fetch_add`/`fetch_sub` are atomic RMWs), so totals are exact; only
+/// cross-counter snapshots are approximate, which `queued()` already
+/// documents.
 #[derive(Default)]
 struct Counters {
     queued: AtomicUsize,
@@ -48,9 +55,9 @@ impl ThreadPool {
                     .name(format!("parc-pool-{i}"))
                     .spawn(move || {
                         while let Ok(task) = rx.recv() {
-                            counters.queued.fetch_sub(1, Ordering::SeqCst);
+                            counters.queued.fetch_sub(1, Ordering::Relaxed);
                             task();
-                            counters.executed.fetch_add(1, Ordering::SeqCst);
+                            counters.executed.fetch_add(1, Ordering::Relaxed);
                         }
                     })
                     .expect("spawning pool worker")
@@ -64,19 +71,21 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Tasks accepted but not yet started.
+    /// Tasks accepted but not yet started (a monitoring snapshot — may
+    /// lag the queue by a task while a worker is between dequeue and
+    /// decrement).
     pub fn queued(&self) -> usize {
-        self.counters.queued.load(Ordering::SeqCst)
+        self.counters.queued.load(Ordering::Relaxed)
     }
 
     /// Tasks fully executed.
     pub fn executed(&self) -> usize {
-        self.counters.executed.load(Ordering::SeqCst)
+        self.counters.executed.load(Ordering::Relaxed)
     }
 
     /// Submits a task for execution.
     pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
-        self.counters.queued.fetch_add(1, Ordering::SeqCst);
+        self.counters.queued.fetch_add(1, Ordering::Relaxed);
         let submitted_ns = parc_obs::timestamp_if_enabled();
         self.tx
             .as_ref()
@@ -130,11 +139,14 @@ mod tests {
     fn tasks_all_execute() {
         let pool = ThreadPool::new(4);
         let counter = Arc::new(AtomicU32::new(0));
-        for _ in 0..100 {
+        for i in 0..100 {
             let c = Arc::clone(&counter);
             pool.submit(move || {
                 c.fetch_add(1, Ordering::SeqCst);
             });
+            // Queue-depth sanity: never more than the tasks submitted so
+            // far, regardless of how far the workers have drained.
+            assert!(pool.queued() <= i + 1, "queued {} > submitted {}", pool.queued(), i + 1);
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 100);
@@ -183,10 +195,20 @@ mod tests {
         // Wait for the queue to drain, then check the counter.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while pool.executed() < 5 {
+            // Queue-depth sanity while draining: bounded by what was
+            // submitted and never negative (usize underflow would show up
+            // as a huge value here).
+            assert!(pool.queued() <= 5, "queued {} out of range", pool.queued());
             assert!(std::time::Instant::now() < deadline);
             std::thread::yield_now();
         }
-        assert_eq!(pool.queued(), 0);
+        // Relaxed counters give no cross-variable ordering, so the queued
+        // decrements may trail the executed increments briefly.
+        while pool.queued() > 0 {
+            assert!(std::time::Instant::now() < deadline, "queue never drained");
+            std::thread::yield_now();
+        }
+        assert_eq!(pool.executed(), 5);
         pool.shutdown();
     }
 

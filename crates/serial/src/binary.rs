@@ -217,10 +217,15 @@ impl Formatter for BinaryFormatter {
 
     fn serialize(&self, value: &Value) -> Result<Vec<u8>, SerialError> {
         let mut out = Vec::with_capacity(16 + value.payload_bytes());
+        self.serialize_into(value, &mut out)?;
+        Ok(out)
+    }
+
+    fn serialize_into(&self, value: &Value, out: &mut Vec<u8>) -> Result<(), SerialError> {
         out.extend_from_slice(&MAGIC);
         out.push(VERSION);
-        Self::write_value(&mut out, value);
-        Ok(out)
+        Self::write_value(out, value);
+        Ok(())
     }
 
     fn deserialize(&self, bytes: &[u8]) -> Result<Value, SerialError> {

@@ -355,14 +355,18 @@ impl Formatter for JavaFormatter {
     }
 
     fn serialize(&self, value: &Value) -> Result<Vec<u8>, SerialError> {
-        let mut enc = Encoder {
-            out: Vec::with_capacity(32 + value.payload_bytes()),
-            classes: HashMap::new(),
-        };
+        let mut out = Vec::with_capacity(32 + value.payload_bytes());
+        self.serialize_into(value, &mut out)?;
+        Ok(out)
+    }
+
+    fn serialize_into(&self, value: &Value, out: &mut Vec<u8>) -> Result<(), SerialError> {
+        let mut enc = Encoder { out: std::mem::take(out), classes: HashMap::new() };
         enc.out.extend_from_slice(&STREAM_MAGIC);
         enc.out.extend_from_slice(&STREAM_VERSION);
         enc.value(value);
-        Ok(enc.out)
+        *out = enc.out;
+        Ok(())
     }
 
     fn deserialize(&self, bytes: &[u8]) -> Result<Value, SerialError> {

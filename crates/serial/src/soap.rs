@@ -377,6 +377,28 @@ impl Formatter for SoapFormatter {
         Ok(out.into_bytes())
     }
 
+    fn serialize_into(&self, value: &Value, out: &mut Vec<u8>) -> Result<(), SerialError> {
+        // The writer produces text; reuse the caller's buffer as a String
+        // when its existing contents allow it (always true for the cleared
+        // pooled buffers on the hot path), otherwise append a fresh encode.
+        match String::from_utf8(std::mem::take(out)) {
+            Ok(mut text) => {
+                text.reserve(64 + value.payload_bytes() * 4);
+                text.push_str(HEADER);
+                Self::write_value(&mut text, value);
+                text.push_str(FOOTER);
+                *out = text.into_bytes();
+                Ok(())
+            }
+            Err(e) => {
+                *out = e.into_bytes();
+                let bytes = self.serialize(value)?;
+                out.extend_from_slice(&bytes);
+                Ok(())
+            }
+        }
+    }
+
     fn deserialize(&self, bytes: &[u8]) -> Result<Value, SerialError> {
         let text = std::str::from_utf8(bytes)
             .map_err(|_| SerialError::BadMagic { expected: "soap" })?;

@@ -5,6 +5,11 @@
 #
 #   scripts/bench.sh                   # everything
 #   scripts/bench.sh obs_overhead      # just the observability costs
+#   scripts/bench.sh tcp_concurrency   # mux-vs-lockstep channel speedup
+#
+# The full run includes tcp_concurrency, whose BENCH_tcp_concurrency.json
+# records calls/s for the multiplexed and lock-per-roundtrip TCP clients
+# plus their speedup ratio at 4 concurrent callers.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

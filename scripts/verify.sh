@@ -39,3 +39,10 @@ fi
 cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
     target/prime_sieve_trace.json --min-events 10
 echo "ok: obs smoke test passed (${batch_flushed} batch_flushed events, trace valid)"
+
+# Gate 4: failure injection against the multiplexed TCP channel. Dead
+# servers must surface as transport/timeout errors promptly — the mux
+# reader thread has to fail pending and future calls when its connection
+# breaks, not leave callers parked until the 30 s reply deadline.
+cargo test -q --offline --test failure_injection
+echo "ok: failure injection passes against the multiplexed channel"
