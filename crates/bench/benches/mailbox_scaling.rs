@@ -1,0 +1,207 @@
+//! Mailbox-dispatch scaling: K objects × mixed fast/slow one-way
+//! methods, mailbox scheduler against the inline pre-mailbox baseline.
+//!
+//! Both sides run the same TCP server code and the same pipelined
+//! single-socket client; the only variable is the server's dispatch
+//! backend. The inline baseline executes every one-way post on the
+//! connection's reader thread, so one slow method head-of-line blocks
+//! the whole connection: K objects' worth of slow posts execute strictly
+//! end to end no matter how many CPUs the server has. The mailbox
+//! backend has the reader only decode and enqueue; per-object FIFO
+//! mailboxes drain on work-stealing workers, so distinct objects' slow
+//! posts overlap while each object still runs serially.
+//!
+//! The slow method models service *latency* (a short sleep), matching
+//! the `tcp_concurrency` bench: on a single-core bench host CPU work
+//! cannot overlap under any scheduler, but overlapping waiting is
+//! precisely the win mailbox dispatch buys a server whose methods block.
+//!
+//! Reported metrics: aggregate one-way throughput per mode at K ∈ {2, 8}
+//! (`<mode>_<K>_objects_posts_per_s`), the acceptance ratio
+//! `speedup_8_objects` (mailbox / inline, must be ≥ 2), and the
+//! single-object single-caller two-way latency for both modes plus their
+//! ratio `latency_ratio_mailbox_vs_inline` (must stay within 1.10 — the
+//! mailbox hop may not tax the uncontended path).
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parc_bench::harness::{metric, BenchmarkId, Criterion};
+use parc_bench::{criterion_group, criterion_main};
+use parc_remoting::dispatcher::FnInvokable;
+use parc_remoting::tcp::{DispatchMode, TcpClientChannel, TcpServerChannel};
+use parc_remoting::{ClientChannel, RemoteObject, RemotingError};
+use parc_serial::Value;
+
+/// Most objects ever benched at once.
+const MAX_OBJECTS: usize = 8;
+
+/// One-way posts per object per measurement (every [`SLOW_EVERY`]-th is
+/// slow).
+const POSTS_PER_OBJECT: usize = 32;
+
+/// Every n-th post per object takes [`SLOW_LATENCY`] to serve.
+const SLOW_EVERY: usize = 4;
+
+/// Service latency of a slow method (same scale as `tcp_concurrency`'s
+/// per-call service time).
+const SLOW_LATENCY: Duration = Duration::from_micros(200);
+
+/// Two-way calls measured for the uncontended-latency comparison.
+const LATENCY_CALLS: usize = 200;
+
+/// Mailbox workers, pinned so the bench is `PARC_DISPATCH_WORKERS`-
+/// independent.
+const WORKERS: usize = 4;
+
+/// Starts a server in `mode` with [`MAX_OBJECTS`] objects, each serving
+/// a fast and a slow one-way method plus a `done` barrier query.
+fn start_server(mode: DispatchMode) -> (TcpServerChannel, Vec<Arc<AtomicI64>>) {
+    let server = TcpServerChannel::bind_with_mode("127.0.0.1:0", mode).expect("bind bench server");
+    let mut counters = Vec::with_capacity(MAX_OBJECTS);
+    for i in 0..MAX_OBJECTS {
+        let done = Arc::new(AtomicI64::new(0));
+        let count = Arc::clone(&done);
+        let object = format!("Obj{i}");
+        let name = object.clone();
+        server.objects().register_singleton(
+            object,
+            Arc::new(FnInvokable(move |method: &str, args: &[Value]| match method {
+                "fast" => {
+                    let x = i64::from(args.first().and_then(Value::as_i32).unwrap_or(0));
+                    count.fetch_add(1, Ordering::SeqCst);
+                    Ok(Value::I64(x.wrapping_mul(x)))
+                }
+                "slow" => {
+                    std::thread::sleep(SLOW_LATENCY);
+                    count.fetch_add(1, Ordering::SeqCst);
+                    Ok(Value::Null)
+                }
+                "done" => Ok(Value::I64(count.load(Ordering::SeqCst))),
+                _ => Err(RemotingError::MethodNotFound {
+                    object: name.clone(),
+                    method: method.into(),
+                }),
+            })),
+        );
+        counters.push(done);
+    }
+    (server, counters)
+}
+
+/// Posts the mixed workload round-robin over `objects` proxies through
+/// one connection, then rides a `done` barrier call per object; returns
+/// aggregate one-way posts per second.
+fn measure_posts_per_s(
+    chan: &Arc<dyn ClientChannel>,
+    counters: &[Arc<AtomicI64>],
+    objects: usize,
+) -> f64 {
+    let proxies: Vec<RemoteObject> = (0..objects)
+        .map(|i| RemoteObject::new(Arc::clone(chan), format!("Obj{i}")))
+        .collect();
+    let before: Vec<i64> =
+        counters[..objects].iter().map(|c| c.load(Ordering::SeqCst)).collect();
+    let start = Instant::now();
+    for round in 0..POSTS_PER_OBJECT {
+        for proxy in &proxies {
+            if round % SLOW_EVERY == 0 {
+                proxy.post("slow", vec![]).expect("bench post");
+            } else {
+                proxy.post("fast", vec![Value::I32(round as i32)]).expect("bench post");
+            }
+        }
+    }
+    // The two-way barrier rides each object's dispatch path behind its
+    // posts, in both modes, so returning means the object is drained.
+    for (i, proxy) in proxies.iter().enumerate() {
+        let done = proxy.call("done", vec![]).expect("bench barrier");
+        let executed = done.as_i64().expect("barrier count") - before[i];
+        assert_eq!(executed, POSTS_PER_OBJECT as i64, "lost one-way posts");
+    }
+    (objects * POSTS_PER_OBJECT) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn best_posts_per_s(
+    chan: &Arc<dyn ClientChannel>,
+    counters: &[Arc<AtomicI64>],
+    objects: usize,
+    rounds: usize,
+) -> f64 {
+    (0..rounds)
+        .map(|_| measure_posts_per_s(chan, counters, objects))
+        .fold(0.0, f64::max)
+}
+
+/// Mean two-way round-trip time of one caller against one object, in
+/// microseconds.
+fn measure_latency_us(chan: &Arc<dyn ClientChannel>) -> f64 {
+    let proxy = RemoteObject::new(Arc::clone(chan), "Obj0");
+    let start = Instant::now();
+    for round in 0..LATENCY_CALLS {
+        proxy.call("fast", vec![Value::I32(round as i32)]).expect("latency call");
+    }
+    start.elapsed().as_secs_f64() * 1e6 / LATENCY_CALLS as f64
+}
+
+/// Best-of-N (lowest) latency, shielding the ratio from scheduler noise.
+fn best_latency_us(chan: &Arc<dyn ClientChannel>, rounds: usize) -> f64 {
+    (0..rounds).map(|_| measure_latency_us(chan)).fold(f64::INFINITY, f64::min)
+}
+
+fn bench_mailbox_scaling(c: &mut Criterion) {
+    let modes: [(&str, DispatchMode); 2] = [
+        ("inline", DispatchMode::Inline),
+        ("mailbox", DispatchMode::Mailbox { workers: WORKERS }),
+    ];
+    let mut group = c.benchmark_group("mailbox_scaling");
+    let mut rates: Vec<(&str, usize, f64)> = Vec::new();
+    let mut latencies: Vec<(&str, f64)> = Vec::new();
+    for (label, mode) in modes {
+        let (server, counters) = start_server(mode);
+        let addr = server.local_addr().to_string();
+        let chan: Arc<dyn ClientChannel> =
+            Arc::new(TcpClientChannel::connect_pooled(&addr, 1).expect("connect bench client"));
+        // Warm the connection, both dispatch paths, and the buffer pool.
+        let _ = measure_posts_per_s(&chan, &counters, 2);
+        let _ = measure_latency_us(&chan);
+
+        for objects in [2usize, MAX_OBJECTS] {
+            let posts_per_s = best_posts_per_s(&chan, &counters, objects, 3);
+            rates.push((label, objects, posts_per_s));
+            metric(&format!("{label}_{objects}_objects_posts_per_s"), posts_per_s);
+            group.bench_function(BenchmarkId::new(label, objects), |b| {
+                b.iter(|| {
+                    std::hint::black_box(measure_posts_per_s(&chan, &counters, objects));
+                });
+            });
+        }
+
+        let latency_us = best_latency_us(&chan, 3);
+        latencies.push((label, latency_us));
+        metric(&format!("{label}_single_caller_latency_us"), latency_us);
+    }
+    group.finish();
+
+    let rate_of = |label: &str, objects: usize| {
+        rates
+            .iter()
+            .find(|(l, o, _)| *l == label && *o == objects)
+            .map(|(_, _, r)| *r)
+            .expect("rate recorded")
+    };
+    metric("speedup_8_objects", rate_of("mailbox", 8) / rate_of("inline", 8));
+    metric("speedup_2_objects", rate_of("mailbox", 2) / rate_of("inline", 2));
+
+    let latency_of = |label: &str| {
+        latencies.iter().find(|(l, _)| *l == label).map(|(_, v)| *v).expect("latency recorded")
+    };
+    metric(
+        "latency_ratio_mailbox_vs_inline",
+        latency_of("mailbox") / latency_of("inline"),
+    );
+}
+
+criterion_group!(benches, bench_mailbox_scaling);
+criterion_main!(benches);

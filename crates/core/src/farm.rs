@@ -98,6 +98,10 @@ impl Farm {
     pub fn map(&self, method: &str, items: Vec<Vec<Value>>) -> Result<Vec<Value>, ParcError> {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let n = items.len();
+        // Slots are claimed disjointly via `next`, so each item's argument
+        // vector can be moved out (`take`) rather than cloned per call.
+        let items: Vec<parc_sync::Mutex<Option<Vec<Value>>>> =
+            items.into_iter().map(|args| parc_sync::Mutex::new(Some(args))).collect();
         // One slot per item; workers fill disjoint slots.
         let results: Vec<parc_sync::Mutex<Option<Value>>> =
             (0..n).map(|_| parc_sync::Mutex::new(None)).collect();
@@ -114,7 +118,8 @@ impl Farm {
                     if idx >= n {
                         return;
                     }
-                    match w.call(method, items_ref[idx].clone()) {
+                    let args = items_ref[idx].lock().take().expect("slot claimed once");
+                    match w.call(method, args) {
                         Ok(v) => {
                             *results_ref[idx].lock() = Some(v);
                         }

@@ -11,25 +11,54 @@
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use parc_remoting::{Invokable, RemotingError};
+use parc_remoting::{DispatchDepth, Invokable, RemotingError};
 use parc_serial::Value;
+use parc_sync::Mutex;
 
 /// The well-known name every node publishes its OM under.
 pub const OM_OBJECT: &str = "__om";
 
 /// Node-local object-manager state (shared with the published service).
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct OmState {
     /// Number of implementation objects hosted on the node.
     hosted: AtomicI64,
     /// Total method calls dispatched to this node's IOs (activity proxy).
     dispatched: AtomicI64,
+    /// Live view into the node endpoint's mailbox scheduler, when the
+    /// endpoint dispatches through one.
+    dispatch_depth: Mutex<Option<DispatchDepth>>,
 }
 
 impl OmState {
     /// Creates zeroed state.
     pub fn new() -> OmState {
         OmState::default()
+    }
+
+    /// Attaches the node endpoint's mailbox-depth handle so placement and
+    /// adaptation policies observe real dispatch backpressure, not just
+    /// hosted-object counts.
+    pub fn attach_dispatch_depth(&self, depth: DispatchDepth) {
+        *self.dispatch_depth.lock() = Some(depth);
+    }
+
+    /// Calls queued-or-running across all of the node's mailboxes right
+    /// now (0 when no scheduler is attached).
+    pub fn queue_depth(&self) -> i64 {
+        self.dispatch_depth
+            .lock()
+            .as_ref()
+            .map_or(0, |d| i64::try_from(d.pending()).unwrap_or(i64::MAX))
+    }
+
+    /// Deepest single-object backlog on the node (0 when no scheduler is
+    /// attached) — the head-of-line pressure one hot object exerts.
+    pub fn max_object_depth(&self) -> i64 {
+        self.dispatch_depth
+            .lock()
+            .as_ref()
+            .map_or(0, |d| i64::try_from(d.max_object_depth()).unwrap_or(i64::MAX))
     }
 
     /// Records an IO creation on this node.
@@ -58,6 +87,16 @@ impl OmState {
     }
 }
 
+impl std::fmt::Debug for OmState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OmState")
+            .field("hosted", &self.load())
+            .field("dispatched", &self.dispatched())
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
 /// The published OM service: lets peers query load and push notifications,
 /// mirroring the OM cooperation of Fig. 3 (calls *c*).
 pub struct OmService {
@@ -78,6 +117,8 @@ impl Invokable for OmService {
         match method {
             "load" => Ok(Value::I64(self.state.load())),
             "dispatched" => Ok(Value::I64(self.state.dispatched())),
+            "queue_depth" => Ok(Value::I64(self.state.queue_depth())),
+            "max_object_depth" => Ok(Value::I64(self.state.max_object_depth())),
             "node" => Ok(Value::I64(self.node as i64)),
             "created" => {
                 self.state.object_created();
@@ -93,7 +134,11 @@ impl Invokable for OmService {
             }),
         }
         .inspect(|_| {
-            if method != "load" && method != "dispatched" && method != "node" {
+            let query = matches!(
+                method,
+                "load" | "dispatched" | "queue_depth" | "max_object_depth" | "node"
+            );
+            if !query {
                 // Mutations count as activity too.
                 self.state.call_dispatched();
             }
@@ -133,6 +178,29 @@ mod tests {
             om.invoke("frobnicate", &[]),
             Err(RemotingError::MethodNotFound { .. })
         ));
+    }
+
+    #[test]
+    fn queue_depth_reflects_attached_scheduler() {
+        let state = Arc::new(OmState::new());
+        assert_eq!(state.queue_depth(), 0, "no scheduler attached yet");
+        let sched = parc_remoting::MailboxScheduler::with_workers(1);
+        state.attach_dispatch_depth(sched.depth_handle());
+        let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+        sched.enqueue("hot", move || {
+            let _ = hold_rx.recv();
+        });
+        sched.enqueue("hot", || {});
+        let om = OmService::new(0, Arc::clone(&state));
+        // At least the queued (not yet running) job is visible.
+        let depth = om.invoke("queue_depth", &[]).unwrap();
+        assert!(matches!(depth, Value::I64(d) if d >= 1), "saw {depth:?}");
+        let max = om.invoke("max_object_depth", &[]).unwrap();
+        assert!(matches!(max, Value::I64(d) if d >= 1), "saw {max:?}");
+        hold_tx.send(()).unwrap();
+        drop(sched);
+        assert_eq!(state.queue_depth(), 0, "drained scheduler reports empty");
+        assert_eq!(state.dispatched(), 0, "depth queries are not activity");
     }
 
     #[test]

@@ -149,7 +149,7 @@ mod tests {
                         text.push_str(tag);
                     }
                     match next.lock().as_ref() {
-                        Some(next) => next.post("item", vec![Value::Str(text)]),
+                        Some(next) => next.post("item", vec![Value::Str(text)]).map(|_| ()),
                         None => {
                             tags.lock().push(text);
                             Ok(())

@@ -176,27 +176,20 @@ impl Po {
         let _span = parc_obs::Span::enter(parc_obs::kinds::BATCH_FLUSH);
         if buffer.len() == 1 {
             let (method, args) = buffer.pop().expect("one element");
-            remote.post(&method, args)?;
+            let bytes = remote.post(&method, args)?;
             self.stats.record_message();
-            parc_obs::event(parc_obs::kinds::BATCH_FLUSHED, || "calls=1 bytes=0".into());
+            parc_obs::event(parc_obs::kinds::BATCH_FLUSHED, || {
+                format!("calls=1 bytes={bytes}")
+            });
         } else {
             let calls = std::mem::take(buffer);
             let n = calls.len() as u64;
             // By-value encode: the buffered arguments move straight into
             // the wire value instead of being deep-cloned per flush.
             let batch = encode_batch(calls);
-            // Wire size only matters when recording; the real encode happens
-            // inside `post`, so this duplicate is instrumentation-only cost.
-            let bytes = if parc_obs::is_enabled() {
-                use parc_serial::Formatter as _;
-                parc_serial::BinaryFormatter::new()
-                    .serialize(&batch)
-                    .map(|b| b.len())
-                    .unwrap_or(0)
-            } else {
-                0
-            };
-            remote.post(BATCH_METHOD, vec![batch])?;
+            // The channel reports the encoded size it put on the wire, so
+            // instrumentation never serializes a second time.
+            let bytes = remote.post(BATCH_METHOD, vec![batch])?;
             self.stats.record_batch(n);
             parc_obs::event(parc_obs::kinds::BATCH_FLUSHED, || {
                 format!("calls={n} bytes={bytes}")

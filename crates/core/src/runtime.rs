@@ -79,11 +79,15 @@ impl RuntimeBuilder {
         let mut endpoints = Vec::with_capacity(self.nodes);
         let mut om_states = Vec::with_capacity(self.nodes);
         for node in 0..self.nodes {
-            // One dispatch worker per node: calls to a node's IOs execute
-            // in arrival order, the serial-per-grain semantics the ParC++
-            // SO message loop provided (§3.2).
-            let ep = net.create_endpoint_with_workers(format!("node{node}"), 1)?;
+            // Mailbox dispatch: each IO keeps the serial-per-grain
+            // semantics of the ParC++ SO message loop (§3.2) — its calls
+            // run one at a time, in arrival order — while *distinct* IOs
+            // on the node execute in parallel on the stealing workers.
+            let ep = net.create_endpoint(format!("node{node}"))?;
             let om_state = Arc::new(OmState::new());
+            if let Some(depth) = ep.dispatch_depth() {
+                om_state.attach_dispatch_depth(depth);
+            }
             ep.objects().register_singleton(
                 OM_OBJECT,
                 Arc::new(OmService::new(node, Arc::clone(&om_state))),
@@ -228,6 +232,12 @@ impl ParcRuntime {
         self.om_states.iter().map(|s| s.load()).collect()
     }
 
+    /// Calls queued-or-running on each node's dispatch scheduler — the
+    /// live backpressure signal behind [`crate::config::Placement::LeastLoaded`].
+    pub fn node_queue_depths(&self) -> Vec<i64> {
+        self.om_states.iter().map(|s| s.queue_depth()).collect()
+    }
+
     fn should_agglomerate(&self) -> bool {
         if self.grain.adaptive {
             return self.adapter.should_agglomerate();
@@ -251,15 +261,21 @@ impl ParcRuntime {
             }
             Placement::LeastLoaded => {
                 // Ask every OM for its load, as the cooperating OMs of
-                // Fig. 3 do (calls c), and take the least loaded.
+                // Fig. 3 do (calls c), and take the least loaded. Load is
+                // hosted objects plus live mailbox backlog, so a node
+                // whose queues are jammed loses ties even when it hosts
+                // fewer objects.
                 let mut best = 0usize;
                 let mut best_load = i64::MAX;
                 for node in 0..self.nodes() {
-                    let load = self
-                        .om_remote(node)
-                        .and_then(|om| om.call("load", vec![]).map_err(ParcError::from))
-                        .ok()
-                        .and_then(|v| v.as_i64())
+                    let ask = |method: &str| {
+                        self.om_remote(node)
+                            .and_then(|om| om.call(method, vec![]).map_err(ParcError::from))
+                            .ok()
+                            .and_then(|v| v.as_i64())
+                    };
+                    let load = ask("load")
+                        .map(|l| l.saturating_add(ask("queue_depth").unwrap_or(0)))
                         .unwrap_or(i64::MAX);
                     if load < best_load {
                         best_load = load;

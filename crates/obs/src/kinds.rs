@@ -46,6 +46,18 @@ pub const QUEUE_WAIT: &str = "queue.wait";
 /// worker ran it.
 pub const POOL_WAIT: &str = "pool.wait";
 
+// ---- mailbox dispatch (per-object executors) ----
+
+/// Histogram-only: time an invocation sat in its object's mailbox before
+/// a dispatch worker began running it.
+pub const MAILBOX_WAIT: &str = "dispatch.mailbox_wait";
+/// Gauge: invocations enqueued in mailboxes and not yet completed.
+pub const MAILBOX_DEPTH: &str = "dispatch.depth";
+/// Counter: mailboxes a dispatch worker stole from a sibling's run queue.
+pub const MAILBOX_STEAL: &str = "dispatch.steal";
+/// Gauge: dispatch workers currently inside an invocation.
+pub const MAILBOX_BUSY: &str = "dispatch.busy";
+
 // ---- SCOOPP runtime (parc-core) ----
 
 /// A proxy-object synchronous call (wraps the remoting `call`).
@@ -120,6 +132,10 @@ mod tests {
             super::REPLY,
             super::QUEUE_WAIT,
             super::POOL_WAIT,
+            super::MAILBOX_WAIT,
+            super::MAILBOX_DEPTH,
+            super::MAILBOX_STEAL,
+            super::MAILBOX_BUSY,
             super::PO_CALL,
             super::PO_LOCAL,
             super::BATCH_FLUSH,

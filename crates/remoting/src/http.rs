@@ -282,11 +282,14 @@ impl HttpClientChannel {
         }
     }
 
-    fn exchange(&self, msg: &CallMessage) -> Result<(String, Vec<u8>), RemotingError> {
+    /// One request/response round trip; returns the status line, response
+    /// body and the size of the *request* body that was sent.
+    fn exchange(&self, msg: &CallMessage) -> Result<(String, Vec<u8>, usize), RemotingError> {
         let body = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
             msg.encode(&self.formatter)?
         };
+        let sent = body.len();
         let mut conn = self.checkout()?;
         // Any error drops the connection (it may hold half a response);
         // only a clean round trip returns it to the pool.
@@ -302,22 +305,22 @@ impl HttpClientChannel {
         if outcome.is_ok() {
             self.checkin(conn);
         }
-        outcome
+        outcome.map(|(status, body)| (status, body, sent))
     }
 }
 
 impl ClientChannel for HttpClientChannel {
     fn call(&self, msg: &CallMessage) -> Result<ReturnMessage, RemotingError> {
-        let (_status, body) = self.exchange(msg)?;
+        let (_status, body, _sent) = self.exchange(msg)?;
         let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
         Ok(ReturnMessage::decode(&self.formatter, &body)?)
     }
 
-    fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
+    fn post(&self, msg: &CallMessage) -> Result<usize, RemotingError> {
         // HTTP always answers; a one-way call reads its 202 and discards it.
-        let (status, _body) = self.exchange(msg)?;
+        let (status, _body, sent) = self.exchange(msg)?;
         if status.contains("202") || status.contains("200") {
-            Ok(())
+            Ok(sent)
         } else {
             Err(RemotingError::Transport { detail: format!("unexpected status {status:?}") })
         }

@@ -2,12 +2,18 @@
 //! no sockets.
 //!
 //! An [`InprocNetwork`] is a registry of named endpoints inside one
-//! process. Each endpoint runs a dispatcher thread plus a worker pool, so
-//! concurrency semantics match the socket channels: calls from many client
-//! threads interleave on the server exactly as they would across machines.
-//! Payloads still pass through the binary formatter, so marshalling costs
-//! and wire sizes are identical to the TCP channel — only the wire itself
-//! is a queue.
+//! process. Each endpoint runs a router thread feeding a per-object
+//! [`MailboxScheduler`] (the same active-object discipline the TCP
+//! server uses: calls to one object serial and in order, distinct
+//! objects in parallel on work-stealing workers), so concurrency
+//! semantics match the socket channels: calls from many client threads
+//! interleave on the server exactly as they would across machines.
+//! Payloads still pass through the binary formatter, so marshalling
+//! costs and wire sizes are identical to the TCP channel — only the wire
+//! itself is a queue. The pre-mailbox shape (a shared fixed pool with no
+//! per-object ordering beyond pool size 1) survives behind
+//! [`InprocNetwork::create_endpoint_with_pool`] as the benchmark
+//! baseline.
 //!
 //! This is the channel the single-machine SCOOPP runtime and most tests
 //! use; URIs look like `inproc://node0/PrimeServer`.
@@ -24,6 +30,7 @@ use parc_sync::RwLock;
 use crate::channel::{ChannelProvider, ClientChannel};
 use crate::dispatcher::dispatch;
 use crate::error::RemotingError;
+use crate::mailbox::{DispatchDepth, MailboxScheduler};
 use crate::message::CallMessage;
 use crate::threadpool::ThreadPool;
 use crate::uri::{ObjectUri, Scheme};
@@ -59,16 +66,19 @@ impl InprocNetwork {
         InprocNetwork::default()
     }
 
-    /// Creates and starts an endpoint with a default-sized worker pool.
+    /// Creates and starts an endpoint with the configured mailbox worker
+    /// count ([`crate::mailbox::workers_from_env`]).
     ///
     /// # Errors
     ///
     /// [`RemotingError::Transport`] if the name is already taken.
     pub fn create_endpoint(&self, name: impl Into<String>) -> Result<InprocEndpoint, RemotingError> {
-        self.create_endpoint_with_workers(name, 4)
+        self.create_endpoint_with_workers(name, crate::mailbox::workers_from_env())
     }
 
-    /// Creates and starts an endpoint with `workers` dispatch threads.
+    /// Creates and starts an endpoint whose mailbox scheduler runs
+    /// `workers` dispatch threads. Per-object FIFO order is guaranteed at
+    /// any worker count; `workers` only bounds cross-object parallelism.
     ///
     /// # Errors
     ///
@@ -78,7 +88,30 @@ impl InprocNetwork {
         name: impl Into<String>,
         workers: usize,
     ) -> Result<InprocEndpoint, RemotingError> {
-        let name = name.into();
+        self.create_endpoint_inner(name.into(), InprocDispatch::Mailbox(workers))
+    }
+
+    /// Creates and starts an endpoint with the pre-mailbox dispatch
+    /// shape: a shared fixed pool of `workers` threads with **no**
+    /// per-object ordering beyond pool size 1. Kept as the explicit
+    /// baseline for the `mailbox_scaling` comparison.
+    ///
+    /// # Errors
+    ///
+    /// [`RemotingError::Transport`] if the name is already taken.
+    pub fn create_endpoint_with_pool(
+        &self,
+        name: impl Into<String>,
+        workers: usize,
+    ) -> Result<InprocEndpoint, RemotingError> {
+        self.create_endpoint_inner(name.into(), InprocDispatch::Pool(workers))
+    }
+
+    fn create_endpoint_inner(
+        &self,
+        name: String,
+        mode: InprocDispatch,
+    ) -> Result<InprocEndpoint, RemotingError> {
         let (tx, rx) = unbounded::<Envelope>();
         let shared = Arc::new(EndpointShared {
             tx,
@@ -97,14 +130,25 @@ impl InprocNetwork {
         let objects = ObjectTable::new();
         let pump_objects = objects.clone();
         let pump_shared = Arc::clone(&shared);
+        let (scheduler, pool_workers) = match mode {
+            InprocDispatch::Mailbox(w) => {
+                (Some(Arc::new(MailboxScheduler::with_workers(w))), 0)
+            }
+            InprocDispatch::Pool(w) => (None, w.max(1)),
+        };
+        let pump_scheduler = scheduler.clone();
         let thread = std::thread::Builder::new()
             .name(format!("inproc-{name}"))
-            .spawn(move || pump(rx, pump_objects, pump_shared, workers))
+            .spawn(move || match pump_scheduler {
+                Some(sched) => pump_mailbox(rx, pump_objects, pump_shared, sched),
+                None => pump_pool(rx, pump_objects, pump_shared, pool_workers),
+            })
             .expect("spawning inproc endpoint thread");
         Ok(InprocEndpoint {
             name,
             objects,
             network: self.clone(),
+            scheduler,
             thread: Some(thread),
         })
     }
@@ -143,8 +187,69 @@ impl std::fmt::Debug for InprocNetwork {
     }
 }
 
-/// Dispatcher loop: decode, route via the shared dispatch logic, reply.
-fn pump(rx: Receiver<Envelope>, objects: ObjectTable, shared: Arc<EndpointShared>, workers: usize) {
+/// How an endpoint executes decoded calls.
+enum InprocDispatch {
+    /// Per-object mailboxes on a work-stealing scheduler (the default).
+    Mailbox(usize),
+    /// The pre-mailbox baseline: a shared fixed pool.
+    Pool(usize),
+}
+
+/// Router loop (default): decode on the pump thread — the decoded call is
+/// what routes to a mailbox — then enqueue; the scheduler's workers
+/// dispatch and reply. A slow method on one object only backs up that
+/// object's mailbox, never this router.
+fn pump_mailbox(
+    rx: Receiver<Envelope>,
+    objects: ObjectTable,
+    shared: Arc<EndpointShared>,
+    sched: Arc<MailboxScheduler>,
+) {
+    let formatter = BinaryFormatter::new();
+    while let Ok(envelope) = rx.recv() {
+        shared.bytes_received.fetch_add(envelope.bytes.len() as u64, Ordering::Relaxed);
+        shared.messages_received.fetch_add(1, Ordering::Relaxed);
+        let Envelope { bytes, reply, enqueued_ns } = envelope;
+        let call = match CallMessage::decode(&formatter, &bytes) {
+            Ok(call) => call,
+            Err(e) => {
+                // Undecodable frame: fault with id 0 if a reply channel
+                // exists; otherwise drop.
+                if let Some(tx) = reply {
+                    let fault = crate::message::ReturnMessage::fault(0, e.to_string());
+                    if let Ok(bytes) = fault.encode(&formatter) {
+                        let _ = tx.send(bytes);
+                    }
+                }
+                continue;
+            }
+        };
+        let objects = objects.clone();
+        let object = call.object.clone();
+        sched.enqueue(&object, move || {
+            parc_obs::record_wait(parc_obs::kinds::QUEUE_WAIT, enqueued_ns);
+            let out = dispatch(&objects, &call);
+            if let (Some(out), Some(tx)) = (out, reply) {
+                let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
+                if let Ok(bytes) = out.encode(&BinaryFormatter::new()) {
+                    let _ = tx.send(bytes);
+                }
+            }
+        });
+    }
+    // Dropping the pump's scheduler handle lets the last owner drain and
+    // join the workers.
+    drop(sched);
+}
+
+/// Baseline dispatcher loop: decode, route and reply on a shared fixed
+/// pool, with no per-object ordering (the pre-mailbox shape).
+fn pump_pool(
+    rx: Receiver<Envelope>,
+    objects: ObjectTable,
+    shared: Arc<EndpointShared>,
+    workers: usize,
+) {
     let pool = ThreadPool::new(workers.max(1));
     let formatter = BinaryFormatter::new();
     while let Ok(envelope) = rx.recv() {
@@ -178,6 +283,7 @@ pub struct InprocEndpoint {
     name: String,
     objects: ObjectTable,
     network: InprocNetwork,
+    scheduler: Option<Arc<MailboxScheduler>>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -190,6 +296,18 @@ impl InprocEndpoint {
     /// The endpoint's published-object table.
     pub fn objects(&self) -> &ObjectTable {
         &self.objects
+    }
+
+    /// Live backlog view of this endpoint's mailbox scheduler (`None` for
+    /// pool-baseline endpoints). The handle stays valid after the
+    /// endpoint drops.
+    pub fn dispatch_depth(&self) -> Option<DispatchDepth> {
+        self.scheduler.as_ref().map(|s| s.depth_handle())
+    }
+
+    /// Scheduler counter snapshot (`None` for pool-baseline endpoints).
+    pub fn dispatch_stats(&self) -> Option<crate::mailbox::DispatchStats> {
+        self.scheduler.as_ref().map(|s| s.stats())
     }
 }
 
@@ -217,14 +335,22 @@ pub struct InprocClient {
 }
 
 impl InprocClient {
-    fn send(&self, msg: &CallMessage, reply: Option<Sender<Vec<u8>>>) -> Result<(), RemotingError> {
+    /// Encodes and enqueues one envelope, returning the encoded payload
+    /// size in bytes.
+    fn send(
+        &self,
+        msg: &CallMessage,
+        reply: Option<Sender<Vec<u8>>>,
+    ) -> Result<usize, RemotingError> {
         let bytes = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
             msg.encode(&BinaryFormatter::new())?
         };
+        let sent = bytes.len();
         let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
         self.tx
             .send(Envelope { bytes, reply, enqueued_ns: parc_obs::timestamp_if_enabled() })
+            .map(|()| sent)
             .map_err(|_| RemotingError::Transport { detail: "endpoint stopped".into() })
     }
 }
@@ -243,7 +369,7 @@ impl ClientChannel for InprocClient {
         Ok(crate::message::ReturnMessage::decode(&BinaryFormatter::new(), &bytes)?)
     }
 
-    fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
+    fn post(&self, msg: &CallMessage) -> Result<usize, RemotingError> {
         self.send(msg, None)
     }
 

@@ -69,6 +69,7 @@ pub mod http;
 pub mod inproc;
 pub mod lease;
 pub mod macros;
+pub mod mailbox;
 pub mod message;
 pub mod tcp;
 pub mod threadpool;
@@ -81,6 +82,7 @@ pub use delegate::{AsyncResult, Delegate};
 pub use dispatcher::Invokable;
 pub use error::RemotingError;
 pub use lease::LeaseManager;
+pub use mailbox::{DispatchDepth, DispatchStats, MailboxScheduler};
 pub use message::{CallMessage, ReturnMessage};
 pub use threadpool::ThreadPool;
 pub use uri::ObjectUri;

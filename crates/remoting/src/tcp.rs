@@ -12,19 +12,24 @@
 //! variable) for bandwidth-bound payloads.
 //!
 //! The server accepts connections on a loopback-or-LAN socket and serves
-//! each connection from its own reader thread. One-way posts are
-//! dispatched inline on that thread, in arrival order — which preserves
-//! every per-thread ordering contract, because a caller's next frame
-//! after a two-way call is only ever sent once its reply came back.
-//! Two-way calls go to a shared bounded dispatch pool (the analogue of
-//! Mono serving remoting from its managed thread pool) and their replies
-//! are written back in completion order: the correlation ID is what makes
-//! out-of-order replies safe, so a slow call no longer convoys the fast
-//! calls pipelined behind it.
+//! each connection from its own reader thread. By default that thread
+//! only decodes frames and enqueues them on the shared per-object
+//! [`MailboxScheduler`] ([`DispatchMode::Mailbox`]), returning to the
+//! socket immediately: calls to one object run serially in arrival order
+//! (one-way posts, batches and two-way calls alike), distinct objects
+//! run in parallel on the scheduler's work-stealing workers, and a slow
+//! method on one object can no longer head-of-line-block every object
+//! behind the same socket. Replies are written back in completion order;
+//! the correlation ID is what makes out-of-order replies safe.
 //!
-//! The pre-multiplexing client — one connection, stream mutex held across
-//! the entire round trip — survives as [`LockStepClientChannel`] so the
-//! `tcp_concurrency` benchmark can measure exactly what the redesign buys.
+//! The pre-mailbox server — one-way posts dispatched inline on the
+//! reader thread, two-way calls on a fixed [`DISPATCH_WORKERS`]-sized
+//! pool — survives as [`DispatchMode::Inline`] (select it with
+//! `PARC_DISPATCH_MODE=inline` or [`TcpServerChannel::bind_with_mode`])
+//! so the `mailbox_scaling` benchmark can measure exactly what the
+//! scheduler buys. Likewise the pre-multiplexing client — one
+//! connection, stream mutex held across the entire round trip — survives
+//! as [`LockStepClientChannel`] for `tcp_concurrency`.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,6 +45,7 @@ use crate::channel::{ChannelProvider, ClientChannel};
 use crate::dispatcher::dispatch;
 use crate::error::RemotingError;
 use crate::frame::{self, FrameRead, FLAG_ONEWAY};
+use crate::mailbox::{DispatchDepth, MailboxScheduler};
 use crate::message::{CallMessage, ReturnMessage};
 use crate::threadpool::ThreadPool;
 use crate::uri::{ObjectUri, Scheme};
@@ -53,11 +59,52 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 /// Default per-authority socket-pool size.
 pub const DEFAULT_POOL_SIZE: usize = 2;
 
-/// Worker threads in a server's shared two-way dispatch pool.
+/// Worker threads in an [`DispatchMode::Inline`] server's shared two-way
+/// dispatch pool (the pre-mailbox baseline shape).
 pub const DISPATCH_WORKERS: usize = 4;
 
 /// Environment variable overriding the per-authority socket-pool size.
 pub const POOL_SIZE_ENV: &str = "PARC_TCP_POOL";
+
+/// Environment variable selecting the server dispatch mode: `inline`
+/// restores the pre-mailbox baseline; anything else (or unset) means
+/// [`DispatchMode::Mailbox`].
+pub const DISPATCH_MODE_ENV: &str = "PARC_DISPATCH_MODE";
+
+/// How a server executes decoded calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Per-object FIFO mailboxes drained by `workers` work-stealing
+    /// threads (the default; see [`crate::mailbox`]).
+    Mailbox {
+        /// Worker-thread count (clamped to ≥ 1).
+        workers: usize,
+    },
+    /// The pre-mailbox baseline: one-way posts run inline on each
+    /// connection's reader thread, two-way calls on a fixed
+    /// [`DISPATCH_WORKERS`]-sized shared pool. Kept so `mailbox_scaling`
+    /// compares honestly.
+    Inline,
+}
+
+impl DispatchMode {
+    /// The configured mode: [`DispatchMode::Inline`] when
+    /// `PARC_DISPATCH_MODE=inline`, otherwise [`DispatchMode::Mailbox`]
+    /// with [`crate::mailbox::workers_from_env`] workers.
+    pub fn from_env() -> DispatchMode {
+        match std::env::var(DISPATCH_MODE_ENV).as_deref() {
+            Ok("inline") => DispatchMode::Inline,
+            _ => DispatchMode::Mailbox { workers: crate::mailbox::workers_from_env() },
+        }
+    }
+}
+
+/// A server's live dispatch backend, shared by every connection.
+#[derive(Clone)]
+enum ServerDispatch {
+    Mailbox(Arc<MailboxScheduler>),
+    Inline(Arc<ThreadPool>),
+}
 
 /// The configured pool size: `PARC_TCP_POOL` when set and positive,
 /// otherwise [`DEFAULT_POOL_SIZE`].
@@ -74,32 +121,70 @@ pub struct TcpServerChannel {
     addr: SocketAddr,
     objects: ObjectTable,
     stop: Arc<AtomicBool>,
+    scheduler: Option<Arc<MailboxScheduler>>,
 }
 
 impl TcpServerChannel {
-    /// Binds and starts accepting. Use `"127.0.0.1:0"` to let the OS pick a
-    /// port, then read it back with [`TcpServerChannel::local_addr`].
+    /// Binds and starts accepting with the configured dispatch mode
+    /// ([`DispatchMode::from_env`]). Use `"127.0.0.1:0"` to let the OS
+    /// pick a port, then read it back with
+    /// [`TcpServerChannel::local_addr`].
     ///
     /// # Errors
     ///
     /// Socket bind failures.
     pub fn bind(addr: &str) -> Result<TcpServerChannel, RemotingError> {
+        TcpServerChannel::bind_with_mode(addr, DispatchMode::from_env())
+    }
+
+    /// Binds with an explicit dispatch mode.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind_with_mode(
+        addr: &str,
+        mode: DispatchMode,
+    ) -> Result<TcpServerChannel, RemotingError> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let objects = ObjectTable::new();
         let stop = Arc::new(AtomicBool::new(false));
-        // One bounded dispatch pool per server, shared by every connection:
-        // the analogue of Mono serving remoting requests from its managed
-        // thread pool. Sized small on purpose — a saturated pool applies
-        // backpressure instead of unbounded thread growth.
-        let dispatch = Arc::new(ThreadPool::new(DISPATCH_WORKERS));
+        // One dispatch backend per server, shared by every connection.
+        // Mailbox: per-object serial, cross-object parallel, stealing
+        // workers. Inline: the pre-mailbox fixed pool (the analogue of
+        // Mono serving remoting from its managed thread pool), kept as
+        // the benchmark baseline.
+        let dispatch = match mode {
+            DispatchMode::Mailbox { workers } => {
+                ServerDispatch::Mailbox(Arc::new(MailboxScheduler::with_workers(workers)))
+            }
+            DispatchMode::Inline => {
+                ServerDispatch::Inline(Arc::new(ThreadPool::new(DISPATCH_WORKERS)))
+            }
+        };
+        let scheduler = match &dispatch {
+            ServerDispatch::Mailbox(s) => Some(Arc::clone(s)),
+            ServerDispatch::Inline(_) => None,
+        };
         let accept_objects = objects.clone();
         let accept_stop = Arc::clone(&stop);
         std::thread::Builder::new()
             .name(format!("tcp-accept-{local}"))
             .spawn(move || accept_loop(listener, accept_objects, accept_stop, dispatch))
             .expect("spawning tcp accept thread");
-        Ok(TcpServerChannel { addr: local, objects, stop })
+        Ok(TcpServerChannel { addr: local, objects, stop, scheduler })
+    }
+
+    /// Live backlog view of the mailbox scheduler (`None` when the server
+    /// runs in [`DispatchMode::Inline`]).
+    pub fn dispatch_depth(&self) -> Option<DispatchDepth> {
+        self.scheduler.as_ref().map(|s| s.depth_handle())
+    }
+
+    /// Scheduler counter snapshot (`None` in [`DispatchMode::Inline`]).
+    pub fn dispatch_stats(&self) -> Option<crate::mailbox::DispatchStats> {
+        self.scheduler.as_ref().map(|s| s.stats())
     }
 
     /// The bound address (host:port).
@@ -136,7 +221,7 @@ fn accept_loop(
     listener: TcpListener,
     objects: ObjectTable,
     stop: Arc<AtomicBool>,
-    dispatch_pool: Arc<ThreadPool>,
+    dispatch: ServerDispatch,
 ) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -145,18 +230,34 @@ fn accept_loop(
         let Ok(stream) = conn else { continue };
         let objects = objects.clone();
         let stop = Arc::clone(&stop);
-        let dispatch_pool = Arc::clone(&dispatch_pool);
+        let dispatch = dispatch.clone();
         let _ = std::thread::Builder::new()
             .name("tcp-conn".into())
-            .spawn(move || serve_connection(stream, objects, stop, dispatch_pool));
+            .spawn(move || serve_connection(stream, objects, stop, dispatch));
     }
+}
+
+/// Encodes `reply` and writes it as one frame under the connection's
+/// write mutex, tearing the connection down on a failed write (a
+/// half-written reply stream cannot be resynced).
+fn write_reply(writer: &Arc<Mutex<TcpStream>>, corr_id: u64, reply: &ReturnMessage) {
+    let formatter = BinaryFormatter::new();
+    let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
+    let mut reply_buf = bufpool::global().checkout();
+    if reply.encode_into(&formatter, &mut reply_buf).is_ok() {
+        let mut w = writer.lock();
+        if frame::write_frame(&mut *w, corr_id, 0, &reply_buf).is_err() {
+            let _ = w.shutdown(std::net::Shutdown::Both);
+        }
+    }
+    bufpool::global().checkin(reply_buf);
 }
 
 fn serve_connection(
     mut stream: TcpStream,
     objects: ObjectTable,
     stop: Arc<AtomicBool>,
-    dispatch_pool: Arc<ThreadPool>,
+    dispatch_backend: ServerDispatch,
 ) {
     let formatter = BinaryFormatter::new();
     let _ = stream.set_nodelay(true);
@@ -167,9 +268,11 @@ fn serve_connection(
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
-    // The request buffer is recycled through the global pool: one-way
-    // frames decode inline and reuse it directly, two-way frames hand it
-    // to a worker and take a fresh (pooled) buffer for the next read.
+    // The request buffer is recycled through the global pool. In mailbox
+    // mode every frame is decoded right here (the decoded call is what
+    // routes to a mailbox), so the buffer is reusable immediately; in
+    // inline mode two-way frames hand it to a pool worker and take a
+    // fresh (pooled) buffer for the next read.
     let mut payload = bufpool::global().checkout();
     loop {
         let header = match frame::read_frame_into(&mut stream, &mut payload) {
@@ -182,44 +285,74 @@ fn serve_connection(
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        // Trust the frame flag over the payload: a post never gets a reply,
-        // so it can never consume (or corrupt) a caller's slot — and it is
-        // dispatched inline, in arrival order, before any later frame from
-        // the same connection is even read. That preserves every per-thread
-        // ordering contract (a caller's next frame after a two-way call is
-        // only sent once its reply came back).
-        if header.oneway() {
-            if let Ok(call) = CallMessage::decode(&formatter, &payload) {
-                let _ = dispatch(&objects, &call);
-            }
-            continue;
-        }
-        // Two-way call: run it on the shared pool so a slow call does not
-        // convoy the calls pipelined behind it on this connection.
-        let mut req = bufpool::global().checkout();
-        std::mem::swap(&mut req, &mut payload);
-        let objects = objects.clone();
-        let writer = Arc::clone(&writer);
-        let corr_id = header.corr_id;
-        dispatch_pool.submit(move || {
-            let formatter = BinaryFormatter::new();
-            let reply = match CallMessage::decode(&formatter, &req) {
-                Ok(call) => dispatch_call(&objects, &call),
-                Err(e) => ReturnMessage::fault(0, e.to_string()),
-            };
-            bufpool::global().checkin(req);
-            let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
-            let mut reply_buf = bufpool::global().checkout();
-            if reply.encode_into(&formatter, &mut reply_buf).is_ok() {
-                let mut w = writer.lock();
-                if frame::write_frame(&mut *w, corr_id, 0, &reply_buf).is_err() {
-                    // Tear the connection down so the read half unblocks:
-                    // a half-written reply stream cannot be resynced.
-                    let _ = w.shutdown(std::net::Shutdown::Both);
+        // Trust the frame flag over the payload: a post never gets a
+        // reply, so it can never consume (or corrupt) a caller's slot.
+        match &dispatch_backend {
+            // Mailbox mode: decode and enqueue, nothing more — the reader
+            // returns to the socket immediately. One-way posts, batches
+            // and two-way calls all ride the target object's FIFO
+            // mailbox, so per-object order (including one-way/two-way
+            // interleaving from this connection) is preserved while
+            // distinct objects run in parallel.
+            ServerDispatch::Mailbox(sched) => {
+                let call = match CallMessage::decode(&formatter, &payload) {
+                    Ok(call) => call,
+                    Err(e) => {
+                        if !header.oneway() {
+                            write_reply(
+                                &writer,
+                                header.corr_id,
+                                &ReturnMessage::fault(0, e.to_string()),
+                            );
+                        }
+                        continue;
+                    }
+                };
+                let object = call.object.clone();
+                if header.oneway() {
+                    let objects = objects.clone();
+                    sched.enqueue(&object, move || {
+                        let _ = dispatch(&objects, &call);
+                    });
+                } else {
+                    let objects = objects.clone();
+                    let writer = Arc::clone(&writer);
+                    let corr_id = header.corr_id;
+                    sched.enqueue(&object, move || {
+                        let reply = dispatch_call(&objects, &call);
+                        write_reply(&writer, corr_id, &reply);
+                    });
                 }
             }
-            bufpool::global().checkin(reply_buf);
-        });
+            // Inline baseline: the pre-mailbox shape. One-way posts run
+            // on this reader thread in arrival order; a slow post
+            // head-of-line-blocks the whole connection (exactly what the
+            // mailbox_scaling bench measures against).
+            ServerDispatch::Inline(pool) => {
+                if header.oneway() {
+                    if let Ok(call) = CallMessage::decode(&formatter, &payload) {
+                        let _ = dispatch(&objects, &call);
+                    }
+                    continue;
+                }
+                // Two-way call: run it on the shared pool so a slow call
+                // does not convoy the calls pipelined behind it.
+                let mut req = bufpool::global().checkout();
+                std::mem::swap(&mut req, &mut payload);
+                let objects = objects.clone();
+                let writer = Arc::clone(&writer);
+                let corr_id = header.corr_id;
+                pool.submit(move || {
+                    let formatter = BinaryFormatter::new();
+                    let reply = match CallMessage::decode(&formatter, &req) {
+                        Ok(call) => dispatch_call(&objects, &call),
+                        Err(e) => ReturnMessage::fault(0, e.to_string()),
+                    };
+                    bufpool::global().checkin(req);
+                    write_reply(&writer, corr_id, &reply);
+                });
+            }
+        }
     }
     bufpool::global().checkin(payload);
 }
@@ -335,9 +468,10 @@ impl MuxConnection {
         Ok(())
     }
 
-    /// Serializes `msg` into a pooled buffer and writes one frame. The
-    /// write lock covers only the socket write — never a round trip.
-    fn send_frame(&self, msg: &CallMessage, corr_id: u64, flags: u8) -> Result<(), RemotingError> {
+    /// Serializes `msg` into a pooled buffer and writes one frame,
+    /// returning the encoded payload size. The write lock covers only the
+    /// socket write — never a round trip.
+    fn send_frame(&self, msg: &CallMessage, corr_id: u64, flags: u8) -> Result<usize, RemotingError> {
         let pool = bufpool::global();
         let mut buf = pool.checkout();
         let encoded = {
@@ -348,13 +482,14 @@ impl MuxConnection {
             pool.checkin(buf);
             return Err(e.into());
         }
+        let sent = buf.len();
         let written = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
             let mut writer = self.writer.lock();
             frame::write_frame(&mut *writer, corr_id, flags, &buf)
         };
         pool.checkin(buf);
-        written.map_err(RemotingError::from)
+        written.map_err(RemotingError::from).map(|()| sent)
     }
 
     fn call(&self, msg: &CallMessage) -> Result<ReturnMessage, RemotingError> {
@@ -393,7 +528,7 @@ impl MuxConnection {
         Ok(reply?)
     }
 
-    fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
+    fn post(&self, msg: &CallMessage) -> Result<usize, RemotingError> {
         self.check_alive()?;
         // One-way posts never register a slot: the server's reply stream
         // skips them entirely (FLAG_ONEWAY), so they cannot desynchronize
@@ -491,7 +626,7 @@ impl ClientChannel for TcpClientChannel {
         self.pick().call(msg)
     }
 
-    fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
+    fn post(&self, msg: &CallMessage) -> Result<usize, RemotingError> {
         self.pick().post(msg)
     }
 
@@ -569,7 +704,7 @@ impl ClientChannel for LockStepClientChannel {
         Ok(ReturnMessage::decode(&self.formatter, &payload)?)
     }
 
-    fn post(&self, msg: &CallMessage) -> Result<(), RemotingError> {
+    fn post(&self, msg: &CallMessage) -> Result<usize, RemotingError> {
         let bytes = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
             msg.encode(&self.formatter)?
@@ -578,7 +713,7 @@ impl ClientChannel for LockStepClientChannel {
         let mut stream = self.stream.lock();
         let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
         frame::write_frame(&mut *stream, corr_id, FLAG_ONEWAY, &bytes)?;
-        Ok(())
+        Ok(bytes.len())
     }
 
     fn scheme(&self) -> &'static str {
@@ -703,15 +838,9 @@ mod tests {
         });
     }
 
-    /// The server must run pipelined two-way calls concurrently (on its
-    /// dispatch pool), not serially on the connection's reader thread: four
-    /// calls that each sleep 100ms, issued over ONE connection, must finish
-    /// in far less than the 400ms a serial server would need.
-    #[test]
-    fn server_overlaps_pipelined_calls_from_one_connection() {
-        let server = TcpServerChannel::bind("127.0.0.1:0").unwrap();
+    fn register_sleepy(server: &TcpServerChannel, name: &str) {
         server.objects().register_singleton(
-            "Sleepy",
+            name,
             Arc::new(crate::dispatcher::FnInvokable(|method: &str, _args: &[Value]| {
                 match method {
                     "nap" => {
@@ -725,28 +854,112 @@ mod tests {
                 }
             })),
         );
+    }
+
+    /// The server must run pipelined two-way calls to DISTINCT objects
+    /// concurrently, not serially on the connection's reader thread: four
+    /// calls that each sleep 100ms, issued over ONE connection, must
+    /// finish in far less than the 400ms a serial server would need.
+    /// (Calls to one object serialize by design — see the test below.)
+    #[test]
+    fn server_overlaps_pipelined_calls_from_one_connection() {
+        let server =
+            TcpServerChannel::bind_with_mode("127.0.0.1:0", DispatchMode::Mailbox { workers: 4 })
+                .unwrap();
+        for i in 0..4 {
+            register_sleepy(&server, &format!("Sleepy{i}"));
+        }
         let chan =
             Arc::new(TcpClientChannel::connect_pooled(&server.local_addr().to_string(), 1).unwrap());
         let start = Instant::now();
         std::thread::scope(|scope| {
-            for _ in 0..4 {
+            for i in 0..4 {
                 let chan = Arc::clone(&chan);
                 scope.spawn(move || {
                     let proxy = crate::channel::RemoteObject::new(
                         chan as Arc<dyn ClientChannel>,
-                        "Sleepy",
+                        format!("Sleepy{i}"),
                     );
                     proxy.call("nap", vec![]).unwrap();
                 });
             }
         });
         let elapsed = start.elapsed();
-        // DISPATCH_WORKERS = 4, so all four naps overlap: ~100ms plus
-        // scheduling slack. A serial server would take >= 400ms.
+        // 4 mailbox workers, 4 objects: all four naps overlap (~100ms plus
+        // scheduling slack). A serial server would take >= 400ms.
         assert!(
             elapsed < Duration::from_millis(300),
             "4 overlapped 100ms calls took {elapsed:?} — server is dispatching serially"
         );
+    }
+
+    /// The flip side of the active-object discipline: concurrent calls to
+    /// ONE object must never overlap, whatever the client concurrency.
+    #[test]
+    fn calls_to_one_object_never_overlap() {
+        let server =
+            TcpServerChannel::bind_with_mode("127.0.0.1:0", DispatchMode::Mailbox { workers: 4 })
+                .unwrap();
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let overlapped = Arc::new(AtomicBool::new(false));
+        let (flight, over) = (Arc::clone(&in_flight), Arc::clone(&overlapped));
+        server.objects().register_singleton(
+            "Guarded",
+            Arc::new(crate::dispatcher::FnInvokable(move |_method: &str, _args: &[Value]| {
+                if flight.fetch_add(1, Ordering::SeqCst) != 0 {
+                    over.store(true, Ordering::SeqCst);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+                flight.fetch_sub(1, Ordering::SeqCst);
+                Ok(Value::Null)
+            })),
+        );
+        let chan =
+            Arc::new(TcpClientChannel::connect_pooled(&server.local_addr().to_string(), 1).unwrap());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let chan = Arc::clone(&chan);
+                scope.spawn(move || {
+                    let proxy = crate::channel::RemoteObject::new(
+                        chan as Arc<dyn ClientChannel>,
+                        "Guarded",
+                    );
+                    for _ in 0..10 {
+                        proxy.post("touch", vec![]).unwrap();
+                        proxy.call("touch", vec![]).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(
+            !overlapped.load(Ordering::SeqCst),
+            "two invocations of one object ran concurrently"
+        );
+        assert!(server.dispatch_stats().unwrap().executed >= 80);
+    }
+
+    /// The pre-mailbox baseline stays selectable and functional.
+    #[test]
+    fn inline_baseline_mode_still_serves() {
+        let server =
+            TcpServerChannel::bind_with_mode("127.0.0.1:0", DispatchMode::Inline).unwrap();
+        assert!(server.dispatch_depth().is_none(), "inline mode has no scheduler");
+        server.objects().register_singleton(
+            "Echo",
+            Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+                "echo" => Ok(args.first().cloned().unwrap_or(Value::Null)),
+                _ => Err(RemotingError::MethodNotFound {
+                    object: "Echo".into(),
+                    method: method.into(),
+                }),
+            })),
+        );
+        let provider = TcpChannelProvider::new();
+        let proxy = Activator::get_object(&provider, &server.uri_for("Echo")).unwrap();
+        proxy.post("echo", vec![Value::I32(7)]).unwrap();
+        for i in 0..10 {
+            assert_eq!(proxy.call("echo", vec![Value::I32(i)]).unwrap(), Value::I32(i));
+        }
     }
 
     #[test]

@@ -9,7 +9,10 @@
 #
 # The full run includes tcp_concurrency, whose BENCH_tcp_concurrency.json
 # records calls/s for the multiplexed and lock-per-roundtrip TCP clients
-# plus their speedup ratio at 4 concurrent callers.
+# plus their speedup ratio at 4 concurrent callers, and mailbox_scaling,
+# whose BENCH_mailbox_scaling.json compares per-object mailbox dispatch
+# against the inline reader-thread baseline (speedup_8_objects is the
+# acceptance ratio; latency_ratio_mailbox_vs_inline must stay near 1).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -46,3 +46,10 @@ echo "ok: obs smoke test passed (${batch_flushed} batch_flushed events, trace va
 # breaks, not leave callers parked until the 30 s reply deadline.
 cargo test -q --offline --test failure_injection
 echo "ok: failure injection passes against the multiplexed channel"
+
+# Gate 5: mailbox dispatch. The suite proves per-object FIFO under
+# concurrent clients, cross-object overlap, stalled-object isolation, and
+# — the obs smoke half — that dispatch.mailbox_wait samples and
+# dispatch.steal events are actually non-zero under load.
+cargo test -q --offline --test mailbox_dispatch
+echo "ok: mailbox dispatch suite passes (ordering, isolation, obs signals)"
