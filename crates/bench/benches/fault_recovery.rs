@@ -1,0 +1,139 @@
+//! Fault-recovery bench: synchronous call throughput through a farm of
+//! parallel objects before, during, and after killing one of the
+//! runtime's nodes mid-run.
+//!
+//! The "during" window is the interesting one: the kill lands exactly at
+//! one third of the window, so the same measurement pays for failure
+//! detection (severed endpoint), per-object failover (survivor walk +
+//! re-create + buffered-arg reship), and the first post-recovery calls.
+//! Recovery latency itself — nanoseconds from a call failing on the dead
+//! node to a usable replacement proxy — is read back from the runtime's
+//! own `recovery.latency` histogram rather than re-measured outside, so
+//! the bench reports what the observability layer would report in
+//! production.
+//!
+//! Reported metrics: `throughput_before_calls_per_s`,
+//! `throughput_during_kill_calls_per_s`, `throughput_after_calls_per_s`,
+//! `recovery_latency_p99_us`, `objects_failed_over`, and the acceptance
+//! ratio `recovery_throughput_ratio` (after / before, must stay ≥ 0.8:
+//! losing one node of three may not cost the survivors more than 20% of
+//! steady-state call throughput).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parc_bench::harness::{metric, BenchmarkId, Criterion};
+use parc_bench::{criterion_group, criterion_main};
+use parc_core::{Farm, ParcRuntime};
+use parc_remoting::dispatcher::FnInvokable;
+use parc_remoting::RemotingError;
+use parc_serial::Value;
+
+/// Nodes in the bench runtime; one dies mid-run.
+const NODES: usize = 3;
+
+/// The node killed in the "during" window.
+const VICTIM: usize = 1;
+
+/// Workers spread over the nodes — `WORKERS / NODES` of them live on the
+/// victim and must fail over, giving the p99 a real sample set.
+const WORKERS: usize = 24;
+
+/// Synchronous calls per measured window.
+const CALLS: usize = 960;
+
+fn build_runtime() -> ParcRuntime {
+    let mut b = ParcRuntime::builder();
+    b.nodes(NODES);
+    let rt = b.build().expect("bench runtime");
+    rt.register_class("Squarer", || {
+        Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+            "square" => {
+                let x = i64::from(args.first().and_then(Value::as_i32).unwrap_or(0));
+                Ok(Value::I64(x * x))
+            }
+            _ => Err(RemotingError::MethodNotFound {
+                object: "Squarer".into(),
+                method: method.into(),
+            }),
+        }))
+    });
+    rt
+}
+
+/// One measured window: `CALLS` round-robin synchronous calls over the
+/// farm's workers; `kill` fires inline at one third of the window.
+/// Returns calls per second. Every result is checked — a failover that
+/// corrupted a reply would fail the bench, not skew it.
+fn measure_calls_per_s(farm: &Farm, mut kill: Option<&dyn Fn()>) -> f64 {
+    let workers = farm.workers();
+    let start = Instant::now();
+    for i in 0..CALLS {
+        if i == CALLS / 3 {
+            if let Some(kill) = kill.take() {
+                kill();
+            }
+        }
+        let x = (i % 100) as i32;
+        let out = workers[i % workers.len()]
+            .call("square", vec![Value::I32(x)])
+            .expect("bench call survives the kill");
+        assert_eq!(out.as_i64(), Some(i64::from(x) * i64::from(x)), "corrupted reply");
+    }
+    CALLS as f64 / start.elapsed().as_secs_f64()
+}
+
+fn best_calls_per_s(farm: &Farm, rounds: usize) -> f64 {
+    (0..rounds).map(|_| measure_calls_per_s(farm, None)).fold(0.0, f64::max)
+}
+
+fn bench_fault_recovery(c: &mut Criterion) {
+    parc_obs::reset();
+    let rt = build_runtime();
+    let farm = Farm::new(&rt, "Squarer", WORKERS).expect("bench farm");
+    let mut group = c.benchmark_group("fault_recovery");
+
+    // Warm every worker's channel, then measure the healthy steady state.
+    let _ = measure_calls_per_s(&farm, None);
+    let before = best_calls_per_s(&farm, 3);
+    metric("throughput_before_calls_per_s", before);
+    group.bench_function(BenchmarkId::new("calls", "healthy"), |b| {
+        b.iter(|| std::hint::black_box(measure_calls_per_s(&farm, None)));
+    });
+
+    // The kill window runs exactly once: node VICTIM dies a third of the
+    // way in, and the window absorbs detection + failover + re-warm.
+    let during = measure_calls_per_s(&farm, Some(&|| {
+        assert!(rt.kill_node(VICTIM), "victim node was already dead");
+    }));
+    metric("throughput_during_kill_calls_per_s", during);
+
+    // Post-recovery steady state on the survivors.
+    let after = best_calls_per_s(&farm, 3);
+    metric("throughput_after_calls_per_s", after);
+    group.bench_function(BenchmarkId::new("calls", "degraded"), |b| {
+        b.iter(|| std::hint::black_box(measure_calls_per_s(&farm, None)));
+    });
+    group.finish();
+
+    // Recovery facts from the runtime's own telemetry.
+    let failed_over = parc_obs::counter(parc_obs::kinds::OBJECT_FAILED_OVER).get();
+    assert_eq!(
+        failed_over,
+        (WORKERS / NODES) as u64,
+        "every worker on the victim node fails over exactly once"
+    );
+    metric("objects_failed_over", failed_over as f64);
+    let p99_ns = parc_obs::histogram(parc_obs::kinds::RECOVERY_LATENCY).percentile(99.0);
+    metric("recovery_latency_p99_us", p99_ns as f64 / 1e3);
+
+    let ratio = after / before;
+    metric("recovery_throughput_ratio", ratio);
+    assert!(
+        ratio >= 0.8,
+        "post-recovery throughput fell below 80% of pre-fault ({after:.0}/{before:.0} calls/s)"
+    );
+}
+
+criterion_group!(benches, bench_fault_recovery);
+criterion_main!(benches);

@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn sources_chain() {
-        let e = ParcError::from(RemotingError::Timeout);
+        let e = ParcError::from(RemotingError::timed_out(
+            std::time::Duration::from_secs(1),
+            std::time::Duration::from_secs(1),
+        ));
         assert!(e.source().is_some());
         assert!(ParcError::UnknownClass { class: "X".into() }.source().is_none());
     }
@@ -87,7 +90,10 @@ mod tests {
     fn displays_nonempty() {
         for e in [
             ParcError::UnknownClass { class: "C".into() },
-            ParcError::Remoting(RemotingError::Timeout),
+            ParcError::Remoting(RemotingError::timed_out(
+                std::time::Duration::from_secs(1),
+                std::time::Duration::from_secs(1),
+            )),
             ParcError::Serial(SerialError::BadMagic { expected: "binary" }),
             ParcError::Config { detail: "d".into() },
             ParcError::Skeleton { detail: "d".into() },

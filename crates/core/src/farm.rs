@@ -19,7 +19,8 @@ pub struct Farm {
 
 impl Farm {
     /// Creates `workers` instances of `class`, spread across the runtime's
-    /// nodes (worker *i* on node *i mod nodes*).
+    /// *alive* nodes (worker *i* on the *i mod alive*-th survivor; with a
+    /// healthy cluster that is node *i mod nodes*).
     ///
     /// # Errors
     ///
@@ -30,7 +31,7 @@ impl Farm {
             return Err(ParcError::Config { detail: "farm needs at least one worker".into() });
         }
         let workers = (0..workers)
-            .map(|i| runtime.create_on(class, i % runtime.nodes()))
+            .map(|i| runtime.create_spread(class, i))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Farm { workers })
     }
@@ -242,5 +243,38 @@ mod tests {
         let rt = farm_runtime(1);
         let farm = Farm::new(&rt, "Squarer", 2).unwrap();
         assert!(farm.map("square", vec![]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn map_completes_after_a_node_dies() {
+        let rt = farm_runtime(2);
+        let farm = Farm::new(&rt, "Squarer", 4).unwrap();
+        rt.kill_node(0);
+        // Workers that lived on node 0 fail over to node 1 on their first
+        // call; the map still returns every result in order.
+        let items: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::I32(i)]).collect();
+        let out = farm.map("square", items).unwrap();
+        let squares: Vec<i64> = out.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(squares, (0..10).map(|i| i64::from(i) * i64::from(i)).collect::<Vec<i64>>());
+        assert!(farm.workers().iter().all(|w| w.node() == Some(1)));
+    }
+
+    #[test]
+    fn farm_degrades_to_local_when_every_node_dies() {
+        let rt = farm_runtime(1);
+        let farm = Farm::new(&rt, "Squarer", 2).unwrap();
+        rt.kill_node(0);
+        let items: Vec<Vec<Value>> = (0..6).map(|i| vec![Value::I32(i)]).collect();
+        let out = farm.map("square", items).unwrap();
+        let squares: Vec<i64> = out.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(squares, (0..6).map(|i| i64::from(i) * i64::from(i)).collect::<Vec<i64>>());
+        // A worker only fails over on its next call (a fast sibling may
+        // have drained the whole queue first); touch every worker so each
+        // one recovers, then check they all degraded.
+        farm.gather("sum", vec![]).unwrap();
+        assert!(
+            farm.workers().iter().all(Po::is_local),
+            "no survivors → local synchronous execution"
+        );
     }
 }

@@ -19,8 +19,9 @@ pub struct Pipeline {
 }
 
 impl Pipeline {
-    /// Creates `stages` instances of `class` (stage *i* on node
-    /// *i mod nodes*) and connects each to its successor by calling
+    /// Creates `stages` instances of `class` (stage *i* on the
+    /// *i mod alive*-th surviving node; with a healthy cluster that is
+    /// node *i mod nodes*) and connects each to its successor by calling
     /// `connect_method(successor_uri)` on it, back to front.
     ///
     /// # Errors
@@ -36,7 +37,7 @@ impl Pipeline {
             return Err(ParcError::Config { detail: "pipeline needs at least one stage".into() });
         }
         let stage_pos: Vec<Po> = (0..stages)
-            .map(|i| runtime.create_on(class, i % runtime.nodes()))
+            .map(|i| runtime.create_spread(class, i))
             .collect::<Result<_, _>>()?;
         // Wire back to front so a stage never sees a half-connected
         // successor.

@@ -12,6 +12,14 @@
 //!   Fig. 3 call *b*;
 //! * synchronous calls ([`Po::call`]) first flush the aggregation buffer so
 //!   program order is preserved, then block for the result.
+//!
+//! The PO is also the recovery point of the fault-tolerance layer: when a
+//! send fails with a transient error and the runtime handed the proxy a
+//! failover handle, the PO re-creates its implementation object on a
+//! surviving node (or, with no survivors, locally in the caller's grain)
+//! and retries — the caller never observes the node death. The re-created
+//! object starts from the class constructor; state the lost instance had
+//! accumulated is gone. See DESIGN.md §10 for the full fault model.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -19,11 +27,12 @@ use std::time::Instant;
 use parc_remoting::channel::RemoteObject;
 use parc_remoting::Invokable;
 use parc_serial::Value;
-use parc_sync::Mutex;
+use parc_sync::{Mutex, RwLock};
 
 use crate::adapt::GrainAdapter;
-use crate::batch::{encode_batch, BATCH_METHOD};
+use crate::batch::{encode_batch, BatchDispatcher, BATCH_METHOD};
 use crate::error::ParcError;
+use crate::runtime::FailoverState;
 use crate::stats::RuntimeStats;
 
 /// Where the implementation object lives.
@@ -45,12 +54,13 @@ pub(crate) enum Target {
 pub struct Po {
     id: u64,
     class: String,
-    target: Target,
+    target: RwLock<Target>,
     buffer: Mutex<Vec<(String, Vec<Value>)>>,
     aggregation_factor: usize,
     adaptive: bool,
     adapter: Arc<GrainAdapter>,
     stats: RuntimeStats,
+    failover: Option<Arc<FailoverState>>,
 }
 
 impl Po {
@@ -62,16 +72,18 @@ impl Po {
         adaptive: bool,
         adapter: Arc<GrainAdapter>,
         stats: RuntimeStats,
+        failover: Option<Arc<FailoverState>>,
     ) -> Po {
         Po {
             id,
             class,
-            target,
+            target: RwLock::new(target),
             buffer: Mutex::new(Vec::new()),
             aggregation_factor,
             adaptive,
             adapter,
             stats,
+            failover,
         }
     }
 
@@ -85,23 +97,25 @@ impl Po {
         &self.class
     }
 
-    /// Hosting node, or `None` for an agglomerated (local) object.
+    /// Hosting node, or `None` for an agglomerated (local) object. A
+    /// failed-over proxy reports its *current* node.
     pub fn node(&self) -> Option<usize> {
-        match &self.target {
+        match &*self.target.read() {
             Target::Local(_) => None,
             Target::Remote { node, .. } => Some(*node),
         }
     }
 
-    /// True when the object was agglomerated into the caller's grain.
+    /// True when the object lives in the caller's grain — agglomerated at
+    /// creation, or degraded to local execution after every node died.
     pub fn is_local(&self) -> bool {
-        matches!(self.target, Target::Local(_))
+        matches!(&*self.target.read(), Target::Local(_))
     }
 
     /// The `inproc://` URI of a distributed object (so its reference can be
     /// sent as a method argument), or `None` for a local one.
     pub fn uri(&self) -> Option<String> {
-        match &self.target {
+        match &*self.target.read() {
             Target::Local(_) => None,
             Target::Remote { node, io_name, .. } => {
                 Some(format!("inproc://node{node}/{io_name}"))
@@ -135,67 +149,94 @@ impl Po {
     /// Transport failures; for local objects, the method's own failure.
     pub fn post(&self, method: &str, args: Vec<Value>) -> Result<(), ParcError> {
         self.stats.record_async_call();
-        match &self.target {
-            Target::Local(io) => {
+        {
+            let target = self.target.read();
+            if let Target::Local(io) = &*target {
                 let _span = parc_obs::Span::enter(parc_obs::kinds::PO_LOCAL);
                 self.stats.record_local_fast_path();
                 let start = Instant::now();
                 io.invoke(method, &args)?;
                 self.adapter.observe_call(start.elapsed());
-                Ok(())
-            }
-            Target::Remote { .. } => {
-                let mut buffer = self.buffer.lock();
-                buffer.push((method.to_string(), args));
-                if buffer.len() >= self.effective_aggregation() {
-                    self.flush_locked(&mut buffer)?;
-                }
-                Ok(())
+                return Ok(());
             }
         }
+        let mut buffer = self.buffer.lock();
+        buffer.push((method.to_string(), args));
+        if buffer.len() >= self.effective_aggregation() {
+            self.flush_buffer(&mut buffer)?;
+        }
+        Ok(())
     }
 
     /// Ships any buffered asynchronous calls now.
     ///
     /// # Errors
     ///
-    /// Transport failures.
+    /// Transport failures (after failover, if armed, exhausted every node).
     pub fn flush(&self) -> Result<(), ParcError> {
         let mut buffer = self.buffer.lock();
-        self.flush_locked(&mut buffer)
+        self.flush_buffer(&mut buffer)
     }
 
-    fn flush_locked(&self, buffer: &mut Vec<(String, Vec<Value>)>) -> Result<(), ParcError> {
+    fn flush_buffer(&self, buffer: &mut Vec<(String, Vec<Value>)>) -> Result<(), ParcError> {
         if buffer.is_empty() {
             return Ok(());
         }
-        let Target::Remote { remote, .. } = &self.target else {
-            buffer.clear();
-            return Ok(());
-        };
         let _span = parc_obs::Span::enter(parc_obs::kinds::BATCH_FLUSH);
-        if buffer.len() == 1 {
-            let (method, args) = buffer.pop().expect("one element");
-            let bytes = remote.post(&method, args)?;
-            self.stats.record_message();
-            parc_obs::event(parc_obs::kinds::BATCH_FLUSHED, || {
-                format!("calls=1 bytes={bytes}")
-            });
+        // Build the wire form once, by value: the buffered arguments move
+        // straight into it instead of being deep-cloned per flush. A failed
+        // send hands the payload back (`post_reclaim`), so a failover retry
+        // re-ships the same calls to the replacement target.
+        let (method, initial, n) = if buffer.len() == 1 {
+            let (m, a) = buffer.pop().expect("one element");
+            (m, a, 1u64)
         } else {
             let calls = std::mem::take(buffer);
             let n = calls.len() as u64;
-            // By-value encode: the buffered arguments move straight into
-            // the wire value instead of being deep-cloned per flush.
-            let batch = encode_batch(calls);
-            // The channel reports the encoded size it put on the wire, so
-            // instrumentation never serializes a second time.
-            let bytes = remote.post(BATCH_METHOD, vec![batch])?;
-            self.stats.record_batch(n);
-            parc_obs::event(parc_obs::kinds::BATCH_FLUSHED, || {
-                format!("calls={n} bytes={bytes}")
-            });
+            (BATCH_METHOD.to_string(), vec![encode_batch(calls)], n)
+        };
+        let mut args = Some(initial);
+        loop {
+            let (err, failed_node) = {
+                let target = self.target.read();
+                match &*target {
+                    Target::Local(io) => {
+                        // Degraded to local synchronous execution: run the
+                        // shipped form in place — a BatchDispatcher accepts
+                        // plain and aggregate calls alike.
+                        let payload = args.take().expect("payload survives failed sends");
+                        BatchDispatcher::new(Arc::clone(io)).invoke(&method, &payload)?;
+                        return Ok(());
+                    }
+                    Target::Remote { remote, node, .. } => {
+                        let payload = args.take().expect("payload survives failed sends");
+                        match remote.post_reclaim(&method, payload) {
+                            Ok(bytes) => {
+                                if n == 1 {
+                                    self.stats.record_message();
+                                } else {
+                                    self.stats.record_batch(n);
+                                }
+                                // The channel reports the encoded size it
+                                // put on the wire, so instrumentation never
+                                // serializes a second time.
+                                parc_obs::event(parc_obs::kinds::BATCH_FLUSHED, || {
+                                    format!("calls={n} bytes={bytes}")
+                                });
+                                return Ok(());
+                            }
+                            Err((e, reclaimed)) => {
+                                args = Some(reclaimed);
+                                (ParcError::from(e), *node)
+                            }
+                        }
+                    }
+                }
+            };
+            if !self.try_failover(failed_node, &err) {
+                return Err(err);
+            }
         }
-        Ok(())
     }
 
     /// Synchronous method invocation — SCOOPP's value-returning form.
@@ -208,27 +249,92 @@ impl Po {
     /// Transport failures, server faults, or the method's own failure.
     pub fn call(&self, method: &str, args: Vec<Value>) -> Result<Value, ParcError> {
         self.stats.record_sync_call();
-        match &self.target {
-            Target::Local(io) => {
-                let _span = parc_obs::Span::enter(parc_obs::kinds::PO_LOCAL);
-                self.stats.record_local_fast_path();
-                let start = Instant::now();
-                let out = io.invoke(method, &args)?;
-                self.adapter.observe_call(start.elapsed());
-                Ok(out)
+        let mut args = Some(args);
+        loop {
+            // Flush outside the target guard: a flush-triggered failover
+            // needs the write half of the target lock.
+            {
+                let mut buffer = self.buffer.lock();
+                self.flush_buffer(&mut buffer)?;
             }
-            Target::Remote { remote, .. } => {
-                let _span = parc_obs::Span::enter(parc_obs::kinds::PO_CALL);
-                {
-                    let mut buffer = self.buffer.lock();
-                    self.flush_locked(&mut buffer)?;
+            let (err, failed_node) = {
+                let target = self.target.read();
+                match &*target {
+                    Target::Local(io) => {
+                        let _span = parc_obs::Span::enter(parc_obs::kinds::PO_LOCAL);
+                        self.stats.record_local_fast_path();
+                        let start = Instant::now();
+                        let out = io
+                            .invoke(method, args.as_ref().expect("args survive failed attempts"))?;
+                        self.adapter.observe_call(start.elapsed());
+                        return Ok(out);
+                    }
+                    Target::Remote { remote, node, .. } => {
+                        let _span = parc_obs::Span::enter(parc_obs::kinds::PO_CALL);
+                        let start = Instant::now();
+                        let payload = args.take().expect("args survive failed attempts");
+                        match remote.call_reclaim(method, payload) {
+                            Ok(out) => {
+                                self.adapter.observe_call(start.elapsed());
+                                self.stats.record_message();
+                                return Ok(out);
+                            }
+                            Err((e, reclaimed)) => {
+                                args = Some(reclaimed);
+                                (ParcError::from(e), *node)
+                            }
+                        }
+                    }
                 }
-                let start = Instant::now();
-                let out = remote.call(method, args)?;
-                self.adapter.observe_call(start.elapsed());
-                self.stats.record_message();
-                Ok(out)
+            };
+            if !self.try_failover(failed_node, &err) {
+                return Err(err);
             }
+        }
+    }
+
+    /// Attempts to move this proxy's implementation object off
+    /// `failed_node` after `err`. Returns `true` when the caller should
+    /// retry: either this thread installed a replacement target, or a
+    /// racing thread already moved the object. Non-transient errors,
+    /// proxies without a failover handle, and failed re-creation return
+    /// `false` so the original error surfaces.
+    fn try_failover(&self, failed_node: usize, err: &ParcError) -> bool {
+        let transient = matches!(err, ParcError::Remoting(e) if e.is_retryable());
+        if !transient {
+            return false;
+        }
+        let Some(failover) = &self.failover else {
+            return false;
+        };
+        let started = Instant::now();
+        let mut target = self.target.write();
+        match &*target {
+            Target::Remote { node, .. } if *node == failed_node => {}
+            // Someone else already moved the object (or it degraded to
+            // local); retry against whatever is installed now.
+            _ => return true,
+        }
+        match failover.replace_target(&self.class, failed_node) {
+            Ok(new_target) => {
+                let destination = match &new_target {
+                    Target::Remote { node, .. } => format!("node{node}"),
+                    Target::Local(_) => "local".to_string(),
+                };
+                *target = new_target;
+                drop(target);
+                parc_obs::counter(parc_obs::kinds::OBJECT_FAILED_OVER).incr();
+                parc_obs::histogram(parc_obs::kinds::RECOVERY_LATENCY)
+                    .record(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                parc_obs::event(parc_obs::kinds::OBJECT_FAILED_OVER, || {
+                    format!(
+                        "object={} class={} from=node{failed_node} to={destination}",
+                        self.id, self.class
+                    )
+                });
+                true
+            }
+            Err(_) => false,
         }
     }
 }
@@ -273,6 +379,7 @@ mod tests {
             false,
             Arc::new(GrainAdapter::mono_default()),
             RuntimeStats::new(),
+            None,
         );
         (po, log)
     }
@@ -314,6 +421,7 @@ mod tests {
     }
 
     // Remote-target behaviour (buffering, batch flush, ordering with sync
-    // calls) is exercised end-to-end in runtime.rs tests, where a real
-    // inproc endpoint hosts the IO.
+    // calls) and failover (node death, re-creation, local degradation) are
+    // exercised end-to-end in runtime.rs tests, where real inproc
+    // endpoints host the IOs.
 }

@@ -6,12 +6,23 @@
 //! the Fig. 5 constructor: either *agglomerate* (create the IO locally,
 //! notify the OM) or contact an OM-chosen node's factory to create the IO
 //! remotely, wrapping the result in a [`Po`].
+//!
+//! The runtime is also fault-aware. Each node carries a liveness lease
+//! (reusing the remoting [`LeaseManager`]); [`ParcRuntime::detect_failures`]
+//! probes the OMs and marks nodes whose lease lapsed as dead,
+//! [`ParcRuntime::kill_node`] kills one deliberately (tests, chaos runs).
+//! Dead nodes drop out of every placement policy, proxies created through
+//! the runtime re-create their objects on survivors via [`FailoverState`],
+//! and when *no* node survives the runtime degrades to local synchronous
+//! execution so skeleton programs still complete.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parc_remoting::channel::{ChannelProvider, RemoteObject};
 use parc_remoting::inproc::{InprocEndpoint, InprocNetwork};
+use parc_remoting::LeaseManager;
 use parc_serial::Value;
 use parc_sync::Mutex;
 
@@ -24,17 +35,27 @@ use crate::om::{OmService, OmState, OM_OBJECT};
 use crate::po::{Po, Target};
 use crate::stats::RuntimeStats;
 
+/// How long a liveness probe waits for a node's OM before counting the
+/// probe as failed.
+const PROBE_TIMEOUT: Duration = Duration::from_millis(250);
+
 /// Builder for [`ParcRuntime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeBuilder {
     nodes: usize,
     grain: GrainConfig,
     placement: Placement,
+    node_lease_ttl: Duration,
 }
 
 impl Default for RuntimeBuilder {
     fn default() -> Self {
-        RuntimeBuilder { nodes: 1, grain: GrainConfig::default(), placement: Placement::default() }
+        RuntimeBuilder {
+            nodes: 1,
+            grain: GrainConfig::default(),
+            placement: Placement::default(),
+            node_lease_ttl: Duration::ZERO,
+        }
     }
 }
 
@@ -63,6 +84,17 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Grace period for the node failure detector. A node whose liveness
+    /// probe fails is only declared dead once its lease (renewed by every
+    /// successful probe) has lapsed. The default of zero makes
+    /// [`ParcRuntime::detect_failures`] act on the first failed probe —
+    /// deterministic for tests; chaos runs set a TTL so injected transient
+    /// faults do not kill healthy nodes.
+    pub fn node_lease_ttl(&mut self, ttl: Duration) -> &mut Self {
+        self.node_lease_ttl = ttl;
+        self
+    }
+
     /// Boots the runtime.
     ///
     /// # Errors
@@ -79,36 +111,28 @@ impl RuntimeBuilder {
         let mut endpoints = Vec::with_capacity(self.nodes);
         let mut om_states = Vec::with_capacity(self.nodes);
         for node in 0..self.nodes {
-            // Mailbox dispatch: each IO keeps the serial-per-grain
-            // semantics of the ParC++ SO message loop (§3.2) — its calls
-            // run one at a time, in arrival order — while *distinct* IOs
-            // on the node execute in parallel on the stealing workers.
-            let ep = net.create_endpoint(format!("node{node}"))?;
-            let om_state = Arc::new(OmState::new());
-            if let Some(depth) = ep.dispatch_depth() {
-                om_state.attach_dispatch_depth(depth);
-            }
-            ep.objects().register_singleton(
-                OM_OBJECT,
-                Arc::new(OmService::new(node, Arc::clone(&om_state))),
-            );
-            ep.objects().register_singleton(
-                FACTORY_OBJECT,
-                Arc::new(FactoryService::new(
-                    node,
-                    registry.clone(),
-                    ep.objects().clone(),
-                    Arc::clone(&om_state),
-                )),
-            );
-            endpoints.push(ep);
+            let (ep, om_state) = boot_node(&net, &registry, node)?;
+            endpoints.push(Some(ep));
             om_states.push(om_state);
+        }
+        let ttl_nanos = u64::try_from(self.node_lease_ttl.as_nanos()).unwrap_or(u64::MAX);
+        let failover = Arc::new(FailoverState {
+            net: net.clone(),
+            registry: registry.clone(),
+            alive: (0..self.nodes).map(|_| AtomicBool::new(true)).collect(),
+            leases: LeaseManager::new(ttl_nanos),
+            epoch: Instant::now(),
+            rescue: Mutex::new(None),
+        });
+        for node in 0..self.nodes {
+            failover.leases.grant(format!("node{node}"), failover.now());
         }
         Ok(ParcRuntime {
             net,
-            endpoints,
+            endpoints: Mutex::new(endpoints),
             registry,
             om_states,
+            failover,
             grain: self.grain,
             placement: self.placement,
             rr_counter: AtomicUsize::new(0),
@@ -120,6 +144,38 @@ impl RuntimeBuilder {
             dag: Arc::new(DependenceGraph::new()),
         })
     }
+}
+
+/// Boots one node: an endpoint named `node{i}` publishing the per-node OM
+/// and factory — the paper's boot code, shared between the builder and the
+/// failover rescue path.
+///
+/// Mailbox dispatch: each IO keeps the serial-per-grain semantics of the
+/// ParC++ SO message loop (§3.2) — its calls run one at a time, in arrival
+/// order — while *distinct* IOs on the node execute in parallel on the
+/// stealing workers.
+fn boot_node(
+    net: &InprocNetwork,
+    registry: &ClassRegistry,
+    node: usize,
+) -> Result<(InprocEndpoint, Arc<OmState>), ParcError> {
+    let ep = net.create_endpoint(format!("node{node}"))?;
+    let om_state = Arc::new(OmState::new());
+    if let Some(depth) = ep.dispatch_depth() {
+        om_state.attach_dispatch_depth(depth);
+    }
+    ep.objects()
+        .register_singleton(OM_OBJECT, Arc::new(OmService::new(node, Arc::clone(&om_state))));
+    ep.objects().register_singleton(
+        FACTORY_OBJECT,
+        Arc::new(FactoryService::new(
+            node,
+            registry.clone(),
+            ep.objects().clone(),
+            Arc::clone(&om_state),
+        )),
+    );
+    Ok((ep, om_state))
 }
 
 fn seeded_rng(placement: Placement) -> parc_sim_free::SplitMix64 {
@@ -161,14 +217,130 @@ mod parc_sim_free {
     }
 }
 
+/// Shared fault-recovery state, handed to every distributed [`Po`] so a
+/// proxy can move its implementation object off a dead node without going
+/// back through the runtime handle (which the caller may not hold, e.g.
+/// inside skeleton worker threads).
+pub(crate) struct FailoverState {
+    net: InprocNetwork,
+    registry: ClassRegistry,
+    alive: Vec<AtomicBool>,
+    /// Liveness leases keyed by endpoint name (`node{i}`), renewed by
+    /// successful probes — the failure detector's grace mechanism.
+    leases: LeaseManager,
+    epoch: Instant,
+    /// Lazily-booted extra endpoint (`node{N}`) used when a distributed
+    /// target is required (skeletons wire stages by URI) but every real
+    /// node is dead.
+    rescue: Mutex<Option<InprocEndpoint>>,
+}
+
+impl FailoverState {
+    /// Injected-time source for the lease manager: nanoseconds since boot.
+    fn now(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The index the rescue endpoint runs under — one past the real nodes.
+    fn rescue_node(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Liveness of a *real* node (the rescue node is not a member).
+    fn is_alive(&self, node: usize) -> bool {
+        self.alive.get(node).is_some_and(|a| a.load(Ordering::Relaxed))
+    }
+
+    /// Indices of the real nodes currently considered alive.
+    fn alive_nodes(&self) -> Vec<usize> {
+        (0..self.alive.len()).filter(|&n| self.is_alive(n)).collect()
+    }
+
+    /// Marks `node` dead. Returns `true` on the alive→dead transition.
+    fn mark_dead(&self, node: usize) -> bool {
+        let Some(flag) = self.alive.get(node) else { return false };
+        let transitioned = flag.swap(false, Ordering::Relaxed);
+        if transitioned {
+            self.leases.cancel(&format!("node{node}"));
+            parc_obs::counter(parc_obs::kinds::NODE_FAILED).incr();
+            parc_obs::event(parc_obs::kinds::NODE_FAILED, || format!("node=node{node}"));
+        }
+        transitioned
+    }
+
+    /// Creates an IO of `class` on `node` through its factory and returns
+    /// the remote target, exactly as `create_on` does.
+    fn remote_target(&self, class: &str, node: usize) -> Result<Target, ParcError> {
+        if self.registry.get(class).is_none() {
+            return Err(ParcError::UnknownClass { class: class.to_string() });
+        }
+        let uri: parc_remoting::ObjectUri =
+            format!("inproc://node{node}/{FACTORY_OBJECT}").parse()?;
+        let chan = self.net.open(&uri)?;
+        let factory = RemoteObject::new(Arc::clone(&chan), FACTORY_OBJECT);
+        let io_name = factory
+            .call("create", vec![Value::Str(class.to_string())])?
+            .as_str()
+            .ok_or(ParcError::Skeleton { detail: "factory returned a non-string".into() })?
+            .to_string();
+        let remote = RemoteObject::new(chan, io_name.clone());
+        Ok(Target::Remote { remote, node, io_name })
+    }
+
+    /// Boots the rescue endpoint on first use and creates `class` on it.
+    fn rescue_target(&self, class: &str) -> Result<Target, ParcError> {
+        {
+            let mut rescue = self.rescue.lock();
+            if rescue.is_none() {
+                let (ep, _om_state) = boot_node(&self.net, &self.registry, self.rescue_node())?;
+                *rescue = Some(ep);
+            }
+        }
+        self.remote_target(class, self.rescue_node())
+    }
+
+    /// Picks a new home for an object of `class` after `failed_node` died:
+    /// the next surviving node (nodes whose factory also fails are marked
+    /// dead and skipped), or — with no survivors — a fresh local instance,
+    /// degrading to local synchronous execution. The alive set only
+    /// shrinks and `Target::Local` never fails over, so recovery
+    /// terminates.
+    pub(crate) fn replace_target(
+        &self,
+        class: &str,
+        failed_node: usize,
+    ) -> Result<Target, ParcError> {
+        self.mark_dead(failed_node);
+        let n = self.alive.len();
+        for offset in 1..=n {
+            let node = (failed_node + offset) % n.max(1);
+            if !self.is_alive(node) {
+                continue;
+            }
+            match self.remote_target(class, node) {
+                Ok(target) => return Ok(target),
+                Err(_) => {
+                    self.mark_dead(node);
+                }
+            }
+        }
+        let factory = self
+            .registry
+            .get(class)
+            .ok_or_else(|| ParcError::UnknownClass { class: class.to_string() })?;
+        Ok(Target::Local(factory()))
+    }
+}
+
 /// The booted runtime.
 pub struct ParcRuntime {
     net: InprocNetwork,
-    // Endpoints must stay alive for the runtime's lifetime.
-    #[allow(dead_code)]
-    endpoints: Vec<InprocEndpoint>,
+    // Endpoints stay alive for the runtime's lifetime — until `kill_node`
+    // takes one down.
+    endpoints: Mutex<Vec<Option<InprocEndpoint>>>,
     registry: ClassRegistry,
     om_states: Vec<Arc<OmState>>,
+    failover: Arc<FailoverState>,
     grain: GrainConfig,
     placement: Placement,
     rr_counter: AtomicUsize,
@@ -186,9 +358,10 @@ impl ParcRuntime {
         RuntimeBuilder::default()
     }
 
-    /// Number of processing nodes.
+    /// Number of processing nodes the runtime booted with (dead nodes
+    /// included — see [`ParcRuntime::alive_nodes`]).
     pub fn nodes(&self) -> usize {
-        self.endpoints.len()
+        self.om_states.len()
     }
 
     /// The in-process network carrying this runtime (for advanced wiring,
@@ -238,6 +411,76 @@ impl ParcRuntime {
         self.om_states.iter().map(|s| s.queue_depth()).collect()
     }
 
+    /// Whether `node` is currently considered alive by the failure
+    /// detector.
+    pub fn node_is_alive(&self, node: usize) -> bool {
+        self.failover.is_alive(node)
+    }
+
+    /// Indices of the nodes currently considered alive.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        self.failover.alive_nodes()
+    }
+
+    /// Kills `node`: marks it dead for placement and failover, stops its
+    /// endpoint (in-flight and future calls against it fail with transport
+    /// errors), and drops the endpoint handle. Returns `true` on the
+    /// alive→dead transition. Existing proxies recover on their next call
+    /// by re-creating their object on a survivor (state is lost — the
+    /// replacement starts from the class constructor).
+    pub fn kill_node(&self, node: usize) -> bool {
+        let transitioned = self.failover.mark_dead(node);
+        self.net.stop_endpoint(&format!("node{node}"));
+        if let Some(slot) = self.endpoints.lock().get_mut(node) {
+            slot.take();
+        }
+        transitioned
+    }
+
+    /// Marks `node` dead without stopping its endpoint — the soft-failure
+    /// form used when an operator (or the failure detector) declares a
+    /// node lost while its process may still limp along.
+    pub fn mark_node_dead(&self, node: usize) -> bool {
+        self.failover.mark_dead(node)
+    }
+
+    /// Runs one round of the lease-based failure detector: probes every
+    /// alive node's OM, renews the liveness lease of responsive nodes, and
+    /// marks nodes whose lease lapsed as dead. Returns the newly-dead
+    /// nodes. With the default zero [`RuntimeBuilder::node_lease_ttl`] a
+    /// single failed probe is fatal; a longer TTL tolerates transient
+    /// (e.g. chaos-injected) probe failures until the lease runs out.
+    pub fn detect_failures(&self) -> Vec<usize> {
+        let mut newly_dead = Vec::new();
+        for node in 0..self.nodes() {
+            if !self.failover.is_alive(node) {
+                continue;
+            }
+            let name = format!("node{node}");
+            let probe = (|| -> Result<(), ParcError> {
+                let uri: parc_remoting::ObjectUri =
+                    format!("inproc://node{node}/{OM_OBJECT}").parse()?;
+                let chan = self.net.open_with_timeout(&uri, PROBE_TIMEOUT)?;
+                RemoteObject::new(chan, OM_OBJECT).call("node", vec![])?;
+                Ok(())
+            })();
+            let now = self.failover.now();
+            match probe {
+                Ok(()) => {
+                    self.failover.leases.renew(&name, now);
+                }
+                Err(_) => {
+                    if self.failover.leases.remaining(&name, now).unwrap_or(0) == 0
+                        && self.failover.mark_dead(node)
+                    {
+                        newly_dead.push(node);
+                    }
+                }
+            }
+        }
+        newly_dead
+    }
+
     fn should_agglomerate(&self) -> bool {
         if self.grain.adaptive {
             return self.adapter.should_agglomerate();
@@ -251,13 +494,29 @@ impl ParcRuntime {
         }
     }
 
-    fn place(&self) -> usize {
+    /// Picks a hosting node among the alive ones, or `None` when every
+    /// node is dead. With all nodes alive each policy behaves exactly as
+    /// before fault-awareness (round-robin cycles 0,1,2,…; seeded random
+    /// reproduces its sequence).
+    fn place(&self) -> Option<usize> {
+        let nodes = self.nodes();
         match self.placement {
             Placement::RoundRobin => {
-                self.rr_counter.fetch_add(1, Ordering::Relaxed) % self.nodes()
+                for _ in 0..nodes {
+                    let n = self.rr_counter.fetch_add(1, Ordering::Relaxed) % nodes;
+                    if self.failover.is_alive(n) {
+                        return Some(n);
+                    }
+                }
+                None
             }
             Placement::Random { .. } => {
-                self.rng.lock().next_below(self.nodes() as u64) as usize
+                let alive = self.failover.alive_nodes();
+                if alive.is_empty() {
+                    return None;
+                }
+                let i = self.rng.lock().next_below(alive.len() as u64) as usize;
+                Some(alive[i])
             }
             Placement::LeastLoaded => {
                 // Ask every OM for its load, as the cooperating OMs of
@@ -265,9 +524,9 @@ impl ParcRuntime {
                 // hosted objects plus live mailbox backlog, so a node
                 // whose queues are jammed loses ties even when it hosts
                 // fewer objects.
-                let mut best = 0usize;
+                let mut best = None;
                 let mut best_load = i64::MAX;
-                for node in 0..self.nodes() {
+                for node in self.failover.alive_nodes() {
                     let ask = |method: &str| {
                         self.om_remote(node)
                             .and_then(|om| om.call(method, vec![]).map_err(ParcError::from))
@@ -279,7 +538,7 @@ impl ParcRuntime {
                         .unwrap_or(i64::MAX);
                     if load < best_load {
                         best_load = load;
-                        best = node;
+                        best = Some(node);
                     }
                 }
                 best
@@ -296,7 +555,8 @@ impl ParcRuntime {
 
     /// Creates a parallel object, letting the runtime decide between
     /// agglomeration (local) and distribution (remote) — the generated
-    /// constructor of Fig. 5.
+    /// constructor of Fig. 5. When every node is dead, creation degrades
+    /// to local execution instead of failing.
     ///
     /// # Errors
     ///
@@ -308,10 +568,16 @@ impl ParcRuntime {
                     if self.grain.adaptive { "adaptive-ewma" } else { "static-ratio" };
                 format!("object={class} reason={reason}")
             });
-            self.create_local(class)
-        } else {
-            let node = self.place();
-            self.create_on(class, node)
+            return self.create_local(class);
+        }
+        match self.place() {
+            Some(node) => self.create_on(class, node),
+            None => {
+                parc_obs::event(parc_obs::kinds::AGGLOMERATE, || {
+                    format!("object={class} reason=degraded-no-live-nodes")
+                });
+                self.create_local(class)
+            }
         }
     }
 
@@ -338,6 +604,7 @@ impl ParcRuntime {
             self.grain.adaptive,
             Arc::clone(&self.adapter),
             self.stats.clone(),
+            None,
         ))
     }
 
@@ -354,31 +621,45 @@ impl ParcRuntime {
                 detail: format!("node {node} outside runtime of {} nodes", self.nodes()),
             });
         }
-        if self.registry.get(class).is_none() {
-            return Err(ParcError::UnknownClass { class: class.to_string() });
+        let target = self.failover.remote_target(class, node)?;
+        Ok(self.wrap_distributed(class, target))
+    }
+
+    /// Creates an object on the alive node chosen by `ordinal` (the
+    /// skeleton spread: stage/worker *i* of a [`crate::Farm`] or
+    /// [`crate::Pipeline`]). Dead nodes are skipped; when *no* node is
+    /// alive the object is created on the lazily-booted rescue endpoint so
+    /// it still carries a URI (skeletons wire themselves by URI).
+    ///
+    /// # Errors
+    ///
+    /// [`ParcError::UnknownClass`]; remoting failures.
+    pub fn create_spread(&self, class: &str, ordinal: usize) -> Result<Po, ParcError> {
+        let alive = self.failover.alive_nodes();
+        match alive.as_slice() {
+            [] => {
+                let _span = parc_obs::Span::enter(parc_obs::kinds::FACTORY_CREATE);
+                let target = self.failover.rescue_target(class)?;
+                Ok(self.wrap_distributed(class, target))
+            }
+            nodes => self.create_on(class, nodes[ordinal % nodes.len()]),
         }
-        let uri: parc_remoting::ObjectUri =
-            format!("inproc://node{node}/{FACTORY_OBJECT}").parse()?;
-        let chan = self.net.open(&uri)?;
-        let factory = RemoteObject::new(Arc::clone(&chan), FACTORY_OBJECT);
-        let io_name = factory
-            .call("create", vec![Value::Str(class.to_string())])?
-            .as_str()
-            .ok_or(ParcError::Skeleton { detail: "factory returned a non-string".into() })?
-            .to_string();
-        let remote = RemoteObject::new(chan, io_name.clone());
+    }
+
+    fn wrap_distributed(&self, class: &str, target: Target) -> Po {
         let id = self.new_object_id(class);
         self.stats.record_remote_creation();
         self.created.fetch_add(1, Ordering::Relaxed);
-        Ok(Po::new(
+        Po::new(
             id,
             class.to_string(),
-            Target::Remote { remote, node, io_name },
+            target,
             self.grain.aggregation_factor,
             self.grain.adaptive,
             Arc::clone(&self.adapter),
             self.stats.clone(),
-        ))
+            Some(Arc::clone(&self.failover)),
+        )
     }
 
     /// Builds a proxy to an already-created parallel object from its URI
@@ -407,6 +688,7 @@ impl ParcRuntime {
             self.grain.adaptive,
             Arc::clone(&self.adapter),
             self.stats.clone(),
+            Some(Arc::clone(&self.failover)),
         ))
     }
 
@@ -432,6 +714,7 @@ impl std::fmt::Debug for ParcRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ParcRuntime")
             .field("nodes", &self.nodes())
+            .field("alive", &self.alive_nodes())
             .field("placement", &self.placement)
             .field("grain", &self.grain)
             .field("objects_created", &self.objects_created())
@@ -445,7 +728,6 @@ mod tests {
     use parc_remoting::dispatcher::FnInvokable;
     use parc_remoting::RemotingError;
     use std::sync::atomic::AtomicI64;
-    use std::time::Duration;
 
     fn counter_class(runtime: &ParcRuntime) {
         runtime.register_class("Counter", || {
@@ -671,5 +953,134 @@ mod tests {
         let mut b = ParcRuntime::builder();
         b.nodes(0);
         assert!(matches!(b.build(), Err(ParcError::Config { .. })));
+    }
+
+    // ---- fault tolerance ----------------------------------------------
+
+    #[test]
+    fn kill_node_removes_it_from_placement() {
+        let rt = runtime(3, GrainConfig::default());
+        assert!(rt.kill_node(1));
+        assert!(!rt.kill_node(1), "second kill is a no-op");
+        assert!(!rt.node_is_alive(1));
+        assert_eq!(rt.alive_nodes(), vec![0, 2]);
+        let nodes: Vec<Option<usize>> =
+            (0..4).map(|_| rt.create("Counter").unwrap().node()).collect();
+        assert_eq!(nodes, vec![Some(0), Some(2), Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn proxy_fails_over_to_surviving_node() {
+        let rt = runtime(2, GrainConfig::default());
+        let c = rt.create_on("Counter", 0).unwrap();
+        c.call("bump", vec![Value::I32(5)]).unwrap();
+        assert!(rt.kill_node(0));
+        // The next call transparently re-creates the object on node 1. The
+        // replacement starts from the constructor, so earlier state is
+        // gone — the documented trade-off.
+        c.call("bump", vec![Value::I32(2)]).unwrap();
+        assert_eq!(c.node(), Some(1));
+        assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(2));
+    }
+
+    #[test]
+    fn buffered_posts_survive_a_kill_via_failover() {
+        let rt = runtime(2, GrainConfig { aggregation_factor: 4, ..GrainConfig::default() });
+        let c = rt.create_on("Counter", 0).unwrap();
+        for _ in 0..3 {
+            c.post("bump", vec![Value::I32(1)]).unwrap();
+        }
+        assert_eq!(c.pending(), 3);
+        assert!(rt.kill_node(0));
+        // The flush fails against the dead node, reclaims the batch, and
+        // re-ships it to the failed-over replacement on node 1.
+        c.flush().unwrap();
+        assert_eq!(c.node(), Some(1));
+        assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(3));
+    }
+
+    #[test]
+    fn last_node_death_degrades_to_local_execution() {
+        let rt = runtime(1, GrainConfig::default());
+        let c = rt.create("Counter").unwrap();
+        c.call("bump", vec![Value::I32(9)]).unwrap();
+        assert!(rt.kill_node(0));
+        // No survivors: the proxy degrades to local synchronous execution.
+        c.call("bump", vec![Value::I32(4)]).unwrap();
+        assert!(c.is_local());
+        assert_eq!(c.node(), None);
+        assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(4));
+    }
+
+    #[test]
+    fn create_with_all_nodes_dead_falls_back_to_local() {
+        let rt = runtime(2, GrainConfig::default());
+        rt.kill_node(0);
+        rt.kill_node(1);
+        let c = rt.create("Counter").unwrap();
+        assert!(c.is_local(), "no live node → degraded local creation");
+        c.post("bump", vec![Value::I32(3)]).unwrap();
+        assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(3));
+    }
+
+    #[test]
+    fn create_spread_uses_rescue_endpoint_when_all_dead() {
+        let rt = runtime(2, GrainConfig::default());
+        rt.kill_node(0);
+        rt.kill_node(1);
+        let c = rt.create_spread("Counter", 0).unwrap();
+        assert!(!c.is_local(), "skeleton stages need a URI-bearing target");
+        assert_eq!(c.node(), Some(2), "rescue endpoint runs one past the real nodes");
+        let uri = c.uri().expect("rescue objects carry URIs");
+        c.call("bump", vec![Value::I32(6)]).unwrap();
+        let alias = rt.proxy_from_uri(&uri).unwrap();
+        assert_eq!(alias.call("total", vec![]).unwrap(), Value::I64(6));
+    }
+
+    #[test]
+    fn create_spread_skips_dead_nodes() {
+        let rt = runtime(3, GrainConfig::default());
+        rt.kill_node(1);
+        let nodes: Vec<Option<usize>> = (0..4)
+            .map(|i| rt.create_spread("Counter", i).unwrap().node())
+            .collect();
+        assert_eq!(nodes, vec![Some(0), Some(2), Some(0), Some(2)]);
+    }
+
+    #[test]
+    fn detect_failures_declares_stopped_endpoints_dead() {
+        let rt = runtime(3, GrainConfig::default());
+        assert_eq!(rt.detect_failures(), Vec::<usize>::new(), "healthy cluster");
+        // Stop the endpoint behind the runtime's back — a crash, not an
+        // administrative kill.
+        assert!(rt.network().stop_endpoint("node1"));
+        assert_eq!(rt.detect_failures(), vec![1]);
+        assert!(!rt.node_is_alive(1));
+        assert_eq!(rt.alive_nodes(), vec![0, 2]);
+    }
+
+    #[test]
+    fn lease_grace_tolerates_transient_probe_failures() {
+        let mut b = ParcRuntime::builder();
+        b.nodes(2).node_lease_ttl(Duration::from_secs(3600));
+        let rt = b.build().unwrap();
+        counter_class(&rt);
+        assert!(rt.network().stop_endpoint("node1"));
+        // The probe fails but the lease has an hour left: not dead yet.
+        assert_eq!(rt.detect_failures(), Vec::<usize>::new());
+        assert!(rt.node_is_alive(1));
+    }
+
+    #[test]
+    fn mark_node_dead_is_soft() {
+        let rt = runtime(2, GrainConfig::default());
+        let c = rt.create_on("Counter", 0).unwrap();
+        c.call("bump", vec![Value::I32(7)]).unwrap();
+        assert!(rt.mark_node_dead(0));
+        // Placement avoids the node, but the endpoint still runs: the
+        // existing proxy keeps its state and keeps working.
+        assert_eq!(rt.alive_nodes(), vec![1]);
+        assert_eq!(c.call("total", vec![]).unwrap(), Value::I64(7));
+        assert_eq!(rt.create("Counter").unwrap().node(), Some(1));
     }
 }

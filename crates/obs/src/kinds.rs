@@ -83,6 +83,27 @@ pub const AGGLOMERATE: &str = "agglomerate";
 /// Event: an aggregation buffer was shipped (`calls=.. bytes=..`).
 pub const BATCH_FLUSHED: &str = "batch_flushed";
 
+// ---- fault injection & recovery ----
+
+/// Counter/event: a chaos fault was injected into a channel
+/// (`kind=.. index=..`).
+pub const FAULT_INJECTED: &str = "fault.injected";
+/// Counter/event: a call or post was transparently retried after a
+/// retryable failure (`attempt=..`).
+pub const CALL_RETRIED: &str = "call.retried";
+/// Counter/event: a broken TCP client connection was re-established and
+/// its correlation slot table re-registered.
+pub const CONN_RECONNECTED: &str = "conn.reconnected";
+/// Counter/event: the runtime failure detector declared a node dead
+/// (`node=..`).
+pub const NODE_FAILED: &str = "node.failed";
+/// Counter/event: a parallel object was re-created on a surviving node
+/// (or degraded to local execution) after its home node died.
+pub const OBJECT_FAILED_OVER: &str = "object.failed_over";
+/// Histogram: nanoseconds from failure detection to a usable replacement
+/// target (reconnect or failover completion).
+pub const RECOVERY_LATENCY: &str = "recovery.latency";
+
 // ---- baseline stacks ----
 
 /// One RMI stub call (marshal → dispatch → unmarshal).
@@ -145,6 +166,12 @@ mod tests {
             super::AGG_SIZE_CHANGED,
             super::AGGLOMERATE,
             super::BATCH_FLUSHED,
+            super::FAULT_INJECTED,
+            super::CALL_RETRIED,
+            super::CONN_RECONNECTED,
+            super::NODE_FAILED,
+            super::OBJECT_FAILED_OVER,
+            super::RECOVERY_LATENCY,
             super::RMI_CALL,
             super::MPI_SEND,
             super::MPI_RECV,

@@ -66,13 +66,16 @@ impl<T> AsyncResult<T> {
     /// [`RemotingError::Timeout`] if the invocation did not finish in time;
     /// the `AsyncResult` is consumed either way.
     pub fn end_invoke_timeout(self, timeout: Duration) -> Result<T, RemotingError> {
+        let started = std::time::Instant::now();
         let mut guard = self.slot.value.lock();
         loop {
             if let Some(value) = guard.take() {
                 return Ok(value);
             }
             if self.slot.ready.wait_for(&mut guard, timeout).timed_out() {
-                return guard.take().ok_or(RemotingError::Timeout);
+                return guard
+                    .take()
+                    .ok_or_else(|| RemotingError::timed_out(started.elapsed(), timeout));
             }
         }
     }
@@ -179,7 +182,7 @@ mod tests {
         });
         assert!(matches!(
             ar.end_invoke_timeout(Duration::from_millis(5)),
-            Err(RemotingError::Timeout)
+            Err(RemotingError::Timeout { .. })
         ));
     }
 

@@ -43,12 +43,29 @@ impl<T: Invokable + ?Sized> Invokable for Arc<T> {
 ///
 /// Faults never poison the channel: every error becomes a fault
 /// [`ReturnMessage`] for two-way calls and is silently dropped for one-way
-/// calls (matching fire-and-forget delegate semantics).
+/// calls (matching fire-and-forget delegate semantics). A *panic* inside
+/// the method body is caught here and converted to
+/// [`RemotingError::ServerFault`] — without this, a mailbox worker's own
+/// `catch_unwind` would contain the panic but never send a reply, and the
+/// caller would burn its whole per-call deadline on a dead correlation
+/// slot.
 pub fn dispatch(table: &ObjectTable, call: &CallMessage) -> Option<ReturnMessage> {
     let _span = parc_obs::Span::enter(parc_obs::kinds::DISPATCH);
-    let outcome = table
-        .resolve(&call.object)
-        .and_then(|obj| obj.invoke(&call.method, &call.args));
+    let outcome = table.resolve(&call.object).and_then(|obj| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            obj.invoke(&call.method, &call.args)
+        }))
+        .unwrap_or_else(|payload| {
+            let detail = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            Err(RemotingError::ServerFault {
+                detail: format!("method {:?} panicked: {detail}", call.method),
+            })
+        })
+    });
     if call.oneway {
         return None;
     }
@@ -131,6 +148,21 @@ mod tests {
         let table = echo_table();
         assert!(dispatch(&table, &CallMessage::one_way("Echo", "echo", vec![])).is_none());
         assert!(dispatch(&table, &CallMessage::one_way("Nope", "echo", vec![])).is_none());
+    }
+
+    #[test]
+    fn method_panic_becomes_server_fault_reply() {
+        let table = ObjectTable::new();
+        table.register_singleton(
+            "Bomb",
+            Arc::new(FnInvokable(|method: &str, _args: &[Value]| -> Result<Value, RemotingError> {
+                panic!("detonated in {method}")
+            })),
+        );
+        let reply = dispatch(&table, &CallMessage::new("Bomb", "tick", vec![])).unwrap();
+        let err = reply.result.unwrap_err();
+        assert!(err.contains("panicked"), "{err}");
+        assert!(err.contains("detonated in tick"), "{err}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 use parc_serial::SerialError;
 
@@ -57,12 +58,42 @@ pub enum RemotingError {
         detail: String,
     },
     /// A reply did not arrive in time.
-    Timeout,
+    Timeout {
+        /// How long the caller actually waited before giving up.
+        elapsed: Duration,
+        /// The configured per-call deadline that was exceeded.
+        deadline: Duration,
+    },
     /// The object's lifetime lease expired and it was collected.
     LeaseExpired {
         /// The collected object's name.
         object: String,
     },
+}
+
+impl RemotingError {
+    /// Builds a [`RemotingError::Timeout`] from the observed wait and the
+    /// deadline that was in force.
+    pub fn timed_out(elapsed: Duration, deadline: Duration) -> RemotingError {
+        RemotingError::Timeout { elapsed, deadline }
+    }
+
+    /// Whether retrying the same call against the same (or a re-placed)
+    /// target could plausibly succeed.
+    ///
+    /// Transport failures, timeouts, and missing endpoints are transient
+    /// from the caller's point of view: the peer may come back, the
+    /// connection may be re-established, or the object may be re-created
+    /// elsewhere. Logic errors (bad arguments, unknown methods, server
+    /// faults) are deterministic and must not be retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            RemotingError::Transport { .. }
+                | RemotingError::Timeout { .. }
+                | RemotingError::EndpointNotFound { .. }
+        )
+    }
 }
 
 impl fmt::Display for RemotingError {
@@ -84,7 +115,11 @@ impl fmt::Display for RemotingError {
                 write!(f, "no endpoint named {endpoint:?}")
             }
             RemotingError::BadUri { uri, detail } => write!(f, "bad uri {uri:?}: {detail}"),
-            RemotingError::Timeout => write!(f, "remote call timed out"),
+            RemotingError::Timeout { elapsed, deadline } => write!(
+                f,
+                "remote call timed out after {:.1?} (deadline {:.1?})",
+                elapsed, deadline
+            ),
             RemotingError::LeaseExpired { object } => {
                 write!(f, "lease expired for object {object:?}")
             }
@@ -131,7 +166,8 @@ mod tests {
             e.source().expect("serial errors carry a source").to_string(),
             inner.to_string()
         );
-        assert!(RemotingError::Timeout.source().is_none());
+        let timeout = RemotingError::timed_out(Duration::from_millis(31), Duration::from_millis(30));
+        assert!(timeout.source().is_none());
     }
 
     #[test]
@@ -145,11 +181,31 @@ mod tests {
             RemotingError::Transport { detail: "d".into() },
             RemotingError::EndpointNotFound { endpoint: "n".into() },
             RemotingError::BadUri { uri: "u".into(), detail: "d".into() },
-            RemotingError::Timeout,
+            RemotingError::timed_out(Duration::from_secs(31), Duration::from_secs(30)),
             RemotingError::LeaseExpired { object: "o".into() },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn timeout_display_carries_durations() {
+        let e = RemotingError::timed_out(Duration::from_millis(1234), Duration::from_secs(1));
+        let text = e.to_string();
+        assert!(text.contains("1.2"), "{text}");
+        assert!(text.contains("deadline 1.0s"), "{text}");
+    }
+
+    #[test]
+    fn retryability_partition() {
+        assert!(RemotingError::Transport { detail: "x".into() }.is_retryable());
+        assert!(RemotingError::timed_out(Duration::ZERO, Duration::ZERO).is_retryable());
+        assert!(RemotingError::EndpointNotFound { endpoint: "n".into() }.is_retryable());
+        assert!(!RemotingError::ServerFault { detail: "d".into() }.is_retryable());
+        assert!(!RemotingError::MethodNotFound { object: "o".into(), method: "m".into() }
+            .is_retryable());
+        assert!(!RemotingError::BadArguments { method: "m".into(), detail: "d".into() }
+            .is_retryable());
     }
 }

@@ -11,7 +11,6 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use parc_serial::SoapFormatter;
 use parc_sync::Mutex;
@@ -213,7 +212,7 @@ impl HttpConn {
     fn dial(addr: &str) -> Result<HttpConn, RemotingError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(crate::retry::call_timeout()))?;
         let writer = stream.try_clone()?;
         Ok(HttpConn { reader: BufReader::new(stream), writer })
     }

@@ -36,9 +36,11 @@ use crate::threadpool::ThreadPool;
 use crate::uri::{ObjectUri, Scheme};
 use crate::wellknown::ObjectTable;
 
-/// Default reply timeout for in-process calls. Generous — a stuck server
-/// object is a bug, not a slow network.
-pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default reply timeout for in-process calls when `PARC_CALL_TIMEOUT`
+/// is unset. Generous — a stuck server object is a bug, not a slow
+/// network. The live value each opened channel uses is
+/// [`crate::retry::call_timeout`].
+pub const DEFAULT_TIMEOUT: Duration = crate::retry::DEFAULT_CALL_TIMEOUT;
 
 struct Envelope {
     bytes: Vec<u8>,
@@ -52,6 +54,10 @@ struct EndpointShared {
     tx: Sender<Envelope>,
     bytes_received: AtomicU64,
     messages_received: AtomicU64,
+    // Set by `stop_endpoint`: the pump breaks out of its loop on the next
+    // envelope, dropping its receiver so every held client sender starts
+    // failing — the in-process analogue of a node crash.
+    stopped: std::sync::atomic::AtomicBool,
 }
 
 /// Registry of in-process endpoints.
@@ -117,6 +123,7 @@ impl InprocNetwork {
             tx,
             bytes_received: AtomicU64::new(0),
             messages_received: AtomicU64::new(0),
+            stopped: std::sync::atomic::AtomicBool::new(false),
         });
         {
             let mut endpoints = self.endpoints.write();
@@ -176,6 +183,24 @@ impl InprocNetwork {
             .map(|e| e.messages_received.load(Ordering::Relaxed))
     }
 
+    /// Hard-stops an endpoint, simulating a node crash: the endpoint is
+    /// unregistered (new opens fail with `EndpointNotFound`) **and** its
+    /// pump thread is told to exit, so channels already held by clients
+    /// start failing with a transport error instead of silently continuing
+    /// to serve. Queued-but-undispatched envelopes are dropped, exactly as
+    /// a crash would drop them. Returns `false` when no such endpoint
+    /// exists.
+    pub fn stop_endpoint(&self, name: &str) -> bool {
+        let Some(shared) = self.endpoints.write().remove(name) else {
+            return false;
+        };
+        shared.stopped.store(true, Ordering::Relaxed);
+        // Wake the pump if it is blocked in recv; the envelope itself is
+        // never processed (the stop flag is checked first).
+        let _ = shared.tx.send(Envelope { bytes: Vec::new(), reply: None, enqueued_ns: 0 });
+        true
+    }
+
     fn remove(&self, name: &str) {
         self.endpoints.write().remove(name);
     }
@@ -207,6 +232,9 @@ fn pump_mailbox(
 ) {
     let formatter = BinaryFormatter::new();
     while let Ok(envelope) = rx.recv() {
+        if shared.stopped.load(Ordering::Relaxed) {
+            break;
+        }
         shared.bytes_received.fetch_add(envelope.bytes.len() as u64, Ordering::Relaxed);
         shared.messages_received.fetch_add(1, Ordering::Relaxed);
         let Envelope { bytes, reply, enqueued_ns } = envelope;
@@ -253,6 +281,9 @@ fn pump_pool(
     let pool = ThreadPool::new(workers.max(1));
     let formatter = BinaryFormatter::new();
     while let Ok(envelope) = rx.recv() {
+        if shared.stopped.load(Ordering::Relaxed) {
+            break;
+        }
         shared.bytes_received.fetch_add(envelope.bytes.len() as u64, Ordering::Relaxed);
         shared.messages_received.fetch_add(1, Ordering::Relaxed);
         let objects = objects.clone();
@@ -330,7 +361,7 @@ impl std::fmt::Debug for InprocEndpoint {
 
 /// Client side of an in-process channel.
 pub struct InprocClient {
-    tx: Sender<Envelope>,
+    shared: Arc<EndpointShared>,
     timeout: Duration,
 }
 
@@ -342,13 +373,22 @@ impl InprocClient {
         msg: &CallMessage,
         reply: Option<Sender<Vec<u8>>>,
     ) -> Result<usize, RemotingError> {
+        // A stopped endpoint's pump may not have drained its queue yet;
+        // without this check a one-way post would be accepted and then
+        // silently discarded. Failing here makes kill → post deterministic
+        // for callers (posts racing the stop itself can still be lost —
+        // fire-and-forget semantics).
+        if self.shared.stopped.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(RemotingError::Transport { detail: "endpoint stopped".into() });
+        }
         let bytes = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::SERIALIZE);
             msg.encode(&BinaryFormatter::new())?
         };
         let sent = bytes.len();
         let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
-        self.tx
+        self.shared
+            .tx
             .send(Envelope { bytes, reply, enqueued_ns: parc_obs::timestamp_if_enabled() })
             .map(|()| sent)
             .map_err(|_| RemotingError::Transport { detail: "endpoint stopped".into() })
@@ -358,12 +398,13 @@ impl InprocClient {
 impl ClientChannel for InprocClient {
     fn call(&self, msg: &CallMessage) -> Result<crate::message::ReturnMessage, RemotingError> {
         let (reply_tx, reply_rx) = bounded(1);
+        let started = std::time::Instant::now();
         self.send(msg, Some(reply_tx))?;
         let bytes = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
             reply_rx
                 .recv_timeout(self.timeout)
-                .map_err(|_| RemotingError::Timeout)?
+                .map_err(|_| RemotingError::timed_out(started.elapsed(), self.timeout))?
         };
         let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
         Ok(crate::message::ReturnMessage::decode(&BinaryFormatter::new(), &bytes)?)
@@ -390,7 +431,37 @@ impl ChannelProvider for InprocNetwork {
         let shared = endpoints.get(uri.authority()).ok_or_else(|| {
             RemotingError::EndpointNotFound { endpoint: uri.authority().to_string() }
         })?;
-        Ok(Arc::new(InprocClient { tx: shared.tx.clone(), timeout: DEFAULT_TIMEOUT }))
+        Ok(crate::fault::wrap_if_chaotic(Arc::new(InprocClient {
+            shared: Arc::clone(shared),
+            timeout: crate::retry::call_timeout(),
+        })))
+    }
+}
+
+impl InprocNetwork {
+    /// Opens a channel with an explicit per-call deadline, bypassing the
+    /// `PARC_CALL_TIMEOUT` default (tests pin short deadlines without
+    /// touching the process environment). Never chaos-wrapped.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChannelProvider::open`].
+    pub fn open_with_timeout(
+        &self,
+        uri: &ObjectUri,
+        timeout: Duration,
+    ) -> Result<Arc<dyn ClientChannel>, RemotingError> {
+        if uri.scheme() != Scheme::Inproc {
+            return Err(RemotingError::BadUri {
+                uri: uri.to_string(),
+                detail: "inproc network only serves inproc:// uris".into(),
+            });
+        }
+        let endpoints = self.endpoints.read();
+        let shared = endpoints.get(uri.authority()).ok_or_else(|| {
+            RemotingError::EndpointNotFound { endpoint: uri.authority().to_string() }
+        })?;
+        Ok(Arc::new(InprocClient { shared: Arc::clone(shared), timeout }))
     }
 }
 
@@ -486,6 +557,35 @@ mod tests {
     }
 
     #[test]
+    fn stop_endpoint_severs_held_channels() {
+        let (net, _ep) = adder_network();
+        let adder = proxy(&net, "inproc://node0/Adder");
+        assert!(adder.call("add", vec![Value::I32(1), Value::I32(1)]).is_ok());
+        assert!(net.stop_endpoint("node0"));
+        assert!(!net.stop_endpoint("node0"), "second stop is a no-op");
+        // New opens fail fast...
+        let uri: ObjectUri = "inproc://node0/Adder".parse().unwrap();
+        assert!(matches!(net.open(&uri), Err(RemotingError::EndpointNotFound { .. })));
+        // ...and channels opened before the crash start failing once the
+        // pump exits (a reply in flight may be dropped, surfacing as a
+        // timeout; later sends fail at the transport).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match adder.call("add", vec![Value::I32(1), Value::I32(1)]) {
+                Err(RemotingError::Transport { .. }) | Err(RemotingError::Timeout { .. }) => break,
+                Err(other) => panic!("unexpected error class: {other:?}"),
+                Ok(_) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "stopped endpoint kept serving"
+                    );
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn concurrent_calls_from_many_threads() {
         let (net, _ep) = adder_network();
         std::thread::scope(|scope| {
@@ -518,6 +618,67 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert!(net.bytes_received("node0").unwrap() > 0);
+    }
+
+    #[test]
+    fn method_panic_under_mailbox_dispatch_faults_fast() {
+        // Regression: a panicking method used to be contained by the
+        // mailbox worker's catch_unwind without ever sending a reply, so
+        // the caller burned its whole deadline on a dead slot. Now the
+        // dispatcher converts the panic to a ServerFault reply.
+        let net = InprocNetwork::new();
+        let ep = net.create_endpoint_with_workers("panicky", 2).unwrap();
+        ep.objects().register_singleton(
+            "Bomb",
+            Arc::new(FnInvokable(|_m: &str, _a: &[Value]| -> Result<Value, RemotingError> {
+                panic!("mailbox boom")
+            })),
+        );
+        let bomb = proxy(&net, "inproc://panicky/Bomb");
+        let started = std::time::Instant::now();
+        match bomb.call("tick", vec![]) {
+            Err(RemotingError::ServerFault { detail }) => {
+                assert!(detail.contains("panicked"), "{detail}");
+                assert!(detail.contains("mailbox boom"), "{detail}");
+            }
+            other => panic!("expected a server fault, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "panic reply should be immediate, not a timeout"
+        );
+        // The worker survives: the endpoint keeps serving.
+        ep.objects().register_singleton(
+            "Echo",
+            Arc::new(FnInvokable(|_m: &str, args: &[Value]| {
+                Ok(args.first().cloned().unwrap_or(Value::Null))
+            })),
+        );
+        let echo = proxy(&net, "inproc://panicky/Echo");
+        assert_eq!(echo.call("e", vec![Value::I32(9)]).unwrap(), Value::I32(9));
+    }
+
+    #[test]
+    fn per_call_deadline_is_configurable_and_reported() {
+        let net = InprocNetwork::new();
+        let ep = net.create_endpoint("slowpoke").unwrap();
+        ep.objects().register_singleton(
+            "Slow",
+            Arc::new(FnInvokable(|_m: &str, _a: &[Value]| {
+                std::thread::sleep(Duration::from_millis(300));
+                Ok(Value::Null)
+            })),
+        );
+        let uri: ObjectUri = "inproc://slowpoke/Slow".parse().unwrap();
+        let chan = net.open_with_timeout(&uri, Duration::from_millis(30)).unwrap();
+        let slow = RemoteObject::new(chan, "Slow");
+        match slow.call("nap", vec![]) {
+            Err(RemotingError::Timeout { elapsed, deadline }) => {
+                assert_eq!(deadline, Duration::from_millis(30));
+                assert!(elapsed >= deadline);
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod channel;
 pub mod delegate;
 pub mod dispatcher;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod http;
 pub mod inproc;
@@ -71,6 +72,7 @@ pub mod lease;
 pub mod macros;
 pub mod mailbox;
 pub mod message;
+pub mod retry;
 pub mod tcp;
 pub mod threadpool;
 pub mod uri;
@@ -81,9 +83,11 @@ pub use channel::{ChannelProvider, ClientChannel, RemoteObject};
 pub use delegate::{AsyncResult, Delegate};
 pub use dispatcher::Invokable;
 pub use error::RemotingError;
+pub use fault::{ChaosChannel, FaultKind, FaultPlan, FaultSpec};
 pub use lease::LeaseManager;
 pub use mailbox::{DispatchDepth, DispatchStats, MailboxScheduler};
 pub use message::{CallMessage, ReturnMessage};
+pub use retry::RetryPolicy;
 pub use threadpool::ThreadPool;
 pub use uri::ObjectUri;
 pub use wellknown::{ObjectTable, WellKnownObjectMode};

@@ -47,14 +47,17 @@ use crate::error::RemotingError;
 use crate::frame::{self, FrameRead, FLAG_ONEWAY};
 use crate::mailbox::{DispatchDepth, MailboxScheduler};
 use crate::message::{CallMessage, ReturnMessage};
+use crate::retry::call_timeout;
 use crate::threadpool::ThreadPool;
 use crate::uri::{ObjectUri, Scheme};
 use crate::wellknown::ObjectTable;
 
 pub use crate::frame::MAX_FRAME;
 
-/// Default socket read timeout (also the per-call reply deadline).
-pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+/// Default per-call reply deadline when `PARC_CALL_TIMEOUT` is unset.
+/// Kept as a named constant for the benches and docs; the live value
+/// every connection actually uses is [`crate::retry::call_timeout`].
+pub const DEFAULT_TIMEOUT: Duration = crate::retry::DEFAULT_CALL_TIMEOUT;
 
 /// Default per-authority socket-pool size.
 pub const DEFAULT_POOL_SIZE: usize = 2;
@@ -387,7 +390,8 @@ impl Slot {
     }
 
     fn wait(&self, timeout: Duration) -> Result<Vec<u8>, RemotingError> {
-        let deadline = Instant::now() + timeout;
+        let start = Instant::now();
+        let deadline = start + timeout;
         let mut state = self.state.lock();
         loop {
             if let SlotState::Done(outcome) = std::mem::replace(&mut *state, SlotState::Waiting) {
@@ -395,7 +399,7 @@ impl Slot {
             }
             let now = Instant::now();
             if now >= deadline {
-                return Err(RemotingError::Timeout);
+                return Err(RemotingError::timed_out(now - start, timeout));
             }
             self.cv.wait_for(&mut state, deadline - now);
         }
@@ -431,17 +435,19 @@ struct MuxConnection {
     shared: Arc<MuxShared>,
     next_corr: AtomicU64,
     formatter: BinaryFormatter,
+    /// Per-call reply deadline for every call on this connection.
+    timeout: Duration,
     reader: Option<std::thread::JoinHandle<()>>,
 }
 
 impl MuxConnection {
-    fn connect(addr: &str) -> Result<MuxConnection, RemotingError> {
+    fn connect(addr: &str, timeout: Duration) -> Result<MuxConnection, RemotingError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         // The reader thread treats a timeout at a frame boundary as "idle"
         // (see `frame::FrameRead::Idle`), so this timeout only bounds how
         // long a *partial* frame may stall.
-        stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+        stream.set_read_timeout(Some(timeout))?;
         let reader_stream = stream.try_clone()?;
         let shared = Arc::new(MuxShared {
             pending: Mutex::new(HashMap::new()),
@@ -457,6 +463,7 @@ impl MuxConnection {
             shared,
             next_corr: AtomicU64::new(1),
             formatter: BinaryFormatter::new(),
+            timeout,
             reader: Some(reader),
         })
     }
@@ -466,6 +473,18 @@ impl MuxConnection {
             return Err(RemotingError::Transport { detail });
         }
         Ok(())
+    }
+
+    /// Whether the reader thread has poisoned this connection.
+    fn is_dead(&self) -> bool {
+        self.shared.dead.lock().is_some()
+    }
+
+    /// Forcibly breaks the socket (test hook): the reader observes the
+    /// shutdown and poisons the connection exactly as a real network
+    /// failure would.
+    fn sever(&self) {
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
     }
 
     /// Serializes `msg` into a pooled buffer and writes one frame,
@@ -520,7 +539,7 @@ impl MuxConnection {
         self.send_frame(msg, corr_id, 0)?;
         let payload = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
-            slot.wait(DEFAULT_TIMEOUT)?
+            slot.wait(self.timeout)?
         };
         let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
         let reply = ReturnMessage::decode(&self.formatter, &payload);
@@ -580,14 +599,26 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<MuxShared>) {
 
 /// Client half of the TCP channel: a small pool of multiplexed
 /// connections; calls from any number of threads pipeline freely.
+///
+/// A connection whose reader dies (server restart, network blip) used to
+/// poison its pool slot forever. Now each slot is swappable: the first
+/// caller to hit the poisoned connection reconnects it, installing a
+/// fresh socket with a fresh (empty) correlation slot table, and retries
+/// its own operation once on the new connection. Pending calls on the
+/// old connection were already failed by the poison — their owners see a
+/// retryable transport error and re-register on the fresh table via the
+/// proxy-level [`crate::retry::RetryPolicy`].
 pub struct TcpClientChannel {
-    connections: Vec<MuxConnection>,
+    addr: String,
+    timeout: Duration,
+    connections: Vec<Mutex<Arc<MuxConnection>>>,
     next: AtomicUsize,
 }
 
 impl TcpClientChannel {
     /// Connects to a server with the configured pool size
-    /// ([`pool_size_from_env`]).
+    /// ([`pool_size_from_env`]) and per-call deadline
+    /// ([`crate::retry::call_timeout`]).
     ///
     /// # Errors
     ///
@@ -602,12 +633,31 @@ impl TcpClientChannel {
     ///
     /// Connection failures.
     pub fn connect_pooled(addr: &str, pool: usize) -> Result<TcpClientChannel, RemotingError> {
+        TcpClientChannel::connect_pooled_with_timeout(addr, pool, call_timeout())
+    }
+
+    /// Connects with an explicit pool size and per-call deadline (tests
+    /// pin short deadlines without touching the process environment).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect_pooled_with_timeout(
+        addr: &str,
+        pool: usize,
+        timeout: Duration,
+    ) -> Result<TcpClientChannel, RemotingError> {
         let pool = pool.max(1);
         let mut connections = Vec::with_capacity(pool);
         for _ in 0..pool {
-            connections.push(MuxConnection::connect(addr)?);
+            connections.push(Mutex::new(Arc::new(MuxConnection::connect(addr, timeout)?)));
         }
-        Ok(TcpClientChannel { connections, next: AtomicUsize::new(0) })
+        Ok(TcpClientChannel {
+            addr: addr.to_string(),
+            timeout,
+            connections,
+            next: AtomicUsize::new(0),
+        })
     }
 
     /// Number of sockets in this channel's pool.
@@ -615,19 +665,89 @@ impl TcpClientChannel {
         self.connections.len()
     }
 
-    fn pick(&self) -> &MuxConnection {
+    /// The per-call reply deadline this channel applies.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Severs every pooled socket (test hook): readers observe the
+    /// shutdown and poison their connections exactly like a real network
+    /// failure, so reconnect paths can be exercised deterministically
+    /// against a still-live server.
+    pub fn break_connections(&self) {
+        for slot in &self.connections {
+            slot.lock().sever();
+        }
+    }
+
+    /// Picks the next pooled slot, reviving its connection first when a
+    /// previous caller left it poisoned (nothing has been sent yet, so
+    /// this retry is always safe).
+    fn pick_live(
+        &self,
+    ) -> Result<(&Mutex<Arc<MuxConnection>>, Arc<MuxConnection>), RemotingError> {
         let n = self.next.fetch_add(1, Ordering::Relaxed);
-        &self.connections[n % self.connections.len()]
+        let slot = &self.connections[n % self.connections.len()];
+        let conn = Arc::clone(&slot.lock());
+        if conn.is_dead() {
+            let fresh = self.revive(slot, &conn)?;
+            return Ok((slot, fresh));
+        }
+        Ok((slot, conn))
+    }
+
+    /// Replaces a poisoned connection in `slot` (unless a racing caller
+    /// already did), re-registering a fresh correlation slot table.
+    fn revive(
+        &self,
+        slot: &Mutex<Arc<MuxConnection>>,
+        stale: &Arc<MuxConnection>,
+    ) -> Result<Arc<MuxConnection>, RemotingError> {
+        let started = Instant::now();
+        let mut guard = slot.lock();
+        if !Arc::ptr_eq(&guard, stale) && !guard.is_dead() {
+            return Ok(Arc::clone(&guard));
+        }
+        let fresh = Arc::new(MuxConnection::connect(&self.addr, self.timeout)?);
+        *guard = Arc::clone(&fresh);
+        drop(guard);
+        parc_obs::counter(parc_obs::kinds::CONN_RECONNECTED).incr();
+        parc_obs::histogram(parc_obs::kinds::RECOVERY_LATENCY)
+            .record(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        parc_obs::event(parc_obs::kinds::CONN_RECONNECTED, || {
+            format!("addr={} elapsed_us={}", self.addr, started.elapsed().as_micros())
+        });
+        Ok(fresh)
     }
 }
 
 impl ClientChannel for TcpClientChannel {
     fn call(&self, msg: &CallMessage) -> Result<ReturnMessage, RemotingError> {
-        self.pick().call(msg)
+        let (slot, conn) = self.pick_live()?;
+        let outcome = conn.call(msg);
+        // A call that was in flight when the connection died may already
+        // have executed server-side, so it is NOT resent here (that would
+        // break at-most-once for non-idempotent methods) — but the slot
+        // is revived so the channel recovers for every later caller, and
+        // the surfaced error stays retryable for idempotent proxies.
+        if outcome.is_err() && conn.is_dead() {
+            let _ = self.revive(slot, &conn);
+        }
+        outcome
     }
 
     fn post(&self, msg: &CallMessage) -> Result<usize, RemotingError> {
-        self.pick().post(msg)
+        let (slot, conn) = self.pick_live()?;
+        match conn.post(msg) {
+            // Fire-and-forget: resending after a reconnect is safe (the
+            // contract is at-most-once delivery with no failure report,
+            // and a send error means delivery was unlikely anyway).
+            Err(e) if conn.is_dead() => match self.revive(slot, &conn) {
+                Ok(fresh) => fresh.post(msg),
+                Err(_) => Err(e),
+            },
+            outcome => outcome,
+        }
     }
 
     fn scheme(&self) -> &'static str {
@@ -651,22 +771,26 @@ pub struct LockStepClientChannel {
     stream: Mutex<TcpStream>,
     formatter: BinaryFormatter,
     next_corr: AtomicU64,
+    timeout: Duration,
 }
 
 impl LockStepClientChannel {
-    /// Connects to a server.
+    /// Connects to a server with the per-call deadline from
+    /// [`crate::retry::call_timeout`].
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect(addr: &str) -> Result<LockStepClientChannel, RemotingError> {
+        let timeout = call_timeout();
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(DEFAULT_TIMEOUT))?;
+        stream.set_read_timeout(Some(timeout))?;
         Ok(LockStepClientChannel {
             stream: Mutex::new(stream),
             formatter: BinaryFormatter::new(),
             next_corr: AtomicU64::new(1),
+            timeout,
         })
     }
 }
@@ -683,6 +807,7 @@ impl ClientChannel for LockStepClientChannel {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
             frame::write_frame(&mut *stream, corr_id, 0, &bytes)?;
         }
+        let started = Instant::now();
         let mut payload = Vec::new();
         {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
@@ -691,7 +816,9 @@ impl ClientChannel for LockStepClientChannel {
                     FrameRead::Frame(h) if h.corr_id == corr_id => break,
                     // Stale reply from a timed-out predecessor: skip it.
                     FrameRead::Frame(_) => continue,
-                    FrameRead::Idle => return Err(RemotingError::Timeout),
+                    FrameRead::Idle => {
+                        return Err(RemotingError::timed_out(started.elapsed(), self.timeout))
+                    }
                     FrameRead::Eof => {
                         return Err(RemotingError::Transport {
                             detail: "server closed connection".into(),
@@ -751,11 +878,11 @@ impl ChannelProvider for TcpChannelProvider {
         }
         let mut cache = self.cache.lock();
         if let Some(chan) = cache.get(uri.authority()) {
-            return Ok(Arc::clone(chan) as Arc<dyn ClientChannel>);
+            return Ok(crate::fault::wrap_if_chaotic(Arc::clone(chan) as Arc<dyn ClientChannel>));
         }
         let chan = Arc::new(TcpClientChannel::connect(uri.authority())?);
         cache.insert(uri.authority().to_string(), Arc::clone(&chan));
-        Ok(chan)
+        Ok(crate::fault::wrap_if_chaotic(chan))
     }
 }
 
@@ -1062,6 +1189,85 @@ mod tests {
     }
 
     #[test]
+    fn broken_connections_reconnect_against_live_server() {
+        let server = start_echo_server();
+        let chan = Arc::new(
+            TcpClientChannel::connect_pooled(&server.local_addr().to_string(), 2).unwrap(),
+        );
+        let proxy = crate::channel::RemoteObject::new(
+            Arc::clone(&chan) as Arc<dyn ClientChannel>,
+            "Echo",
+        );
+        assert!(proxy.call("echo", vec![Value::I32(1)]).is_ok());
+        chan.break_connections();
+        // The channel recovers in place: no rebuild, fresh sockets and
+        // correlation tables installed by the first callers to notice.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match proxy.call("echo", vec![Value::I32(2)]) {
+                Ok(v) => {
+                    assert_eq!(v, Value::I32(2));
+                    break;
+                }
+                Err(_) => {
+                    assert!(Instant::now() < deadline, "channel never recovered");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+        // With a retrying proxy, recovery is invisible to the caller.
+        chan.break_connections();
+        let retrying = crate::channel::RemoteObject::new(
+            Arc::clone(&chan) as Arc<dyn ClientChannel>,
+            "Echo",
+        )
+        .with_retry(crate::retry::RetryPolicy::new(
+            8,
+            Duration::from_millis(2),
+            Duration::from_millis(50),
+        ));
+        assert_eq!(
+            retrying.call_idempotent("echo", vec![Value::I32(3)]).unwrap(),
+            Value::I32(3)
+        );
+    }
+
+    #[test]
+    fn per_call_deadline_times_out_with_durations() {
+        let server = TcpServerChannel::bind("127.0.0.1:0").unwrap();
+        server.objects().register_singleton(
+            "Slow",
+            Arc::new(FnInvokable(|_m: &str, _a: &[Value]| {
+                std::thread::sleep(Duration::from_millis(500));
+                Ok(Value::Null)
+            })),
+        );
+        let chan = TcpClientChannel::connect_pooled_with_timeout(
+            &server.local_addr().to_string(),
+            1,
+            Duration::from_millis(50),
+        )
+        .unwrap();
+        assert_eq!(chan.timeout(), Duration::from_millis(50));
+        let proxy = crate::channel::RemoteObject::new(
+            Arc::new(chan) as Arc<dyn ClientChannel>,
+            "Slow",
+        );
+        let started = Instant::now();
+        match proxy.call("nap", vec![]) {
+            Err(RemotingError::Timeout { elapsed, deadline }) => {
+                assert_eq!(deadline, Duration::from_millis(50));
+                assert!(elapsed >= deadline, "elapsed {elapsed:?} under deadline");
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "per-call deadline was ignored"
+        );
+    }
+
+    #[test]
     fn dead_connection_fails_fast_after_poison() {
         let server = start_echo_server();
         let addr = server.local_addr().to_string();
@@ -1077,7 +1283,7 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             match proxy.call("echo", vec![Value::I32(2)]) {
-                Err(RemotingError::Transport { .. }) | Err(RemotingError::Timeout) => break,
+                Err(RemotingError::Transport { .. }) | Err(RemotingError::Timeout { .. }) => break,
                 Err(other) => panic!("unexpected error class: {other:?}"),
                 Ok(_) => {
                     assert!(Instant::now() < deadline, "dead connection kept answering");

@@ -12,7 +12,13 @@
 # plus their speedup ratio at 4 concurrent callers, and mailbox_scaling,
 # whose BENCH_mailbox_scaling.json compares per-object mailbox dispatch
 # against the inline reader-thread baseline (speedup_8_objects is the
-# acceptance ratio; latency_ratio_mailbox_vs_inline must stay near 1).
+# acceptance ratio; latency_ratio_mailbox_vs_inline must stay near 1),
+# and fault_recovery, whose BENCH_fault_recovery.json records farm call
+# throughput before/during/after killing one of three runtime nodes
+# mid-run plus the p99 recovery latency from the runtime's own
+# recovery.latency histogram (recovery_throughput_ratio is the
+# acceptance ratio: post-recovery throughput must stay >= 0.8x
+# pre-fault).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -53,3 +53,28 @@ echo "ok: failure injection passes against the multiplexed channel"
 # dispatch.steal events are actually non-zero under load.
 cargo test -q --offline --test mailbox_dispatch
 echo "ok: mailbox dispatch suite passes (ordering, isolation, obs signals)"
+
+# Gate 6: chaos + recovery. Gate 4's suite already proves the seeded
+# in-process chaos properties (exactly-once idempotent retries,
+# at-most-once plain calls, same-seed => identical fault traces, node
+# kills mid-run). This gate exercises the *env-var* chaos path end to
+# end: a traced sieve run under PARC_CHAOS must actually inject faults
+# (fault.injected > 0 in the metrics summary), still produce the correct
+# primes (the example asserts them), and emit a structurally valid
+# trace. Two fixed seeds, so a plan that only ever injects at one
+# specific seed can't sneak through. Delay faults only: the sieve's
+# one-way posts have no retry path, so lossy faults would (correctly)
+# change its output.
+for seed in 11 12; do
+    chaos_out=$(PARC_OBS=1 PARC_CHAOS="${seed}:delay=0.4:1" \
+        cargo run --release --offline -q --example prime_sieve 2>&1)
+    injected=$(printf '%s\n' "$chaos_out" | awk '$1 == "fault.injected" { print $2 }')
+    if [ -z "${injected}" ] || [ "${injected}" -eq 0 ]; then
+        printf '%s\n' "$chaos_out" >&2
+        echo "FAIL: chaos run (seed ${seed}) injected no faults" >&2
+        exit 1
+    fi
+    cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
+        target/prime_sieve_trace.json --min-events 10
+    echo "ok: chaos sieve run (seed ${seed}) injected ${injected} faults, output correct, trace valid"
+done

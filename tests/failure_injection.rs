@@ -1,12 +1,23 @@
 //! Failure-injection integration tests: dead endpoints, dropped servers,
-//! lease expiry, oversized frames, poisoned payloads.
+//! lease expiry, oversized frames, poisoned payloads — plus the seeded
+//! chaos suite (deterministic [`FaultPlan`] schedules driving retry,
+//! reconnect, and runtime-failover recovery end to end).
+//!
+//! Chaos tests build their plans explicitly (`FaultPlan::new`) instead of
+//! mutating `PARC_CHAOS`: the test runner is threaded and process
+//! environment is shared. `scripts/verify.sh` exercises the env-var path.
 
 use std::sync::Arc;
+use std::time::Duration;
 
+use parc::remoting::channel::RemoteObject;
 use parc::remoting::dispatcher::FnInvokable;
 use parc::remoting::inproc::InprocNetwork;
-use parc::remoting::tcp::{TcpChannelProvider, TcpServerChannel};
-use parc::remoting::{Activator, LeaseManager, RemotingError};
+use parc::remoting::tcp::{TcpChannelProvider, TcpClientChannel, TcpServerChannel};
+use parc::remoting::{
+    Activator, ChaosChannel, FaultPlan, FaultSpec, LeaseManager, RemotingError, RetryPolicy,
+};
+use parc::scoopp::{Farm, GrainConfig, ParcRuntime, Pipeline};
 use parc::serial::{BinaryFormatter, Formatter, SerialError, Value};
 
 fn echo() -> Arc<dyn parc::remoting::Invokable> {
@@ -26,17 +37,17 @@ fn tcp_server_dropped_mid_session_surfaces_as_transport_error() {
     // The established (cached) connection must start failing; allow a few
     // in-flight successes while the close propagates. (Probing the *port*
     // would be racy — parallel tests may rebind it.)
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
     loop {
         match proxy.call("echo", vec![Value::I32(2)]) {
-            Err(RemotingError::Transport { .. }) | Err(RemotingError::Timeout) => break,
+            Err(RemotingError::Transport { .. }) | Err(RemotingError::Timeout { .. }) => break,
             Err(other) => panic!("unexpected error class: {other:?}"),
             Ok(_) => {
                 assert!(
                     std::time::Instant::now() < deadline,
                     "dead server's connection kept answering"
                 );
-                std::thread::sleep(std::time::Duration::from_millis(10));
+                std::thread::sleep(Duration::from_millis(10));
             }
         }
     }
@@ -110,7 +121,7 @@ fn corrupt_frames_fault_without_killing_the_endpoint() {
 
 #[test]
 fn scoopp_create_on_dead_class_does_not_wedge_the_node() {
-    let mut b = parc::scoopp::ParcRuntime::builder();
+    let mut b = ParcRuntime::builder();
     b.nodes(2);
     let rt = b.build().unwrap();
     rt.register_class("Good", echo);
@@ -125,8 +136,335 @@ fn mpi_deadlock_surfaces_as_timeout_not_hang() {
     // A receive that can never be matched must time out, not hang the
     // suite: rank 0 waits on a message nobody sends.
     let errs = parc::mpi::World::run(1, |comm| {
-        comm.recv_with_timeout(0, 42, std::time::Duration::from_millis(50))
+        comm.recv_with_timeout(0, 42, Duration::from_millis(50))
             .expect_err("no sender exists")
     });
     assert!(matches!(errs[0], parc::mpi::MpiError::Timeout { .. }));
+}
+
+// ---------------------------------------------------------------------------
+// Chaos suite: seeded fault plans
+// ---------------------------------------------------------------------------
+
+/// A registry object whose `put(k)` records k exactly once per *effect*
+/// (set semantics) and whose `count(k)` reports how many times the raw
+/// method body ran for k — separating "effect applied" from "message
+/// executed" so the suite can tell exactly-once effects from at-least-once
+/// execution.
+fn registry_object() -> Arc<dyn parc::remoting::Invokable> {
+    let seen: parc_sync::Mutex<std::collections::HashMap<i64, i64>> =
+        parc_sync::Mutex::new(std::collections::HashMap::new());
+    Arc::new(FnInvokable(move |method: &str, args: &[Value]| {
+        let key = args.first().and_then(Value::as_i64).unwrap_or(-1);
+        match method {
+            "put" => {
+                *seen.lock().entry(key).or_insert(0) += 1;
+                Ok(Value::Null)
+            }
+            "count" => Ok(Value::I64(seen.lock().get(&key).copied().unwrap_or(0))),
+            "total" => Ok(Value::I64(seen.lock().values().sum())),
+            _ => Err(RemotingError::MethodNotFound {
+                object: "Registry".into(),
+                method: method.into(),
+            }),
+        }
+    }))
+}
+
+/// Opens a chaos-wrapped proxy to `object` on `authority`, drawing faults
+/// from `plan`, with `attempts` transparent retries for idempotent calls.
+fn chaotic_proxy(
+    net: &InprocNetwork,
+    authority: &str,
+    object: &str,
+    plan: &Arc<FaultPlan>,
+    attempts: u32,
+) -> RemoteObject {
+    let uri: parc::remoting::ObjectUri =
+        format!("inproc://{authority}/{object}").parse().unwrap();
+    // open_with_timeout is never env-chaos-wrapped; wrap explicitly so the
+    // test owns the plan (and its trace) regardless of PARC_CHAOS.
+    let inner = net.open_with_timeout(&uri, Duration::from_secs(5)).unwrap();
+    let chan: Arc<dyn parc::remoting::ClientChannel> =
+        Arc::new(ChaosChannel::new(inner, Arc::clone(plan)));
+    RemoteObject::new(chan, object)
+        .with_retry(RetryPolicy::new(attempts, Duration::ZERO, Duration::ZERO))
+}
+
+#[test]
+fn idempotent_retries_produce_exactly_once_effects_under_drop_chaos() {
+    // K clients hammer M objects through one seeded lossy plan. Dropped
+    // calls surface as transport errors and call_idempotent retries them;
+    // every put must land as an *effect* exactly once even if a retried
+    // execution ran more than once server-side.
+    const CLIENTS: usize = 4;
+    const OBJECTS: usize = 3;
+    const PUTS_PER_CLIENT: i64 = 25;
+    let net = InprocNetwork::new();
+    let ep = net.create_endpoint("chaosnode").unwrap();
+    for o in 0..OBJECTS {
+        ep.objects().register_singleton(format!("Reg{o}"), registry_object());
+    }
+    // drop ≈ 20% of messages; plenty of retries so the run always finishes.
+    let plan = Arc::new(FaultPlan::new(0xC0FFEE, FaultSpec::parse("drop=0.2")));
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let net = &net;
+            let plan = &plan;
+            scope.spawn(move || {
+                for o in 0..OBJECTS {
+                    let proxy =
+                        chaotic_proxy(net, "chaosnode", &format!("Reg{o}"), plan, 20);
+                    for i in 0..PUTS_PER_CLIENT {
+                        let key = (c as i64) * 1_000 + i;
+                        proxy.call_idempotent("put", vec![Value::I64(key)]).unwrap();
+                    }
+                }
+            });
+        }
+    });
+    assert!(plan.messages_seen() > (CLIENTS * OBJECTS) as u64 * PUTS_PER_CLIENT as u64 / 2);
+    // Exactly-once effects: every key present. (Execution may exceed one
+    // per key — a reply lost after the server ran the body re-executes on
+    // retry — but the *effect*, keyed idempotently, applies once.)
+    for o in 0..OBJECTS {
+        let uri: parc::remoting::ObjectUri =
+            format!("inproc://chaosnode/Reg{o}").parse().unwrap();
+        let chan = net.open_with_timeout(&uri, Duration::from_secs(5)).unwrap();
+        let clean = RemoteObject::new(chan, format!("Reg{o}"));
+        for c in 0..CLIENTS {
+            for i in 0..PUTS_PER_CLIENT {
+                let key = (c as i64) * 1_000 + i;
+                let count = clean
+                    .call("count", vec![Value::I64(key)])
+                    .unwrap()
+                    .as_i64()
+                    .unwrap();
+                assert!(count >= 1, "Reg{o} lost put({key}) despite retries");
+            }
+        }
+    }
+}
+
+#[test]
+fn non_idempotent_calls_are_at_most_once_under_drop_chaos() {
+    // Plain `call` never auto-retries: a dropped frame is a surfaced
+    // error, not a hidden re-execution, so the server-side execution count
+    // for every key stays at most one. (Only drop faults here — dup would
+    // deliberately violate at-most-once at the transport.)
+    let net = InprocNetwork::new();
+    let ep = net.create_endpoint("amonode").unwrap();
+    ep.objects().register_singleton("Reg", registry_object());
+    let plan = Arc::new(FaultPlan::new(42, FaultSpec::parse("drop=0.3")));
+    let proxy = chaotic_proxy(&net, "amonode", "Reg", &plan, 1);
+    let mut failed = 0u32;
+    for i in 0..100i64 {
+        if proxy.call("put", vec![Value::I64(i)]).is_err() {
+            failed += 1;
+        }
+    }
+    assert!(failed > 0, "a 30% drop plan over 100 calls never dropping is wrong");
+    let uri: parc::remoting::ObjectUri = "inproc://amonode/Reg".parse().unwrap();
+    let clean = RemoteObject::new(
+        net.open_with_timeout(&uri, Duration::from_secs(5)).unwrap(),
+        "Reg",
+    );
+    for i in 0..100i64 {
+        let count =
+            clean.call("count", vec![Value::I64(i)]).unwrap().as_i64().unwrap();
+        assert!(count <= 1, "put({i}) executed {count} times — at-most-once broken");
+    }
+}
+
+#[test]
+fn same_seed_chaos_runs_inject_identical_traces() {
+    // One client, sequential calls: the message-index → fault mapping is a
+    // pure function of the seed, so two runs produce identical traces.
+    let run = |seed: u64| -> (String, Vec<bool>) {
+        let net = InprocNetwork::new();
+        let ep = net.create_endpoint("det").unwrap();
+        ep.objects().register_singleton("Echo", echo());
+        let plan =
+            Arc::new(FaultPlan::new(seed, FaultSpec::parse("drop=0.25,delay=0.1:1,kill@40")));
+        let proxy = chaotic_proxy(&net, "det", "Echo", &plan, 1);
+        let outcomes: Vec<bool> =
+            (0..50).map(|i| proxy.call("echo", vec![Value::I32(i)]).is_ok()).collect();
+        (plan.trace_string(), outcomes)
+    };
+    let (trace_a, outcomes_a) = run(7);
+    let (trace_b, outcomes_b) = run(7);
+    assert!(!trace_a.is_empty(), "this spec always injects something in 50 messages");
+    assert_eq!(trace_a, trace_b, "same seed must inject the same schedule");
+    assert_eq!(outcomes_a, outcomes_b, "same schedule must produce the same outcomes");
+    let (trace_c, _) = run(8);
+    assert_ne!(trace_a, trace_c, "different seeds should diverge (not a constant plan)");
+}
+
+#[test]
+fn tcp_reconnect_recovers_idempotent_calls_under_mailbox_dispatch() {
+    // Kill every pooled connection under a mailbox-dispatch server; the
+    // retrying idempotent call revives the pool transparently, with fresh
+    // correlation state.
+    let server = TcpServerChannel::bind("127.0.0.1:0").unwrap();
+    server.objects().register_singleton("Reg", registry_object());
+    let addr = server.uri_for("Reg");
+    let addr = addr.strip_prefix("tcp://").unwrap().split('/').next().unwrap().to_string();
+    let raw = Arc::new(
+        TcpClientChannel::connect_pooled_with_timeout(&addr, 2, Duration::from_secs(5)).unwrap(),
+    );
+    let channel: Arc<dyn parc::remoting::ClientChannel> = Arc::clone(&raw) as _;
+    let proxy = RemoteObject::new(channel, "Reg")
+        .with_retry(RetryPolicy::new(5, Duration::ZERO, Duration::ZERO));
+    proxy.call_idempotent("put", vec![Value::I64(1)]).unwrap();
+    // Sever all sockets behind the proxy's back.
+    raw.break_connections();
+    // The next idempotent call reconnects and lands.
+    proxy.call_idempotent("put", vec![Value::I64(2)]).unwrap();
+    assert_eq!(
+        proxy.call_idempotent("total", vec![]).unwrap(),
+        Value::I64(2),
+        "both puts survived the severed connections"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Chaos suite: runtime failover end to end
+// ---------------------------------------------------------------------------
+
+/// Registers the sieve stage class: each stage is assigned one fixed prime
+/// (`set_prime`) and forwards candidates not divisible by it; a candidate
+/// surviving every filter lands in the shared `found` sink.
+fn sieve_class(rt: &ParcRuntime, found: Arc<parc_sync::Mutex<Vec<i64>>>) {
+    let net: InprocNetwork = rt.network().clone();
+    rt.register_class("PrimeFilter", move || {
+        let prime: parc_sync::Mutex<Option<i64>> = parc_sync::Mutex::new(None);
+        let next: parc_sync::Mutex<Option<RemoteObject>> = parc_sync::Mutex::new(None);
+        let net = net.clone();
+        let found = Arc::clone(&found);
+        Arc::new(FnInvokable(move |method: &str, args: &[Value]| match method {
+            "connect" => {
+                let uri = args[0].as_str().unwrap_or_default();
+                *next.lock() = Some(
+                    Activator::get_object(&net, uri)
+                        .map_err(|e| RemotingError::Transport { detail: e.to_string() })?,
+                );
+                Ok(Value::Null)
+            }
+            "set_prime" => {
+                *prime.lock() = args[0].as_i64();
+                Ok(Value::Null)
+            }
+            "candidate" => {
+                let n = args[0].as_i64().unwrap_or(0);
+                let divisible = prime.lock().is_some_and(|p| p != 0 && n % p == 0);
+                if !divisible {
+                    match next.lock().as_ref() {
+                        Some(next) => {
+                            next.post("candidate", vec![Value::I64(n)])?;
+                        }
+                        None => found.lock().push(n),
+                    }
+                }
+                Ok(Value::Null)
+            }
+            "drain" => Ok(Value::Null), // sync no-op: per-stage barrier
+            _ => Err(RemotingError::MethodNotFound {
+                object: "PrimeFilter".into(),
+                method: method.into(),
+            }),
+        }))
+    });
+}
+
+fn run_sieve(pipeline: &Pipeline, candidates: std::ops::RangeInclusive<i64>) {
+    for n in candidates {
+        pipeline.feed("candidate", vec![Value::I64(n)]).unwrap();
+    }
+    pipeline.flush().unwrap();
+    for stage in pipeline.stages() {
+        stage.call("drain", vec![]).unwrap();
+    }
+}
+
+fn primes_up_to(n: i64) -> Vec<i64> {
+    (2..=n).filter(|&x| (2..x).all(|d| x % d != 0)).collect()
+}
+
+#[test]
+fn sieve_keeps_producing_correct_primes_after_killing_a_node() {
+    // 4 nodes, 3 filter stages (primes 2,3,5) on nodes 0..=2 — node 3
+    // hosts no stage. Killing node 3 mid-run exercises detector + placement
+    // drain without touching stage state: the primes must stay correct.
+    let mut b = ParcRuntime::builder();
+    b.nodes(4).grain(GrainConfig { aggregation_factor: 4, ..GrainConfig::default() });
+    let rt = b.build().unwrap();
+    let found = Arc::new(parc_sync::Mutex::new(Vec::new()));
+    sieve_class(&rt, Arc::clone(&found));
+    let pipeline = Pipeline::new(&rt, "PrimeFilter", 3, "connect").unwrap();
+    for (stage, p) in pipeline.stages().iter().zip([2i64, 3, 5]) {
+        stage.call("set_prime", vec![Value::I64(p)]).unwrap();
+    }
+    // First half of the run, then the kill, then the rest. Filters 2,3,5
+    // leave exactly the primes in (5, 49) — every composite below 7² has a
+    // factor in {2,3,5}.
+    run_sieve(&pipeline, 6..=24);
+    assert!(rt.kill_node(3), "node 3 was alive");
+    run_sieve(&pipeline, 25..=48);
+    let mut got = found.lock().clone();
+    got.sort_unstable();
+    let want: Vec<i64> = primes_up_to(48).into_iter().filter(|&p| p > 5).collect();
+    assert_eq!(got, want, "sieve output wrong after mid-run node kill");
+
+    // Now kill a stage-hosting node. Stage state (its prime) dies with it,
+    // so recovery is by reconstruction: rebuild the pipeline on the
+    // survivors and verify the sieve is correct again.
+    assert!(rt.kill_node(0), "node 0 was alive");
+    found.lock().clear();
+    let rebuilt = Pipeline::new(&rt, "PrimeFilter", 3, "connect").unwrap();
+    for (stage, p) in rebuilt.stages().iter().zip([2i64, 3, 5]) {
+        stage.call("set_prime", vec![Value::I64(p)]).unwrap();
+        assert_ne!(stage.node(), Some(0), "rebuilt stages avoid the dead node");
+    }
+    run_sieve(&rebuilt, 6..=48);
+    let mut got = found.lock().clone();
+    got.sort_unstable();
+    assert_eq!(got, want, "rebuilt sieve wrong after killing a stage node");
+}
+
+#[test]
+fn farm_map_completes_while_a_node_is_killed_mid_run() {
+    // Stateless workers + transparent failover: killing one of three
+    // nodes *while* the map runs must not lose or corrupt any result.
+    let mut b = ParcRuntime::builder();
+    b.nodes(3);
+    let rt = Arc::new(b.build().unwrap());
+    rt.register_class("Squarer", || {
+        Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+            "square" => {
+                let x = args[0].as_i64().unwrap_or(0);
+                Ok(Value::I64(x * x))
+            }
+            _ => Err(RemotingError::MethodNotFound {
+                object: "Squarer".into(),
+                method: method.into(),
+            }),
+        }))
+    });
+    let farm = Farm::new(&rt, "Squarer", 6).unwrap();
+    let killer = {
+        let rt = Arc::clone(&rt);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            rt.kill_node(1)
+        })
+    };
+    let items: Vec<Vec<Value>> = (0..500).map(|i| vec![Value::I64(i)]).collect();
+    let out = farm.map("square", items).unwrap();
+    assert!(killer.join().unwrap(), "the killer thread took node 1 down");
+    let squares: Vec<i64> = out.iter().map(|v| v.as_i64().unwrap()).collect();
+    assert_eq!(squares, (0..500).map(|i| i * i).collect::<Vec<i64>>());
+    assert!(
+        farm.workers().iter().all(|w| w.node() != Some(1)),
+        "no worker may still claim the dead node"
+    );
 }
