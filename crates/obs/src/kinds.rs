@@ -104,6 +104,15 @@ pub const OBJECT_FAILED_OVER: &str = "object.failed_over";
 /// target (reconnect or failover completion).
 pub const RECOVERY_LATENCY: &str = "recovery.latency";
 
+// ---- reactor transport ----
+
+/// Counter: complete frames reassembled and dispatched by the reactor.
+pub const REACTOR_FRAMES: &str = "reactor.frames";
+/// Gauge: connections currently registered with the reactor pool.
+pub const REACTOR_CONNS: &str = "reactor.conns";
+/// Counter: idle parks taken by reactor threads (adaptive backoff).
+pub const REACTOR_PARKS: &str = "reactor.parks";
+
 // ---- baseline stacks ----
 
 /// One RMI stub call (marshal → dispatch → unmarshal).
@@ -172,6 +181,9 @@ mod tests {
             super::NODE_FAILED,
             super::OBJECT_FAILED_OVER,
             super::RECOVERY_LATENCY,
+            super::REACTOR_FRAMES,
+            super::REACTOR_CONNS,
+            super::REACTOR_PARKS,
             super::RMI_CALL,
             super::MPI_SEND,
             super::MPI_RECV,

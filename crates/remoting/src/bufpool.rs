@@ -68,6 +68,15 @@ impl BufferPool {
         }
     }
 
+    /// Checks out an empty buffer guaranteed to hold `capacity` bytes
+    /// without reallocating — the reactor's reply-copy path, where the
+    /// final size is known before the first byte is written.
+    pub fn checkout_with_capacity(&self, capacity: usize) -> Vec<u8> {
+        let mut buf = self.checkout();
+        buf.reserve(capacity);
+        buf
+    }
+
     /// Returns a buffer to the pool (cleared); oversized buffers and
     /// buffers beyond the idle cap are dropped instead.
     pub fn checkin(&self, mut buf: Vec<u8>) {

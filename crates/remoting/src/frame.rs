@@ -185,6 +185,101 @@ pub fn read_frame_into(
     Ok(FrameRead::Frame(header))
 }
 
+/// Incremental v2 frame reassembly for readiness-driven transports.
+///
+/// A blocking reader can call [`read_frame_into`] and park until a whole
+/// frame arrives; a reactor cannot — it gets whatever bytes the socket
+/// had ready, at arbitrary boundaries (mid-header, mid-payload, three
+/// frames and a half in one chunk). The assembler is the state machine
+/// between those chunks and complete frames: feed it every chunk in
+/// arrival order and it emits each completed frame exactly once, reusing
+/// one internal payload allocation across the connection's lifetime.
+///
+/// Oversized declared lengths are rejected the moment the header is
+/// complete — before any payload byte is buffered — exactly like
+/// [`read_frame_into`]; the connection owning a poisoned assembler must
+/// be torn down (the stream can no longer be resynced).
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    header: [u8; HEADER_LEN],
+    have_header: usize,
+    /// Parsed header whose payload is still being accumulated.
+    pending: Option<FrameHeader>,
+    payload: Vec<u8>,
+}
+
+impl FrameAssembler {
+    /// A fresh assembler at a frame boundary.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// True when bytes of a partially-received frame are buffered — i.e.
+    /// the stream is *not* at a frame boundary. EOF while `mid_frame()`
+    /// is truncation; EOF at a boundary is a clean close.
+    pub fn mid_frame(&self) -> bool {
+        self.have_header > 0 || self.pending.is_some()
+    }
+
+    /// Consumes one chunk, invoking `sink` once per frame completed by
+    /// it (possibly zero, possibly several). The payload slice handed to
+    /// `sink` is only valid for the duration of the callback — copy it
+    /// out if it must outlive the call.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when a completed header declares more than
+    /// [`MAX_FRAME`] payload bytes. The assembler is then poisoned
+    /// mid-frame; feeding further chunks keeps erroring.
+    pub fn feed(
+        &mut self,
+        mut chunk: &[u8],
+        sink: &mut dyn FnMut(FrameHeader, &[u8]),
+    ) -> std::io::Result<()> {
+        while !chunk.is_empty() {
+            match self.pending {
+                None => {
+                    let want = HEADER_LEN - self.have_header;
+                    let take = want.min(chunk.len());
+                    self.header[self.have_header..self.have_header + take]
+                        .copy_from_slice(&chunk[..take]);
+                    self.have_header += take;
+                    chunk = &chunk[take..];
+                    if self.have_header == HEADER_LEN {
+                        // Oversize is rejected here, mid-reassembly, with
+                        // no payload allocation — and the header bytes are
+                        // deliberately NOT consumed back to zero, so the
+                        // assembler stays visibly mid-frame (poisoned).
+                        let header = FrameHeader::from_bytes(&self.header)?;
+                        self.payload.clear();
+                        if header.len == 0 {
+                            // Zero-payload frames complete with the header.
+                            sink(header, &[]);
+                            self.have_header = 0;
+                        } else {
+                            self.payload.reserve(header.len);
+                            self.pending = Some(header);
+                        }
+                    }
+                }
+                Some(header) => {
+                    let want = header.len - self.payload.len();
+                    let take = want.min(chunk.len());
+                    self.payload.extend_from_slice(&chunk[..take]);
+                    chunk = &chunk[take..];
+                    if self.payload.len() == header.len {
+                        sink(header, &self.payload);
+                        self.pending = None;
+                        self.have_header = 0;
+                        self.payload.clear();
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +361,76 @@ mod tests {
         fn flush(&mut self) -> std::io::Result<()> {
             Ok(())
         }
+    }
+
+    fn collect_frames(
+        assembler: &mut FrameAssembler,
+        chunk: &[u8],
+    ) -> std::io::Result<Vec<(FrameHeader, Vec<u8>)>> {
+        let mut out = Vec::new();
+        assembler.feed(chunk, &mut |h, p| out.push((h, p.to_vec())))?;
+        Ok(out)
+    }
+
+    #[test]
+    fn assembler_handles_byte_at_a_time_delivery() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 3, FLAG_ONEWAY, b"ab").unwrap();
+        write_frame(&mut wire, 4, 0, b"").unwrap();
+        write_frame(&mut wire, 5, 0, b"xyz").unwrap();
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            got.extend(collect_frames(&mut asm, std::slice::from_ref(b)).unwrap());
+        }
+        assert!(!asm.mid_frame());
+        let want = [
+            (3u64, true, b"ab".to_vec()),
+            (4, false, Vec::new()),
+            (5, false, b"xyz".to_vec()),
+        ];
+        assert_eq!(got.len(), want.len());
+        for ((h, p), (corr, oneway, payload)) in got.iter().zip(&want) {
+            assert_eq!((h.corr_id, h.oneway(), p), (*corr, *oneway, payload));
+        }
+    }
+
+    #[test]
+    fn assembler_emits_multiple_frames_from_one_chunk() {
+        let mut wire = Vec::new();
+        for i in 0..5u64 {
+            write_frame(&mut wire, i, 0, &vec![i as u8; i as usize]).unwrap();
+        }
+        let mut asm = FrameAssembler::new();
+        let got = collect_frames(&mut asm, &wire).unwrap();
+        assert_eq!(got.len(), 5);
+        assert!(!asm.mid_frame());
+    }
+
+    #[test]
+    fn assembler_reports_mid_frame_after_truncation() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 9, 0, b"abcdef").unwrap();
+        for cut in [1, HEADER_LEN - 1, HEADER_LEN, HEADER_LEN + 2] {
+            let mut asm = FrameAssembler::new();
+            let got = collect_frames(&mut asm, &wire[..cut]).unwrap();
+            assert!(got.is_empty(), "cut at {cut} emitted a frame");
+            assert!(asm.mid_frame(), "cut at {cut} not reported mid-frame");
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_oversize_mid_reassembly() {
+        let mut raw = FrameHeader { corr_id: 1, flags: 0, len: 0 }.to_bytes().to_vec();
+        raw[0..4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let mut asm = FrameAssembler::new();
+        // Split the poisoned header across two chunks: the error must fire
+        // exactly when the header completes, and the assembler stays
+        // poisoned for later chunks.
+        assert!(collect_frames(&mut asm, &raw[..7]).is_ok());
+        let err = collect_frames(&mut asm, &raw[7..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(asm.mid_frame());
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod lease;
 pub mod macros;
 pub mod mailbox;
 pub mod message;
+pub mod reactor;
 pub mod retry;
 pub mod tcp;
 pub mod threadpool;
@@ -87,6 +88,7 @@ pub use fault::{ChaosChannel, FaultKind, FaultPlan, FaultSpec};
 pub use lease::LeaseManager;
 pub use mailbox::{DispatchDepth, DispatchStats, MailboxScheduler};
 pub use message::{CallMessage, ReturnMessage};
+pub use reactor::{ReactorClientChannel, ReactorServerChannel};
 pub use retry::RetryPolicy;
 pub use threadpool::ThreadPool;
 pub use uri::ObjectUri;

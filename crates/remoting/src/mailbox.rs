@@ -385,6 +385,14 @@ impl DispatchDepth {
             .map_or(0, |mb| mb.queue.lock().jobs.len())
     }
 
+    /// True when the total backlog exceeds `limit` — the reactor's
+    /// read-throttle predicate: past the high-water mark it stops
+    /// *reading* server sockets (one cheap atomic load per sweep) and
+    /// lets TCP flow control push back on the clients.
+    pub fn saturated(&self, limit: usize) -> bool {
+        self.pending() > limit
+    }
+
     /// The deepest single mailbox right now — the head-of-line hotspot.
     pub fn max_object_depth(&self) -> usize {
         self.shared

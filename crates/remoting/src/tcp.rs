@@ -74,6 +74,39 @@ pub const POOL_SIZE_ENV: &str = "PARC_TCP_POOL";
 /// [`DispatchMode::Mailbox`].
 pub const DISPATCH_MODE_ENV: &str = "PARC_DISPATCH_MODE";
 
+/// Environment variable selecting the client transport the
+/// [`TcpChannelProvider`] opens for `tcp://` URIs: `reactor` multiplexes
+/// onto the shared readiness-driven reactor pool
+/// ([`crate::reactor::ReactorClientChannel`]), `lockstep` restores the
+/// pre-multiplexing baseline, anything else (or unset) means the
+/// thread-per-connection multiplexed client ([`TcpClientChannel`]).
+pub const TRANSPORT_ENV: &str = "PARC_TRANSPORT";
+
+/// Which client transport serves `tcp://` URIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Multiplexed pipelined connections, one reader thread per socket
+    /// (the default).
+    Mux,
+    /// One blocking socket, stream mutex across the round trip — the
+    /// pre-multiplexing baseline.
+    Lockstep,
+    /// Nonblocking sockets multiplexed onto the shared reactor pool: no
+    /// per-connection threads at all.
+    Reactor,
+}
+
+impl Transport {
+    /// The configured transport ([`TRANSPORT_ENV`]).
+    pub fn from_env() -> Transport {
+        match std::env::var(TRANSPORT_ENV).as_deref() {
+            Ok("reactor") => Transport::Reactor,
+            Ok("lockstep") => Transport::Lockstep,
+            _ => Transport::Mux,
+        }
+    }
+}
+
 /// How a server executes decoded calls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DispatchMode {
@@ -102,11 +135,35 @@ impl DispatchMode {
     }
 }
 
-/// A server's live dispatch backend, shared by every connection.
+/// A server's live dispatch backend, shared by every connection. The
+/// reactor server (`crate::reactor`) reuses the same backend shapes, so
+/// "mailbox vs inline" means exactly the same thing on every transport.
 #[derive(Clone)]
-enum ServerDispatch {
+pub(crate) enum ServerDispatch {
     Mailbox(Arc<MailboxScheduler>),
     Inline(Arc<ThreadPool>),
+}
+
+impl ServerDispatch {
+    /// Builds the backend a [`DispatchMode`] names.
+    pub(crate) fn for_mode(mode: DispatchMode) -> ServerDispatch {
+        match mode {
+            DispatchMode::Mailbox { workers } => {
+                ServerDispatch::Mailbox(Arc::new(MailboxScheduler::with_workers(workers)))
+            }
+            DispatchMode::Inline => {
+                ServerDispatch::Inline(Arc::new(ThreadPool::new(DISPATCH_WORKERS)))
+            }
+        }
+    }
+
+    /// The mailbox scheduler, when this backend has one.
+    pub(crate) fn scheduler(&self) -> Option<Arc<MailboxScheduler>> {
+        match self {
+            ServerDispatch::Mailbox(s) => Some(Arc::clone(s)),
+            ServerDispatch::Inline(_) => None,
+        }
+    }
 }
 
 /// The configured pool size: `PARC_TCP_POOL` when set and positive,
@@ -158,18 +215,8 @@ impl TcpServerChannel {
         // workers. Inline: the pre-mailbox fixed pool (the analogue of
         // Mono serving remoting from its managed thread pool), kept as
         // the benchmark baseline.
-        let dispatch = match mode {
-            DispatchMode::Mailbox { workers } => {
-                ServerDispatch::Mailbox(Arc::new(MailboxScheduler::with_workers(workers)))
-            }
-            DispatchMode::Inline => {
-                ServerDispatch::Inline(Arc::new(ThreadPool::new(DISPATCH_WORKERS)))
-            }
-        };
-        let scheduler = match &dispatch {
-            ServerDispatch::Mailbox(s) => Some(Arc::clone(s)),
-            ServerDispatch::Inline(_) => None,
-        };
+        let dispatch = ServerDispatch::for_mode(mode);
+        let scheduler = dispatch.scheduler();
         let accept_objects = objects.clone();
         let accept_stop = Arc::clone(&stop);
         std::thread::Builder::new()
@@ -363,13 +410,15 @@ fn serve_connection(
 /// Dispatches a two-way call, turning a "no reply" dispatch outcome (which
 /// only one-way posts produce) into an explicit fault instead of leaving
 /// the caller to time out.
-fn dispatch_call(objects: &ObjectTable, call: &CallMessage) -> ReturnMessage {
+pub(crate) fn dispatch_call(objects: &ObjectTable, call: &CallMessage) -> ReturnMessage {
     dispatch(objects, call)
         .unwrap_or_else(|| ReturnMessage::fault(call.call_id, "call produced no reply"))
 }
 
 /// One completion slot a caller parks on while its call is in flight.
-struct Slot {
+/// Shared with the reactor client, whose callers park exactly the same
+/// way — only the thread that *completes* the slot differs.
+pub(crate) struct Slot {
     state: Mutex<SlotState>,
     cv: Condvar,
 }
@@ -380,16 +429,16 @@ enum SlotState {
 }
 
 impl Slot {
-    fn new() -> Arc<Slot> {
+    pub(crate) fn new() -> Arc<Slot> {
         Arc::new(Slot { state: Mutex::new(SlotState::Waiting), cv: Condvar::new() })
     }
 
-    fn complete(&self, outcome: Result<Vec<u8>, RemotingError>) {
+    pub(crate) fn complete(&self, outcome: Result<Vec<u8>, RemotingError>) {
         *self.state.lock() = SlotState::Done(outcome);
         self.cv.notify_all();
     }
 
-    fn wait(&self, timeout: Duration) -> Result<Vec<u8>, RemotingError> {
+    pub(crate) fn wait(&self, timeout: Duration) -> Result<Vec<u8>, RemotingError> {
         let start = Instant::now();
         let deadline = start + timeout;
         let mut state = self.state.lock();
@@ -406,17 +455,22 @@ impl Slot {
     }
 }
 
-/// State shared between callers and a connection's reader thread.
-struct MuxShared {
-    pending: Mutex<HashMap<u64, Arc<Slot>>>,
+/// State shared between callers and whichever thread demuxes replies —
+/// a dedicated reader thread (mux) or a reactor thread (reactor).
+pub(crate) struct MuxShared {
+    pub(crate) pending: Mutex<HashMap<u64, Arc<Slot>>>,
     /// Set once the reader dies; later calls fail fast with this detail.
-    dead: Mutex<Option<String>>,
+    pub(crate) dead: Mutex<Option<String>>,
 }
 
 impl MuxShared {
+    pub(crate) fn new() -> Arc<MuxShared> {
+        Arc::new(MuxShared { pending: Mutex::new(HashMap::new()), dead: Mutex::new(None) })
+    }
+
     /// Fails every parked caller and remembers why, so calls issued after
     /// the connection broke do not block until their timeout.
-    fn poison(&self, detail: &str) {
+    pub(crate) fn poison(&self, detail: &str) {
         *self.dead.lock() = Some(detail.to_string());
         let drained: Vec<Arc<Slot>> = self.pending.lock().drain().map(|(_, s)| s).collect();
         for slot in drained {
@@ -449,10 +503,7 @@ impl MuxConnection {
         // long a *partial* frame may stall.
         stream.set_read_timeout(Some(timeout))?;
         let reader_stream = stream.try_clone()?;
-        let shared = Arc::new(MuxShared {
-            pending: Mutex::new(HashMap::new()),
-            dead: Mutex::new(None),
-        });
+        let shared = MuxShared::new();
         let reader_shared = Arc::clone(&shared);
         let reader = std::thread::Builder::new()
             .name("tcp-mux-reader".into())
@@ -855,16 +906,37 @@ impl std::fmt::Debug for LockStepClientChannel {
 }
 
 /// Channel provider resolving `tcp://host:port/Object` URIs, with one
-/// cached (multiplexed, pooled) channel per authority.
-#[derive(Default)]
+/// cached channel per authority. The channel's shape follows
+/// [`Transport::from_env`]: multiplexed thread-per-connection by default,
+/// the shared reactor pool under `PARC_TRANSPORT=reactor`, the lockstep
+/// baseline under `PARC_TRANSPORT=lockstep`.
 pub struct TcpChannelProvider {
-    cache: Mutex<std::collections::HashMap<String, Arc<TcpClientChannel>>>,
+    cache: Mutex<std::collections::HashMap<String, Arc<dyn ClientChannel>>>,
+    transport: Transport,
+}
+
+impl Default for TcpChannelProvider {
+    fn default() -> TcpChannelProvider {
+        TcpChannelProvider::new()
+    }
 }
 
 impl TcpChannelProvider {
-    /// Creates a provider with an empty connection cache.
+    /// Creates a provider with an empty connection cache and the
+    /// environment-configured transport.
     pub fn new() -> TcpChannelProvider {
-        TcpChannelProvider::default()
+        TcpChannelProvider::with_transport(Transport::from_env())
+    }
+
+    /// Creates a provider pinned to an explicit transport (tests and
+    /// benches select shapes without touching the process environment).
+    pub fn with_transport(transport: Transport) -> TcpChannelProvider {
+        TcpChannelProvider { cache: Mutex::new(std::collections::HashMap::new()), transport }
+    }
+
+    /// The transport this provider opens.
+    pub fn transport(&self) -> Transport {
+        self.transport
     }
 }
 
@@ -878,9 +950,15 @@ impl ChannelProvider for TcpChannelProvider {
         }
         let mut cache = self.cache.lock();
         if let Some(chan) = cache.get(uri.authority()) {
-            return Ok(crate::fault::wrap_if_chaotic(Arc::clone(chan) as Arc<dyn ClientChannel>));
+            return Ok(crate::fault::wrap_if_chaotic(Arc::clone(chan)));
         }
-        let chan = Arc::new(TcpClientChannel::connect(uri.authority())?);
+        let chan: Arc<dyn ClientChannel> = match self.transport {
+            Transport::Mux => Arc::new(TcpClientChannel::connect(uri.authority())?),
+            Transport::Lockstep => Arc::new(LockStepClientChannel::connect(uri.authority())?),
+            Transport::Reactor => {
+                Arc::new(crate::reactor::ReactorClientChannel::connect(uri.authority())?)
+            }
+        };
         cache.insert(uri.authority().to_string(), Arc::clone(&chan));
         Ok(crate::fault::wrap_if_chaotic(chan))
     }

@@ -18,7 +18,11 @@
 # mid-run plus the p99 recovery latency from the runtime's own
 # recovery.latency histogram (recovery_throughput_ratio is the
 # acceptance ratio: post-recovery throughput must stay >= 0.8x
-# pre-fault).
+# pre-fault), and tcp_scaling, whose BENCH_tcp_scaling.json sweeps the
+# reactor transport against the thread-per-connection mux baseline at
+# 1/64/1024 sockets — reactor_vs_mux_64_conns is the acceptance ratio
+# (must stay >= 0.9x) and reactor_resident_threads_1024_conns shows the
+# fixed-pool thread count while 1024 sockets are live.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

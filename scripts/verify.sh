@@ -78,3 +78,24 @@ for seed in 11 12; do
         target/prime_sieve_trace.json --min-events 10
     echo "ok: chaos sieve run (seed ${seed}) injected ${injected} faults, output correct, trace valid"
 done
+
+# Gate 7: reactor transport. The conformance suite proves the
+# readiness-driven transport is semantically identical to the
+# thread-per-connection baselines (FIFO ordering, one-way/two-way
+# interleaving, reply-by-correlation-ID, poison-on-death, unknown-frame
+# tolerance) across every transport x dispatch combination. Then a
+# traced sieve run hosted entirely over reactor sockets must actually
+# push frames through the reactor (reactor.frames > 0 in the metrics
+# summary), compute the correct primes (the example asserts them), and
+# emit a structurally valid Chrome trace.
+cargo test -q --offline --test transport_conformance
+reactor_out=$(PARC_OBS=1 cargo run --release --offline -q --example reactor_sieve 2>&1)
+reactor_frames=$(printf '%s\n' "$reactor_out" | awk '$1 == "reactor.frames" { print $2 }')
+if [ -z "${reactor_frames}" ] || [ "${reactor_frames}" -eq 0 ]; then
+    printf '%s\n' "$reactor_out" >&2
+    echo "FAIL: traced reactor sieve run pushed no frames through the reactor" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
+    target/reactor_sieve_trace.json --min-events 10
+echo "ok: reactor transport passes (conformance suite, ${reactor_frames} reactor frames, trace valid)"

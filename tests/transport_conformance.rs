@@ -1,0 +1,479 @@
+//! Cross-transport conformance suite: one set of contract checks run
+//! against every transport × dispatch-mode combination (lockstep, mux,
+//! reactor × inline, mailbox), so every future transport inherits the
+//! same behavioral bar instead of re-deriving it test by test.
+//!
+//! The contract, in order of appearance:
+//! * per-object FIFO ordering — frames sent by one caller to one object
+//!   execute in send order;
+//! * one-way/two-way interleaving — posts and calls from one caller
+//!   keep their relative order on the target object;
+//! * replies route by correlation ID, never by arrival order;
+//! * a dead connection poisons pending *and* future calls (fail fast,
+//!   not hang);
+//! * unknown-correlation-ID frames are tolerated and skipped.
+//!
+//! Also here: parc-testkit property tapes for [`FrameAssembler`] — the
+//! reactor's incremental reassembly must decode a frame stream
+//! identically for *any* chunking of the bytes, reject oversize frames
+//! mid-reassembly, and report truncation honestly.
+
+use std::io::Read;
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use parc_testkit::Config;
+
+use parc::remoting::dispatcher::FnInvokable;
+use parc::remoting::frame::{
+    read_frame_into, write_frame, FrameAssembler, FrameRead, FLAG_ONEWAY, HEADER_LEN, MAX_FRAME,
+};
+use parc::remoting::reactor::{ReactorClientChannel, ReactorServerChannel};
+use parc::remoting::tcp::{DispatchMode, LockStepClientChannel, TcpClientChannel, TcpServerChannel};
+use parc::remoting::wellknown::ObjectTable;
+use parc::remoting::{
+    CallMessage, ClientChannel, Invokable, RemoteObject, RemotingError, ReturnMessage,
+};
+use parc::serial::{BinaryFormatter, Value};
+
+// ---------------------------------------------------------------------------
+// The combination matrix
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Transport {
+    Lockstep,
+    Mux,
+    Reactor,
+}
+
+const TRANSPORTS: [Transport; 3] = [Transport::Lockstep, Transport::Mux, Transport::Reactor];
+
+fn modes() -> [(&'static str, DispatchMode); 2] {
+    [("inline", DispatchMode::Inline), ("mailbox", DispatchMode::Mailbox { workers: 4 })]
+}
+
+/// A bound server of whichever shape the transport needs. Lockstep and
+/// mux clients speak to the thread-per-connection server; the reactor
+/// client gets the reactor server, so the combination exercises the new
+/// stack end to end.
+enum Server {
+    Threaded(TcpServerChannel),
+    Reactor(ReactorServerChannel),
+}
+
+impl Server {
+    fn bind(transport: Transport, mode: DispatchMode) -> Server {
+        match transport {
+            Transport::Reactor => Server::Reactor(
+                ReactorServerChannel::bind_with_mode("127.0.0.1:0", mode)
+                    .expect("binding reactor server"),
+            ),
+            Transport::Lockstep | Transport::Mux => Server::Threaded(
+                TcpServerChannel::bind_with_mode("127.0.0.1:0", mode)
+                    .expect("binding threaded server"),
+            ),
+        }
+    }
+
+    fn objects(&self) -> &ObjectTable {
+        match self {
+            Server::Threaded(s) => s.objects(),
+            Server::Reactor(s) => s.objects(),
+        }
+    }
+
+    fn addr(&self) -> String {
+        match self {
+            Server::Threaded(s) => s.local_addr().to_string(),
+            Server::Reactor(s) => s.local_addr().to_string(),
+        }
+    }
+}
+
+fn connect(transport: Transport, addr: &str) -> Arc<dyn ClientChannel> {
+    match transport {
+        Transport::Lockstep => {
+            Arc::new(LockStepClientChannel::connect(addr).expect("lockstep connect"))
+        }
+        // Pool of exactly one so hand-rolled single-socket servers see a
+        // deterministic connection count.
+        Transport::Mux => Arc::new(TcpClientChannel::connect_pooled(addr, 1).expect("mux connect")),
+        Transport::Reactor => {
+            Arc::new(ReactorClientChannel::connect(addr).expect("reactor connect"))
+        }
+    }
+}
+
+/// Runs `check` once per transport × dispatch-mode combination against a
+/// freshly bound server; the label names the combination in failures.
+fn for_each_combo(check: impl Fn(&str, &Server, Arc<dyn ClientChannel>)) {
+    for transport in TRANSPORTS {
+        for (mode_name, mode) in modes() {
+            let server = Server::bind(transport, mode);
+            let chan = connect(transport, &server.addr());
+            check(&format!("{transport:?}/{mode_name}"), &server, chan);
+        }
+    }
+}
+
+/// An object that records every `note(i)` it executes, in execution
+/// order, plus the shared log to assert against.
+fn recorder() -> (Arc<dyn Invokable>, Arc<Mutex<Vec<i32>>>) {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&log);
+    let object = Arc::new(FnInvokable(move |method: &str, args: &[Value]| match method {
+        "note" => {
+            let v = args.first().and_then(Value::as_i32).unwrap_or(i32::MIN);
+            sink.lock().unwrap().push(v);
+            Ok(Value::Null)
+        }
+        "drain" => Ok(Value::I32(sink.lock().unwrap().len() as i32)),
+        _ => Err(RemotingError::MethodNotFound {
+            object: "Recorder".into(),
+            method: method.into(),
+        }),
+    }));
+    (object, log)
+}
+
+// ---------------------------------------------------------------------------
+// Contract: ordering
+// ---------------------------------------------------------------------------
+
+/// One-way posts from one caller to one object execute in send order;
+/// a trailing two-way call is the barrier proving they all landed.
+#[test]
+fn per_object_fifo_ordering_holds_on_every_combo() {
+    for_each_combo(|combo, server, chan| {
+        let (object, log) = recorder();
+        server.objects().register_singleton("Recorder", object);
+        let proxy = RemoteObject::new(chan, "Recorder");
+        for i in 0..32 {
+            proxy.post("note", vec![Value::I32(i)]).unwrap_or_else(|e| {
+                panic!("[{combo}] post {i} failed: {e}");
+            });
+        }
+        let drained = proxy.call("drain", vec![]).unwrap_or_else(|e| {
+            panic!("[{combo}] drain barrier failed: {e}");
+        });
+        assert_eq!(drained, Value::I32(32), "[{combo}] posts lost before barrier");
+        let seen = log.lock().unwrap().clone();
+        assert_eq!(
+            seen,
+            (0..32).collect::<Vec<i32>>(),
+            "[{combo}] one-way posts executed out of order"
+        );
+    });
+}
+
+/// Alternating posts and calls from one caller hit the object in exactly
+/// the issued order — one-way frames never jump the two-way queue and
+/// vice versa.
+#[test]
+fn oneway_twoway_interleaving_preserves_order_on_every_combo() {
+    for_each_combo(|combo, server, chan| {
+        let (object, log) = recorder();
+        server.objects().register_singleton("Recorder", object);
+        let proxy = RemoteObject::new(chan, "Recorder");
+        for i in 0..24 {
+            if i % 2 == 0 {
+                proxy.post("note", vec![Value::I32(i)]).unwrap();
+            } else {
+                proxy.call("note", vec![Value::I32(i)]).unwrap_or_else(|e| {
+                    panic!("[{combo}] two-way note {i} failed: {e}");
+                });
+            }
+        }
+        proxy.call("drain", vec![]).unwrap();
+        let seen = log.lock().unwrap().clone();
+        assert_eq!(
+            seen,
+            (0..24).collect::<Vec<i32>>(),
+            "[{combo}] one-way/two-way interleaving broke per-object order"
+        );
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Contract: correlation
+// ---------------------------------------------------------------------------
+
+/// Concurrent callers sharing one channel each get *their* reply back:
+/// replies route by correlation ID, not arrival order. (Lockstep
+/// serializes internally — the contract is about correctness, not
+/// concurrency.)
+#[test]
+fn replies_route_by_correlation_id_on_every_combo() {
+    for_each_combo(|combo, server, chan| {
+        server.objects().register_singleton(
+            "Echo",
+            Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+                "echo" => Ok(args.first().cloned().unwrap_or(Value::Null)),
+                _ => Err(RemotingError::MethodNotFound {
+                    object: "Echo".into(),
+                    method: method.into(),
+                }),
+            })),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..4i32 {
+                let chan = Arc::clone(&chan);
+                let combo = combo.to_string();
+                scope.spawn(move || {
+                    let proxy = RemoteObject::new(chan, "Echo");
+                    for i in 0..25 {
+                        let sent = t * 1000 + i;
+                        let got = proxy.call("echo", vec![Value::I32(sent)]).unwrap_or_else(|e| {
+                            panic!("[{combo}] caller {t} call {i} failed: {e}");
+                        });
+                        assert_eq!(
+                            got,
+                            Value::I32(sent),
+                            "[{combo}] caller {t} received another caller's reply"
+                        );
+                    }
+                });
+            }
+        });
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Contract: death
+// ---------------------------------------------------------------------------
+
+/// A connection that dies mid-call fails the pending call promptly and
+/// keeps failing future calls (no hangs, no stale successes). The server
+/// here is a hand-rolled assassin: it accepts one connection, stops
+/// listening, reads the first request, and slams the socket shut.
+#[test]
+fn dead_connection_poisons_pending_and_future_calls_on_every_transport() {
+    for transport in TRANSPORTS {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binding assassin listener");
+        let addr = listener.local_addr().unwrap().to_string();
+        let assassin = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accepting victim");
+            // Refuse reconnects *before* killing the connection, so a
+            // fast revive cannot sneak into the accept backlog.
+            drop(listener);
+            let mut sink = [0u8; 256];
+            let _ = stream.read(&mut sink);
+            drop(stream);
+        });
+        let chan = connect(transport, &addr);
+        let proxy = RemoteObject::new(chan, "Ghost");
+
+        let started = Instant::now();
+        let pending = proxy.call("anything", vec![]);
+        assert!(
+            pending.is_err(),
+            "[{transport:?}] call on a killed connection returned {pending:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "[{transport:?}] pending call hung instead of failing fast"
+        );
+
+        for attempt in 0..3 {
+            let later = proxy.call("anything", vec![]);
+            assert!(
+                later.is_err(),
+                "[{transport:?}] call {attempt} after death returned {later:?}"
+            );
+        }
+        assassin.join().expect("assassin thread");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract: unknown correlation IDs
+// ---------------------------------------------------------------------------
+
+/// A peer that interleaves garbage frames with unknown correlation IDs
+/// among real replies must not confuse any client: unknown IDs are
+/// skipped, real replies still land.
+#[test]
+fn unknown_corr_id_frames_are_skipped_on_every_transport() {
+    for transport in TRANSPORTS {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binding noisy listener");
+        let addr = listener.local_addr().unwrap().to_string();
+        let noisy = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accepting");
+            let formatter = BinaryFormatter::new();
+            let mut payload = Vec::new();
+            let mut round = 0u64;
+            loop {
+                match read_frame_into(&mut stream, &mut payload) {
+                    Ok(FrameRead::Frame(header)) => {
+                        let call = CallMessage::decode(&formatter, &payload)
+                            .expect("decoding request");
+                        // Noise first: an ID no caller owns, with a
+                        // payload that is not even a ReturnMessage.
+                        write_frame(&mut stream, u64::MAX - round, 0, b"line noise").unwrap();
+                        round += 1;
+                        let reply = ReturnMessage::ok(
+                            call.call_id,
+                            call.args.first().cloned().unwrap_or(Value::Null),
+                        );
+                        let bytes = reply.encode(&formatter).unwrap();
+                        write_frame(&mut stream, header.corr_id, 0, &bytes).unwrap();
+                    }
+                    Ok(FrameRead::Idle) => continue,
+                    Ok(FrameRead::Eof) | Err(_) => break,
+                }
+            }
+        });
+        {
+            let chan = connect(transport, &addr);
+            let proxy = RemoteObject::new(chan, "Echo");
+            for i in 0..5 {
+                let got = proxy.call("echo", vec![Value::I32(i)]).unwrap_or_else(|e| {
+                    panic!("[{transport:?}] call {i} failed amid noise frames: {e}");
+                });
+                assert_eq!(got, Value::I32(i), "[{transport:?}] echo corrupted by noise");
+            }
+        } // channel drop -> EOF -> noisy server exits
+        noisy.join().expect("noisy server thread");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tapes: incremental frame reassembly
+// ---------------------------------------------------------------------------
+
+/// Encodes `frames` as one contiguous wire image, returning the byte
+/// offsets where each frame ends.
+fn wire_image(frames: &[(u64, bool, Vec<u8>)]) -> (Vec<u8>, Vec<usize>) {
+    let mut wire = Vec::new();
+    let mut ends = Vec::new();
+    for (corr_id, oneway, payload) in frames {
+        let flags = if *oneway { FLAG_ONEWAY } else { 0 };
+        write_frame(&mut wire, *corr_id, flags, payload).unwrap();
+        ends.push(wire.len());
+    }
+    (wire, ends)
+}
+
+/// Any chunking of a valid frame stream — byte-at-a-time, giant blocks,
+/// ragged boundaries straddling headers and payloads — decodes to the
+/// identical frame sequence.
+#[test]
+fn reassembly_is_invariant_under_arbitrary_chunk_boundaries() {
+    Config::cases(96).check(
+        |src| {
+            let frames = src.vec_of(1..6, |s| {
+                let corr_id = s.u64_any();
+                let oneway = s.bool_any();
+                let payload = s.bytes(0..300);
+                (corr_id, oneway, payload)
+            });
+            let chunk_lens = src.vec_of(1..24, |s| s.usize_in(1..97));
+            (frames, chunk_lens)
+        },
+        |(frames, chunk_lens)| {
+            let (wire, _) = wire_image(frames);
+            let mut assembler = FrameAssembler::new();
+            let mut decoded: Vec<(u64, bool, Vec<u8>)> = Vec::new();
+            let mut pos = 0;
+            let mut turn = 0;
+            while pos < wire.len() {
+                let len = chunk_lens[turn % chunk_lens.len()];
+                turn += 1;
+                let end = (pos + len).min(wire.len());
+                assembler
+                    .feed(&wire[pos..end], &mut |header, payload| {
+                        decoded.push((header.corr_id, header.oneway(), payload.to_vec()));
+                    })
+                    .expect("valid stream never errors");
+                pos = end;
+            }
+            assert_eq!(decoded.len(), frames.len(), "frame count changed under chunking");
+            for (got, want) in decoded.iter().zip(frames.iter()) {
+                assert_eq!(got, want, "frame bytes changed under chunking");
+            }
+            assert!(!assembler.mid_frame(), "assembler left mid-frame after a whole stream");
+        },
+    );
+}
+
+/// A truncated stream yields exactly the frames that are complete in the
+/// prefix, and the assembler reports whether the cut fell mid-frame.
+#[test]
+fn truncation_emits_only_complete_frames_and_is_reported() {
+    Config::cases(96).check(
+        |src| {
+            let frames = src.vec_of(1..5, |s| {
+                let corr_id = s.u64_any();
+                let oneway = s.bool_any();
+                let payload = s.bytes(1..200);
+                (corr_id, oneway, payload)
+            });
+            let cut_fraction = src.f64_unit();
+            (frames, cut_fraction)
+        },
+        |(frames, cut_fraction)| {
+            let (wire, ends) = wire_image(frames);
+            // Cut strictly inside the stream: at least 1 byte delivered,
+            // at least 1 byte withheld.
+            let cut = 1 + ((wire.len() - 2) as f64 * cut_fraction) as usize;
+            let complete = ends.iter().filter(|&&e| e <= cut).count();
+            let mut assembler = FrameAssembler::new();
+            let mut decoded = 0usize;
+            assembler
+                .feed(&wire[..cut], &mut |_, _| decoded += 1)
+                .expect("truncation is not an error, just an incomplete state");
+            assert_eq!(decoded, complete, "emitted a frame the prefix does not contain");
+            let at_boundary = ends.contains(&cut);
+            assert_eq!(
+                assembler.mid_frame(),
+                !at_boundary,
+                "mid_frame() must report exactly the cuts inside a frame"
+            );
+        },
+    );
+}
+
+/// An oversize length field is rejected the moment the header completes,
+/// whatever chunk boundary the header bytes straddle — and frames before
+/// it still decode.
+#[test]
+fn oversize_frame_is_rejected_mid_reassembly() {
+    Config::cases(64).check(
+        |src| {
+            let good_payload = src.bytes(0..64);
+            let oversize = MAX_FRAME as u64 + 1 + src.u64_in(0..1024);
+            let split = src.usize_in(1..HEADER_LEN);
+            (good_payload, oversize, split)
+        },
+        |(good_payload, oversize, split)| {
+            let mut wire = Vec::new();
+            write_frame(&mut wire, 7, 0, good_payload).unwrap();
+            let good_len = wire.len();
+            // A hand-built header claiming an impossible payload length.
+            wire.extend_from_slice(&u32::try_from(*oversize).unwrap().to_be_bytes());
+            wire.extend_from_slice(&9u64.to_be_bytes());
+            wire.push(0);
+
+            let mut assembler = FrameAssembler::new();
+            let mut decoded = 0usize;
+            // Deliver the good frame plus a partial bad header...
+            let first_cut = good_len + split;
+            assembler
+                .feed(&wire[..first_cut], &mut |_, payload| {
+                    assert_eq!(payload, good_payload.as_slice());
+                    decoded += 1;
+                })
+                .expect("header still incomplete: no error yet");
+            assert_eq!(decoded, 1, "the complete frame before the bad header must emit");
+            assert!(assembler.mid_frame());
+            // ...then the rest of the bad header: rejection, mid-stream.
+            let err = assembler
+                .feed(&wire[first_cut..], &mut |_, _| decoded += 1)
+                .expect_err("oversize length must be rejected when the header completes");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            assert_eq!(decoded, 1, "no frame may emit after the stream is poisoned");
+        },
+    );
+}
