@@ -67,6 +67,22 @@ impl std::fmt::Debug for ClassRegistry {
 
 static NEXT_IO_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Counts every dispatch into the node's OM activity counter before
+/// delegating — the per-node calls/s signal the telemetry plane reports.
+/// (`OmState::dispatched` used to count only OM mutations, never real IO
+/// traffic.)
+struct OmCounted {
+    om: Arc<OmState>,
+    inner: BatchDispatcher,
+}
+
+impl Invokable for OmCounted {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, RemotingError> {
+        self.om.call_dispatched();
+        self.inner.invoke(method, args)
+    }
+}
+
 /// The per-node factory service.
 pub struct FactoryService {
     node: usize,
@@ -93,8 +109,13 @@ impl FactoryService {
         })?;
         let io = factory();
         let name = format!("io-{}-{}", self.node, NEXT_IO_ID.fetch_add(1, Ordering::Relaxed));
-        self.objects
-            .register_singleton(&name, Arc::new(BatchDispatcher::new(io)));
+        self.objects.register_singleton(
+            &name,
+            Arc::new(OmCounted {
+                om: Arc::clone(&self.om),
+                inner: BatchDispatcher::new(io),
+            }),
+        );
         self.om.object_created();
         Ok(name)
     }

@@ -67,6 +67,7 @@ pub mod pipeline;
 pub mod po;
 pub mod runtime;
 pub mod stats;
+pub mod telemetry;
 
 pub use adapt::GrainAdapter;
 pub use config::{GrainConfig, Placement};
@@ -77,6 +78,7 @@ pub use pipeline::Pipeline;
 pub use po::Po;
 pub use runtime::{ParcRuntime, RuntimeBuilder};
 pub use stats::RuntimeStats;
+pub use telemetry::{ClusterTelemetry, NodeTelemetry, TelemetryService};
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -61,6 +61,13 @@ impl OmState {
             .map_or(0, |d| i64::try_from(d.max_object_depth()).unwrap_or(i64::MAX))
     }
 
+    /// Scheduler counter snapshot through the attached depth handle
+    /// (`None` when no scheduler is attached) — executed jobs, steals,
+    /// pending backlog and busy workers for the telemetry plane.
+    pub fn dispatch_stats(&self) -> Option<parc_remoting::DispatchStats> {
+        self.dispatch_depth.lock().as_ref().map(parc_remoting::DispatchDepth::stats)
+    }
+
     /// Records an IO creation on this node.
     pub fn object_created(&self) {
         self.hosted.fetch_add(1, Ordering::Relaxed);

@@ -332,6 +332,9 @@ impl Po {
                         self.id, self.class
                     )
                 });
+                // Post-mortem flight recorder: with PARC_OBS_DUMP_DIR
+                // set, freeze the ring and event log at the failover.
+                parc_obs::flight_dump("object.failed_over");
                 true
             }
             Err(_) => false,

@@ -34,6 +34,7 @@ use crate::factory::{ClassRegistry, FactoryService, FACTORY_OBJECT};
 use crate::om::{OmService, OmState, OM_OBJECT};
 use crate::po::{Po, Target};
 use crate::stats::RuntimeStats;
+use crate::telemetry::{ClusterTelemetry, TelemetryService};
 
 /// How long a liveness probe waits for a node's OM before counting the
 /// probe as failed.
@@ -108,10 +109,13 @@ impl RuntimeBuilder {
         self.grain.validate()?;
         let net = InprocNetwork::new();
         let registry = ClassRegistry::new();
+        // Created before the nodes boot: every node's telemetry service
+        // shares the runtime's counters.
+        let stats = RuntimeStats::new();
         let mut endpoints = Vec::with_capacity(self.nodes);
         let mut om_states = Vec::with_capacity(self.nodes);
         for node in 0..self.nodes {
-            let (ep, om_state) = boot_node(&net, &registry, node)?;
+            let (ep, om_state) = boot_node(&net, &registry, node, &stats)?;
             endpoints.push(Some(ep));
             om_states.push(om_state);
         }
@@ -123,6 +127,7 @@ impl RuntimeBuilder {
             leases: LeaseManager::new(ttl_nanos),
             epoch: Instant::now(),
             rescue: Mutex::new(None),
+            stats: stats.clone(),
         });
         for node in 0..self.nodes {
             failover.leases.grant(format!("node{node}"), failover.now());
@@ -140,7 +145,7 @@ impl RuntimeBuilder {
             next_object_id: AtomicU64::new(1),
             created: AtomicU64::new(0),
             adapter: Arc::new(GrainAdapter::mono_default()),
-            stats: RuntimeStats::new(),
+            stats,
             dag: Arc::new(DependenceGraph::new()),
         })
     }
@@ -158,6 +163,7 @@ fn boot_node(
     net: &InprocNetwork,
     registry: &ClassRegistry,
     node: usize,
+    stats: &RuntimeStats,
 ) -> Result<(InprocEndpoint, Arc<OmState>), ParcError> {
     let ep = net.create_endpoint(format!("node{node}"))?;
     let om_state = Arc::new(OmState::new());
@@ -174,6 +180,13 @@ fn boot_node(
             ep.objects().clone(),
             Arc::clone(&om_state),
         )),
+    );
+    // The telemetry plane: every node answers `snapshot` on the
+    // well-known `__telemetry` object (stats snapshot, dispatch depth,
+    // queue-wait quantiles, fault counters).
+    ep.objects().register_singleton(
+        parc_remoting::TELEMETRY_OBJECT,
+        Arc::new(TelemetryService::new(node, Arc::clone(&om_state), stats.clone())),
     );
     Ok((ep, om_state))
 }
@@ -233,6 +246,9 @@ pub(crate) struct FailoverState {
     /// target is required (skeletons wire stages by URI) but every real
     /// node is dead.
     rescue: Mutex<Option<InprocEndpoint>>,
+    /// The runtime's shared counters, so the rescue endpoint's telemetry
+    /// service reports the same numbers as the real nodes'.
+    stats: RuntimeStats,
 }
 
 impl FailoverState {
@@ -264,6 +280,9 @@ impl FailoverState {
             self.leases.cancel(&format!("node{node}"));
             parc_obs::counter(parc_obs::kinds::NODE_FAILED).incr();
             parc_obs::event(parc_obs::kinds::NODE_FAILED, || format!("node=node{node}"));
+            // Post-mortem flight recorder: with PARC_OBS_DUMP_DIR set,
+            // freeze the ring and event log at the moment of death.
+            parc_obs::flight_dump("node.failed");
         }
         transitioned
     }
@@ -292,7 +311,8 @@ impl FailoverState {
         {
             let mut rescue = self.rescue.lock();
             if rescue.is_none() {
-                let (ep, _om_state) = boot_node(&self.net, &self.registry, self.rescue_node())?;
+                let (ep, _om_state) =
+                    boot_node(&self.net, &self.registry, self.rescue_node(), &self.stats)?;
                 *rescue = Some(ep);
             }
         }
@@ -373,6 +393,12 @@ impl ParcRuntime {
     /// Shared runtime counters.
     pub fn stats(&self) -> &RuntimeStats {
         &self.stats
+    }
+
+    /// A poller over every node's `__telemetry` object — the read side of
+    /// the live telemetry plane (`parc-top` renders its rows).
+    pub fn telemetry(&self) -> ClusterTelemetry {
+        ClusterTelemetry::new(self.net.clone(), self.nodes())
     }
 
     /// The grain-size adapter.

@@ -3,87 +3,231 @@
 //! Used by `scripts/verify.sh` as the offline smoke gate: the file must
 //! parse as JSON, the top level must be an array, and every element must
 //! be an object carrying the `name`/`ph`/`ts` fields Perfetto requires.
+//! With `--cross-node` the checker additionally walks the trace/span/
+//! parent ids that spans carry in `args` and proves the merged trace is
+//! causally well-formed across nodes: span ids unique, no orphaned
+//! parents, parent links acyclic, children not starting before their
+//! parent (modulo `--skew-ns` of clock skew), and at least one `dispatch`
+//! span whose parent lives in another Chrome process (i.e. a remote call
+//! actually crossed a node boundary).
 //!
-//! Usage: `parc-trace-check <trace.json> [--min-events N]`
+//! Usage: `parc-trace-check <trace.json> [--min-events N] [--cross-node]
+//!         [--skew-ns N]`
+
+use std::collections::HashMap;
+use std::process::exit;
 
 use parc_obs::json::{parse, Json};
 
+const USAGE: &str =
+    "usage: parc-trace-check <trace.json> [--min-events N] [--cross-node] [--skew-ns N]";
+
+/// One traced span, as reconstructed from the `args` of an "X" element.
+struct SpanInfo {
+    name: String,
+    ts_us: f64,
+    pid: f64,
+    span: u64,
+    parent: u64,
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: parc-trace-check <trace.json> [--min-events N]");
-        std::process::exit(2);
-    };
+    let mut path: Option<String> = None;
     let mut min_events = 1usize;
-    if args.next().as_deref() == Some("--min-events") {
-        min_events = args
-            .next()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--min-events needs a number");
-                std::process::exit(2);
-            });
+    let mut cross_node = false;
+    let mut skew_ns: u64 = 1_000_000;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--min-events" => min_events = numeric_flag(&mut args, "--min-events"),
+            "--skew-ns" => skew_ns = numeric_flag(&mut args, "--skew-ns"),
+            "--cross-node" => cross_node = true,
+            "-h" | "--help" => {
+                eprintln!("{USAGE}");
+                exit(2);
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(arg),
+            other => {
+                eprintln!("unknown argument {other:?}\n{USAGE}");
+                exit(2);
+            }
+        }
     }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        exit(2);
+    };
 
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
-        Err(e) => {
-            eprintln!("FAIL: cannot read {path}: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail(&path, &format!("cannot read: {e}")),
     };
     let doc = match parse(&text) {
         Ok(d) => d,
-        Err(e) => {
-            eprintln!("FAIL: {path} is not valid JSON: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => fail(&path, &format!("not valid JSON: {e}")),
     };
     let Json::Array(events) = doc else {
-        eprintln!("FAIL: {path}: top level must be a trace_event array");
-        std::process::exit(1);
+        fail(&path, "top level must be a trace_event array");
     };
+
     let mut spans = 0usize;
     let mut instants = 0usize;
+    let mut metadata = 0usize;
+    let mut traced: Vec<SpanInfo> = Vec::new();
     for (i, ev) in events.iter().enumerate() {
         let Json::Object(_) = ev else {
-            eprintln!("FAIL: {path}: element {i} is not an object");
-            std::process::exit(1);
+            fail(&path, &format!("element {i} is not an object"));
         };
         for key in ["name", "ph", "ts", "pid", "tid"] {
             if ev.get(key).is_none() {
-                eprintln!("FAIL: {path}: element {i} is missing {key:?}");
-                std::process::exit(1);
+                fail(&path, &format!("element {i} is missing {key:?}"));
             }
         }
         match ev.get("ph").and_then(Json::as_str) {
             Some("X") => {
                 if ev.get("dur").and_then(Json::as_f64).is_none() {
-                    eprintln!("FAIL: {path}: complete event {i} has no dur");
-                    std::process::exit(1);
+                    fail(&path, &format!("complete event {i} has no dur"));
                 }
                 spans += 1;
+                if let Some(info) = span_info(ev) {
+                    traced.push(info);
+                }
             }
             Some("i") => instants += 1,
-            Some(other) => {
-                eprintln!("FAIL: {path}: element {i} has unknown phase {other:?}");
-                std::process::exit(1);
-            }
-            None => {
-                eprintln!("FAIL: {path}: element {i} ph is not a string");
-                std::process::exit(1);
-            }
+            Some("M") => metadata += 1,
+            Some(other) => fail(&path, &format!("element {i} has unknown phase {other:?}")),
+            None => fail(&path, &format!("element {i} ph is not a string")),
         }
     }
-    if events.len() < min_events {
-        eprintln!(
-            "FAIL: {path}: {} events, expected at least {min_events}",
-            events.len()
+    if spans + instants < min_events {
+        fail(
+            &path,
+            &format!("{} events, expected at least {min_events}", spans + instants),
         );
-        std::process::exit(1);
     }
-    println!(
-        "ok: {path}: {} trace events ({spans} spans, {instants} instants)",
-        events.len()
+
+    let mut cross_edges = 0usize;
+    if cross_node {
+        cross_edges = check_cross_node(&path, &traced, skew_ns);
+    }
+
+    print!(
+        "ok: {path}: {} trace events ({spans} spans, {instants} instants, {metadata} metadata)",
+        spans + instants
     );
+    if cross_node {
+        print!(
+            ", {} traced spans causally linked across processes ({cross_edges} cross-node dispatch edges)",
+            traced.len()
+        );
+    }
+    println!();
+}
+
+fn numeric_flag<T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = String>,
+    flag: &str,
+) -> T {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} needs a number\n{USAGE}");
+        exit(2);
+    })
+}
+
+fn fail(path: &str, msg: &str) -> ! {
+    eprintln!("FAIL: {path}: {msg}");
+    exit(1);
+}
+
+/// Pulls the causal identity out of a span's `args`. Spans recorded with
+/// tracing disabled carry all-zero ids and are skipped — only traced
+/// spans participate in the cross-node graph.
+fn span_info(ev: &Json) -> Option<SpanInfo> {
+    let args = ev.get("args")?;
+    let span = u64::from_str_radix(args.get("span")?.as_str()?, 16).ok()?;
+    if span == 0 {
+        return None;
+    }
+    let parent = u64::from_str_radix(args.get("parent")?.as_str()?, 16).ok()?;
+    Some(SpanInfo {
+        name: ev.get("name")?.as_str()?.to_string(),
+        ts_us: ev.get("ts")?.as_f64()?,
+        pid: ev.get("pid")?.as_f64()?,
+        span,
+        parent,
+    })
+}
+
+/// Validates the causal graph of traced spans; returns the number of
+/// cross-process dispatch edges found.
+fn check_cross_node(path: &str, traced: &[SpanInfo], skew_ns: u64) -> usize {
+    if traced.is_empty() {
+        fail(path, "--cross-node: no traced spans (all span ids are zero)");
+    }
+    let mut by_id: HashMap<u64, &SpanInfo> = HashMap::with_capacity(traced.len());
+    for info in traced {
+        if by_id.insert(info.span, info).is_some() {
+            fail(path, &format!("--cross-node: duplicate span id {:016x}", info.span));
+        }
+    }
+
+    let skew_us = skew_ns as f64 / 1e3;
+    let mut cross_edges = 0usize;
+    for info in traced {
+        if info.parent == 0 {
+            continue;
+        }
+        let Some(parent) = by_id.get(&info.parent) else {
+            fail(
+                path,
+                &format!(
+                    "--cross-node: span {:016x} ({}) has orphan parent {:016x}",
+                    info.span, info.name, info.parent
+                ),
+            );
+        };
+        if info.ts_us + skew_us < parent.ts_us {
+            fail(
+                path,
+                &format!(
+                    "--cross-node: span {:016x} ({}) starts {:.1}us before its parent \
+                     {:016x} ({}) even allowing {skew_ns}ns skew",
+                    info.span,
+                    info.name,
+                    parent.ts_us - info.ts_us,
+                    parent.span,
+                    parent.name
+                ),
+            );
+        }
+        if info.name == "dispatch" && info.pid != parent.pid {
+            cross_edges += 1;
+        }
+    }
+
+    // Acyclic: walk each parent chain; chains longer than the span count
+    // can only mean a loop.
+    for info in traced {
+        let mut hops = 0usize;
+        let mut cursor = info.parent;
+        while cursor != 0 {
+            hops += 1;
+            if hops > traced.len() {
+                fail(
+                    path,
+                    &format!("--cross-node: parent chain from {:016x} is cyclic", info.span),
+                );
+            }
+            cursor = by_id[&cursor].parent;
+        }
+    }
+
+    if cross_edges == 0 {
+        fail(
+            path,
+            "--cross-node: no dispatch span has a parent in another process \
+             (no remote call crossed a node boundary)",
+        );
+    }
+    cross_edges
 }

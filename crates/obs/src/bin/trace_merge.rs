@@ -1,0 +1,180 @@
+//! `parc-trace-merge` — joins per-node JSONL trace files into one
+//! causally-linked Chrome trace.
+//!
+//! Each node of a traced run writes its own `trace-<node>.jsonl` (see
+//! `parc_obs::export::write_node_jsonl_files`): one span or event object
+//! per line, stamped with the node's name and hex trace/span/parent ids.
+//! This tool reads any number of those files (or a directory of them),
+//! re-interns the node names, and emits a single `trace_event` JSON array
+//! in which every node is its own Chrome "process" and spans keep their
+//! cross-node parent links in `args` — ready for Perfetto and for
+//! `parc-trace-check --cross-node`.
+//!
+//! Usage: `parc-trace-merge <dir | file.jsonl ...> [-o merged.json]`
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use parc_obs::export::chrome_trace_json_of;
+use parc_obs::json::{parse, Json};
+use parc_obs::ring::{EventRecord, Record, SpanRecord};
+
+fn usage() -> ! {
+    eprintln!("usage: parc-trace-merge <dir | file.jsonl ...> [-o merged.json]");
+    exit(2);
+}
+
+fn main() {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "-o" || arg == "--out" {
+            out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+        } else if arg == "-h" || arg == "--help" {
+            usage();
+        } else {
+            let path = PathBuf::from(arg);
+            if path.is_dir() {
+                let mut found = dir_jsonl_files(&path);
+                if found.is_empty() {
+                    eprintln!("FAIL: {} contains no .jsonl files", path.display());
+                    exit(1);
+                }
+                inputs.append(&mut found);
+            } else {
+                inputs.push(path);
+            }
+        }
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+    inputs.sort();
+
+    let mut records: Vec<Record> = Vec::new();
+    let mut nodes = 0usize;
+    for path in &inputs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL: cannot read {}: {e}", path.display());
+                exit(1);
+            }
+        };
+        nodes += 1;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_record(line) {
+                Ok(record) => records.push(record),
+                Err(e) => {
+                    eprintln!("FAIL: {}:{}: {e}", path.display(), lineno + 1);
+                    exit(1);
+                }
+            }
+        }
+    }
+    // One global timeline: order by start so the merged trace reads in
+    // causal-ish order regardless of per-file grouping.
+    records.sort_by_key(|r| match r {
+        Record::Span(s) => s.start_ns,
+        Record::Event(e) => e.at_ns,
+    });
+
+    let json = chrome_trace_json_of(&records);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("FAIL: cannot write {}: {e}", path.display());
+                exit(1);
+            }
+            eprintln!(
+                "ok: merged {} records from {nodes} file(s) into {}",
+                records.len(),
+                path.display()
+            );
+        }
+        None => print!("{json}"),
+    }
+}
+
+fn dir_jsonl_files(dir: &std::path::Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else { return Vec::new() };
+    let mut found: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+        .collect();
+    found.sort();
+    found
+}
+
+/// Ring record `kind`s are `&'static str` (they come from the in-process
+/// vocabulary); a merge tool reads them back from files, so it leaks the
+/// handful of distinct kind strings it meets. Bounded by the vocabulary
+/// size, freed at process exit.
+fn intern_kind(kind: &str) -> &'static str {
+    use std::sync::Mutex;
+    static SEEN: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut seen = SEEN.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(k) = seen.iter().find(|k| **k == kind) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(kind.to_string().into_boxed_str());
+    seen.push(leaked);
+    leaked
+}
+
+fn node_tag(label: &str) -> u32 {
+    if label == "client" {
+        parc_obs::trace::NODE_UNSET
+    } else {
+        parc_obs::trace::node_id(label)
+    }
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    obj.get(key).and_then(Json::as_str).ok_or_else(|| format!("missing string {key:?}"))
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, String> {
+    let n = obj.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing number {key:?}"))?;
+    if !(0.0..=u64::MAX as f64).contains(&n) {
+        return Err(format!("{key:?} out of range: {n}"));
+    }
+    Ok(n as u64)
+}
+
+fn hex_field(obj: &Json, key: &str) -> Result<u64, String> {
+    let s = str_field(obj, key)?;
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad hex {key:?} ({s:?}): {e}"))
+}
+
+fn parse_record(line: &str) -> Result<Record, String> {
+    let obj = parse(line)?;
+    let node = node_tag(str_field(&obj, "node")?);
+    let kind = intern_kind(str_field(&obj, "kind")?);
+    match str_field(&obj, "type")? {
+        "span" => Ok(Record::Span(SpanRecord {
+            kind,
+            start_ns: u64_field(&obj, "start_ns")?,
+            dur_ns: u64_field(&obj, "dur_ns")?,
+            tid: u64_field(&obj, "tid")?,
+            depth: u64_field(&obj, "depth")? as u32,
+            trace_id: hex_field(&obj, "trace")?,
+            span_id: hex_field(&obj, "span")?,
+            parent_span_id: hex_field(&obj, "parent")?,
+            node,
+        })),
+        "event" => Ok(Record::Event(EventRecord {
+            kind,
+            at_ns: u64_field(&obj, "at_ns")?,
+            tid: u64_field(&obj, "tid")?,
+            node,
+            detail: str_field(&obj, "detail")?.to_string(),
+        })),
+        other => Err(format!("unknown record type {other:?}")),
+    }
+}

@@ -12,6 +12,26 @@ use std::io::Write as _;
 use std::path::Path;
 
 use crate::ring::Record;
+use crate::trace::NODE_UNSET;
+
+/// Chrome-trace process id for a node tag: the untagged "client" process
+/// is pid 1, node ids map densely above it.
+fn pid_of(node: u32) -> u64 {
+    if node == NODE_UNSET {
+        1
+    } else {
+        u64::from(node) + 2
+    }
+}
+
+/// Human label for a node tag (`client` when untagged).
+pub fn node_label(node: u32) -> String {
+    if node == NODE_UNSET {
+        "client".to_string()
+    } else {
+        crate::trace::node_name(node).unwrap_or_else(|| format!("node?{node}"))
+    }
+}
 
 /// Escapes a string for embedding in a JSON string literal.
 pub fn escape_json(s: &str) -> String {
@@ -39,6 +59,18 @@ pub fn escape_json(s: &str) -> String {
 pub fn text_summary() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== parc-obs summary ==");
+
+    // Fold the ring's overwrite count into the `ring.dropped` counter so
+    // a truncated trace shows up in the counters section, not just the
+    // ring footer.
+    let dropped = crate::recorder().dropped();
+    if dropped > 0 {
+        let c = crate::counter(crate::kinds::RING_DROPPED);
+        let seen = c.get();
+        if dropped > seen {
+            c.add(dropped - seen);
+        }
+    }
 
     let counters = crate::counters_snapshot();
     if !counters.is_empty() {
@@ -82,21 +114,56 @@ pub fn text_summary() -> String {
     let ring = crate::recorder();
     let _ = writeln!(
         out,
-        "-- ring -- {} records retained of {} recorded (capacity {})",
+        "-- ring -- {} records retained of {} recorded (capacity {}, {} dropped)",
         ring.snapshot().len(),
         ring.pushed(),
-        ring.capacity()
+        ring.capacity(),
+        ring.dropped()
     );
     out
 }
 
-/// Renders the ring as a Chrome `trace_event` JSON array.
+/// Renders the ring as a Chrome `trace_event` JSON array. Each node tag
+/// becomes its own Chrome "process" (named by a `process_name` metadata
+/// event); spans carry their trace/span/parent ids as hex strings in
+/// `args` so viewers and `parc-trace-check --cross-node` can follow
+/// causal edges across nodes.
 pub fn chrome_trace_json() -> String {
-    let records = crate::recorder().snapshot();
-    let mut out = String::with_capacity(records.len() * 96 + 2);
+    chrome_trace_json_of(&crate::recorder().snapshot())
+}
+
+/// [`chrome_trace_json`] over an explicit record list (the merge tool
+/// and the per-node exporters reuse it).
+pub fn chrome_trace_json_of(records: &[Record]) -> String {
+    let mut nodes: Vec<u32> = Vec::new();
+    for record in records {
+        let node = match record {
+            Record::Span(s) => s.node,
+            Record::Event(e) => e.node,
+        };
+        if !nodes.contains(&node) {
+            nodes.push(node);
+        }
+    }
+    nodes.sort_unstable_by_key(|n| pid_of(*n));
+
+    let mut out = String::with_capacity(records.len() * 128 + 2);
     out.push('[');
     let mut first = true;
-    for record in &records {
+    for node in &nodes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        let _ = write!(
+            out,
+            r#"{{"name":"process_name","ph":"M","ts":0,"pid":{},"tid":0,"args":{{"name":"{}"}}}}"#,
+            pid_of(*node),
+            escape_json(&node_label(*node))
+        );
+    }
+    for record in records {
         if !first {
             out.push(',');
         }
@@ -106,20 +173,26 @@ pub fn chrome_trace_json() -> String {
             Record::Span(s) => {
                 let _ = write!(
                     out,
-                    r#"{{"name":"{}","cat":"span","ph":"X","ts":{},"dur":{},"pid":1,"tid":{},"args":{{"depth":{}}}}}"#,
+                    r#"{{"name":"{}","cat":"span","ph":"X","ts":{},"dur":{},"pid":{},"tid":{},"args":{{"depth":{},"trace":"{:016x}","span":"{:016x}","parent":"{:016x}","node":"{}"}}}}"#,
                     escape_json(s.kind),
                     s.start_ns as f64 / 1e3,
                     (s.dur_ns as f64 / 1e3).max(0.001),
+                    pid_of(s.node),
                     s.tid,
-                    s.depth
+                    s.depth,
+                    s.trace_id,
+                    s.span_id,
+                    s.parent_span_id,
+                    escape_json(&node_label(s.node))
                 );
             }
             Record::Event(e) => {
                 let _ = write!(
                     out,
-                    r#"{{"name":"{}","cat":"event","ph":"i","s":"t","ts":{},"pid":1,"tid":{},"args":{{"detail":"{}"}}}}"#,
+                    r#"{{"name":"{}","cat":"event","ph":"i","s":"t","ts":{},"pid":{},"tid":{},"args":{{"detail":"{}"}}}}"#,
                     escape_json(e.kind),
                     e.at_ns as f64 / 1e3,
+                    pid_of(e.node),
                     e.tid,
                     escape_json(&e.detail)
                 );
@@ -168,6 +241,66 @@ pub fn write_events_jsonl(path: impl AsRef<Path>) -> std::io::Result<()> {
     f.write_all(events_jsonl().as_bytes())
 }
 
+/// Renders one ring record as a node-stamped JSONL line — the per-node
+/// interchange format `parc-trace-merge` consumes. Ids are hex *strings*
+/// (the in-tree JSON parser stores numbers as `f64`, which cannot hold a
+/// full u64 id).
+fn record_jsonl_line(record: &Record) -> String {
+    match record {
+        Record::Span(s) => format!(
+            r#"{{"type":"span","kind":"{}","node":"{}","start_ns":{},"dur_ns":{},"tid":{},"depth":{},"trace":"{:016x}","span":"{:016x}","parent":"{:016x}"}}"#,
+            escape_json(s.kind),
+            escape_json(&node_label(s.node)),
+            s.start_ns,
+            s.dur_ns,
+            s.tid,
+            s.depth,
+            s.trace_id,
+            s.span_id,
+            s.parent_span_id,
+        ),
+        Record::Event(e) => format!(
+            r#"{{"type":"event","kind":"{}","node":"{}","at_ns":{},"tid":{},"detail":"{}"}}"#,
+            escape_json(e.kind),
+            escape_json(&node_label(e.node)),
+            e.at_ns,
+            e.tid,
+            escape_json(&e.detail),
+        ),
+    }
+}
+
+/// Splits the ring by node tag and writes one `trace-<node>.jsonl` file
+/// per node into `dir` (created if missing). Returns the written paths.
+/// Records made outside any node scope land in `trace-client.jsonl`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_node_jsonl_files(dir: impl AsRef<Path>) -> std::io::Result<Vec<std::path::PathBuf>> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut by_node: std::collections::BTreeMap<String, String> = std::collections::BTreeMap::new();
+    for record in crate::recorder().snapshot() {
+        let node = match &record {
+            Record::Span(s) => s.node,
+            Record::Event(e) => e.node,
+        };
+        let mut label = node_label(node);
+        label.retain(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+        let buf = by_node.entry(label).or_default();
+        buf.push_str(&record_jsonl_line(&record));
+        buf.push('\n');
+    }
+    let mut paths = Vec::with_capacity(by_node.len());
+    for (label, contents) in by_node {
+        let path = dir.join(format!("trace-{label}.jsonl"));
+        std::fs::write(&path, contents)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,7 +328,8 @@ mod tests {
         let text = chrome_trace_json();
         let parsed = parse(&text).expect("trace must parse");
         let Json::Array(events) = parsed else { panic!("top level must be an array") };
-        assert_eq!(events.len(), 2);
+        // One span, one point event, plus process_name metadata.
+        assert_eq!(events.len(), 3);
         for ev in &events {
             let Json::Object(fields) = ev else { panic!("event must be an object") };
             for key in ["name", "ph", "ts", "pid", "tid"] {
@@ -204,7 +338,39 @@ mod tests {
         }
         assert!(text.contains(r#""ph":"X""#));
         assert!(text.contains(r#""ph":"i""#));
+        assert!(text.contains(r#""ph":"M""#));
+        assert!(text.contains(r#""span":"#));
         assert!(text.contains("calls=3"));
+    }
+
+    #[test]
+    fn node_jsonl_files_split_by_node_tag() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::reset();
+        let id = crate::trace::node_id("export-test-node");
+        {
+            let _g = crate::trace::enter_node_id(id);
+            let _s = crate::Span::enter(kinds::DISPATCH);
+        }
+        {
+            let _s = crate::Span::enter(kinds::PO_CALL);
+        }
+        crate::set_enabled(false);
+        let dir = std::env::temp_dir().join(format!("parc-obs-export-{}", std::process::id()));
+        let paths = write_node_jsonl_files(&dir).expect("write node files");
+        assert_eq!(paths.len(), 2, "one file per node tag: {paths:?}");
+        let names: Vec<String> =
+            paths.iter().map(|p| p.file_name().unwrap().to_string_lossy().into_owned()).collect();
+        assert!(names.contains(&"trace-client.jsonl".to_string()), "{names:?}");
+        assert!(names.contains(&"trace-export-test-node.jsonl".to_string()), "{names:?}");
+        for path in &paths {
+            let contents = std::fs::read_to_string(path).unwrap();
+            for line in contents.lines() {
+                assert!(matches!(parse(line), Ok(Json::Object(_))), "bad line {line}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -104,6 +104,18 @@ pub const OBJECT_FAILED_OVER: &str = "object.failed_over";
 /// target (reconnect or failover completion).
 pub const RECOVERY_LATENCY: &str = "recovery.latency";
 
+// ---- observability plane ----
+
+/// Counter: ring records lost to overwrite (truncated-trace detector).
+pub const RING_DROPPED: &str = "ring.dropped";
+/// Event: the flight recorder wrote a post-mortem dump
+/// (`reason=.. seq=..`).
+pub const FLIGHT_DUMP: &str = "flight.dump";
+/// One call served by a node's `/telemetry` well-known object.
+pub const TELEMETRY_DISPATCH: &str = "telemetry.dispatch";
+/// One cluster-wide poll by a `ClusterTelemetry` aggregator.
+pub const TELEMETRY_POLL: &str = "telemetry.poll";
+
 // ---- reactor transport ----
 
 /// Counter: complete frames reassembled and dispatched by the reactor.
@@ -181,6 +193,10 @@ mod tests {
             super::NODE_FAILED,
             super::OBJECT_FAILED_OVER,
             super::RECOVERY_LATENCY,
+            super::RING_DROPPED,
+            super::FLIGHT_DUMP,
+            super::TELEMETRY_DISPATCH,
+            super::TELEMETRY_POLL,
             super::REACTOR_FRAMES,
             super::REACTOR_CONNS,
             super::REACTOR_PARKS,

@@ -44,6 +44,7 @@ pub mod kinds;
 pub mod metrics;
 pub mod ring;
 mod span;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -52,10 +53,12 @@ use std::time::Instant;
 
 pub use export::{
     chrome_trace_json, events_jsonl, text_summary, write_chrome_trace, write_events_jsonl,
+    write_node_jsonl_files,
 };
 pub use metrics::{Counter, Gauge, Histogram};
 pub use ring::{EventRecord, Record, Ring, SpanRecord};
 pub use span::{thread_id, Span};
+pub use trace::TraceContext;
 
 /// Recorder configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,12 +109,15 @@ pub fn init(config: ObsConfig) -> ObsConfig {
 }
 
 /// Initialises from the environment: `PARC_OBS=1` (or `true`) enables
-/// recording, `PARC_OBS_RING=<n>` sizes the ring. Returns the effective
-/// configuration.
+/// recording, `PARC_OBS_RING=<n>` sizes the ring. Setting
+/// `PARC_OBS_DUMP_DIR` also enables recording so the flight recorder
+/// (see [`flight_dump`]) has something to dump when a failure fires.
+/// Returns the effective configuration.
 pub fn init_from_env() -> ObsConfig {
     let enabled = std::env::var("PARC_OBS")
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-        .unwrap_or(false);
+        .unwrap_or(false)
+        || dump_dir().is_some();
     let ring_capacity = std::env::var("PARC_OBS_RING")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -246,8 +252,43 @@ pub fn event(kind: &'static str, detail: impl FnOnce() -> String) {
         kind,
         at_ns: now_ns(),
         tid: thread_id(),
+        node: trace::current_node(),
         detail: detail(),
     }));
+}
+
+/// Flight recorder: where failure-triggered dumps land, read once from
+/// `PARC_OBS_DUMP_DIR`. `None` disables the recorder entirely.
+fn dump_dir() -> Option<&'static std::path::Path> {
+    static DIR: OnceLock<Option<std::path::PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| std::env::var_os("PARC_OBS_DUMP_DIR").map(std::path::PathBuf::from))
+        .as_deref()
+}
+
+/// Dumps the span ring (Chrome trace) and the event log (JSONL) into
+/// `PARC_OBS_DUMP_DIR`, for post-mortem analysis when a failure event
+/// (`node.failed`, `object.failed_over`) fires. Returns the trace path
+/// when a dump was written. No-op unless the env var is set; capped at a
+/// handful of dumps per process so a flapping node cannot fill the disk.
+pub fn flight_dump(reason: &str) -> Option<std::path::PathBuf> {
+    const MAX_DUMPS: u32 = 8;
+    static SEQ: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+    let dir = dump_dir()?;
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    if seq >= MAX_DUMPS {
+        return None;
+    }
+    std::fs::create_dir_all(dir).ok()?;
+    let slug: String = reason
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let trace_path = dir.join(format!("flight-{seq:03}-{slug}.trace.json"));
+    let events_path = dir.join(format!("flight-{seq:03}-{slug}.events.jsonl"));
+    export::write_chrome_trace(&trace_path).ok()?;
+    export::write_events_jsonl(&events_path).ok()?;
+    event(kinds::FLIGHT_DUMP, || format!("reason={reason} seq={seq}"));
+    Some(trace_path)
 }
 
 /// Clears the ring and zeroes every registered metric (tests and

@@ -23,6 +23,15 @@ pub struct SpanRecord {
     pub tid: u64,
     /// Nesting depth on its thread (0 = top level).
     pub depth: u32,
+    /// Causal chain id shared across every hop of one distributed call.
+    pub trace_id: u64,
+    /// This span's own id (process-unique, non-zero while recording).
+    pub span_id: u64,
+    /// Parent span id; 0 for a trace root.
+    pub parent_span_id: u64,
+    /// Interned node id (see [`crate::trace::node_id`]);
+    /// [`crate::trace::NODE_UNSET`] outside any node scope.
+    pub node: u32,
 }
 
 /// One point event (adaptation decisions and the like).
@@ -34,6 +43,8 @@ pub struct EventRecord {
     pub at_ns: u64,
     /// Small per-thread id.
     pub tid: u64,
+    /// Interned node id; [`crate::trace::NODE_UNSET`] outside node scope.
+    pub node: u32,
     /// `key=value` detail pairs, space separated.
     pub detail: String,
 }
@@ -70,6 +81,12 @@ impl Ring {
     /// Total records pushed over the ring's lifetime (≥ retained count).
     pub fn pushed(&self) -> u64 {
         self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to overwrite since the last [`Ring::clear`] — the
+    /// count a truncated trace is missing. Zero until the ring wraps.
+    pub fn dropped(&self) -> u64 {
+        self.pushed().saturating_sub(self.slots.len() as u64)
     }
 
     /// Appends a record, overwriting the oldest once full.
@@ -118,7 +135,13 @@ mod tests {
     use super::*;
 
     fn ev(n: u64) -> Record {
-        Record::Event(EventRecord { kind: "tick", at_ns: n, tid: 0, detail: String::new() })
+        Record::Event(EventRecord {
+            kind: "tick",
+            at_ns: n,
+            tid: 0,
+            node: crate::trace::NODE_UNSET,
+            detail: String::new(),
+        })
     }
 
     fn at(r: &Record) -> u64 {
@@ -149,6 +172,20 @@ mod tests {
         assert_eq!(snap.iter().map(at).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
         assert_eq!(ring.pushed(), 10);
         assert_eq!(ring.capacity(), 4);
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    fn dropped_is_zero_until_the_ring_wraps() {
+        let ring = Ring::new(8);
+        for i in 0..8 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.dropped(), 0);
+        ring.push(ev(8));
+        assert_eq!(ring.dropped(), 1);
+        ring.clear();
+        assert_eq!(ring.dropped(), 0);
     }
 
     #[test]

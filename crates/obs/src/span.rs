@@ -33,6 +33,9 @@ struct ActiveSpan {
     start: Instant,
     start_ns: u64,
     depth: u32,
+    trace_id: u64,
+    span_id: u64,
+    parent_span_id: u64,
 }
 
 /// A live span; records itself when dropped.
@@ -59,12 +62,16 @@ impl Span {
             d.set(depth + 1);
             depth
         });
+        let (trace_id, span_id, parent_span_id) = crate::trace::begin_span();
         Span {
             active: Some(ActiveSpan {
                 kind,
                 start: Instant::now(),
                 start_ns: crate::now_ns(),
                 depth,
+                trace_id,
+                span_id,
+                parent_span_id,
             }),
         }
     }
@@ -82,6 +89,7 @@ impl Drop for Span {
             return;
         };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        crate::trace::end_span(active.span_id);
         let dur_ns = active.start.elapsed().as_nanos() as u64;
         crate::histogram(active.kind).record(dur_ns);
         crate::recorder().push(Record::Span(SpanRecord {
@@ -90,6 +98,10 @@ impl Drop for Span {
             dur_ns,
             tid: thread_id(),
             depth: active.depth,
+            trace_id: active.trace_id,
+            span_id: active.span_id,
+            parent_span_id: active.parent_span_id,
+            node: crate::trace::current_node(),
         }));
     }
 }
@@ -139,6 +151,11 @@ mod tests {
         assert_eq!(spans[0].tid, spans[1].tid);
         assert!(spans[0].start_ns >= spans[1].start_ns);
         assert!(crate::histogram("call").count() >= 1);
+        // The inner span is causally linked under the outer one.
+        assert_ne!(spans[1].span_id, 0);
+        assert_eq!(spans[0].trace_id, spans[1].trace_id);
+        assert_eq!(spans[0].parent_span_id, spans[1].span_id);
+        assert_eq!(spans[1].parent_span_id, 0);
     }
 
     #[test]

@@ -12,9 +12,18 @@
 //! ```text
 //! offset 0..4    payload length, u32 big-endian
 //! offset 4..12   correlation id, u64 big-endian
-//! offset 12      flags (bit 0: one-way)
+//! offset 12      flags (bit 0: one-way, bit 1: trace context present)
 //! offset 13..    payload (formatter bytes)
 //! ```
+//!
+//! When [`FLAG_TRACE`] is set, the first [`TRACE_EXT_LEN`] payload bytes
+//! are a trace-context extension (trace id, parent span id and a
+//! sampling word, each u64 big-endian) and the formatter bytes start
+//! after it. The extension is *counted inside the length field*, so
+//! framing-level readers ([`read_frame_into`], [`FrameAssembler`]) need
+//! no changes at all — dispatchers peel it off with [`split_trace_ext`].
+//! A receiver that ignores the flag still sees a well-formed frame; it
+//! just fails to decode the payload, exactly as for any version skew.
 //!
 //! Writes are vectored: header and payload go to the socket in one
 //! `write_all`-equivalent call with no intermediate concatenation. Reads
@@ -28,6 +37,13 @@ pub const HEADER_LEN: usize = 13;
 
 /// Flag bit: the sender expects no reply to this frame.
 pub const FLAG_ONEWAY: u8 = 0b0000_0001;
+
+/// Flag bit: the payload starts with a [`TRACE_EXT_LEN`]-byte
+/// trace-context extension.
+pub const FLAG_TRACE: u8 = 0b0000_0010;
+
+/// Size of the trace-context extension (three u64 words).
+pub const TRACE_EXT_LEN: usize = 24;
 
 /// Upper bound on a single frame's payload; larger lengths indicate
 /// corruption (or an unframed peer) and poison the connection.
@@ -44,10 +60,101 @@ pub struct FrameHeader {
     pub len: usize,
 }
 
+/// The trace-context extension a traced frame carries ahead of its
+/// formatter bytes: which causal chain the enclosed call belongs to and
+/// which caller-side span its server-side work is a child of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceExt {
+    /// Causal chain id, shared across every hop.
+    pub trace_id: u64,
+    /// The sender's innermost span at frame-write time.
+    pub parent_span_id: u64,
+    /// Sampling word (bit 0: sampled).
+    pub sampling: u64,
+}
+
+impl TraceExt {
+    /// The sender's current trace context, if tracing is live and wire
+    /// propagation is on — one relaxed atomic load when recording is
+    /// disabled.
+    #[inline]
+    pub fn capture() -> Option<TraceExt> {
+        parc_obs::trace::current_for_wire().map(TraceExt::from_context)
+    }
+
+    /// Converts an obs-layer context into its wire form.
+    pub fn from_context(ctx: parc_obs::TraceContext) -> TraceExt {
+        TraceExt {
+            trace_id: ctx.trace_id,
+            parent_span_id: ctx.span_id,
+            sampling: ctx.sampling,
+        }
+    }
+
+    /// The obs-layer context a *receiver* installs: the wire parent span
+    /// becomes the context's span id (the thing new spans parent under).
+    pub fn to_context(self) -> parc_obs::TraceContext {
+        parc_obs::TraceContext {
+            trace_id: self.trace_id,
+            span_id: self.parent_span_id,
+            sampling: self.sampling,
+        }
+    }
+
+    /// Encodes the extension into its 24 wire bytes.
+    pub fn to_bytes(&self) -> [u8; TRACE_EXT_LEN] {
+        let mut out = [0u8; TRACE_EXT_LEN];
+        out[0..8].copy_from_slice(&self.trace_id.to_be_bytes());
+        out[8..16].copy_from_slice(&self.parent_span_id.to_be_bytes());
+        out[16..24].copy_from_slice(&self.sampling.to_be_bytes());
+        out
+    }
+
+    /// Decodes an extension from its 24 wire bytes.
+    pub fn from_bytes(raw: &[u8; TRACE_EXT_LEN]) -> TraceExt {
+        let word = |i: usize| {
+            u64::from_be_bytes(raw[i * 8..(i + 1) * 8].try_into().expect("8-byte word"))
+        };
+        TraceExt { trace_id: word(0), parent_span_id: word(1), sampling: word(2) }
+    }
+}
+
+/// Peels a [`TraceExt`] off the front of a received payload when the
+/// header's [`FLAG_TRACE`] bit is set, returning the extension (if any)
+/// and the formatter bytes proper.
+///
+/// # Errors
+///
+/// `InvalidData` when the flag is set but the payload is shorter than
+/// the extension — a corrupt or lying frame.
+pub fn split_trace_ext<'a>(
+    header: &FrameHeader,
+    payload: &'a [u8],
+) -> std::io::Result<(Option<TraceExt>, &'a [u8])> {
+    if header.flags & FLAG_TRACE == 0 {
+        return Ok((None, payload));
+    }
+    if payload.len() < TRACE_EXT_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "traced frame shorter than its trace extension",
+        ));
+    }
+    let ext = TraceExt::from_bytes(
+        payload[..TRACE_EXT_LEN].try_into().expect("checked length"),
+    );
+    Ok((Some(ext), &payload[TRACE_EXT_LEN..]))
+}
+
 impl FrameHeader {
     /// True when the one-way bit is set.
     pub fn oneway(&self) -> bool {
         self.flags & FLAG_ONEWAY != 0
+    }
+
+    /// True when the trace-context bit is set.
+    pub fn traced(&self) -> bool {
+        self.flags & FLAG_TRACE != 0
     }
 
     /// Encodes the header into its 13 wire bytes.
@@ -96,6 +203,63 @@ pub fn write_frame(
     }
     let header = FrameHeader { corr_id, flags, len: payload.len() }.to_bytes();
     write_all_vectored(stream, &header, payload)?;
+    stream.flush()
+}
+
+/// Maximum head size: fixed header plus the trace extension.
+pub const TRACED_HEAD_MAX: usize = HEADER_LEN + TRACE_EXT_LEN;
+
+/// Builds the wire head (header, plus extension when `trace` is present)
+/// for a frame with `payload_len` formatter bytes. Returns the buffer
+/// and the number of valid bytes in it — [`HEADER_LEN`] untraced,
+/// [`TRACED_HEAD_MAX`] traced. Transports that hand-roll their writes
+/// (the reactor's non-blocking path) use this instead of
+/// [`write_frame_traced`].
+pub fn traced_head(
+    corr_id: u64,
+    flags: u8,
+    trace: Option<TraceExt>,
+    payload_len: usize,
+) -> ([u8; TRACED_HEAD_MAX], usize) {
+    let mut out = [0u8; TRACED_HEAD_MAX];
+    match trace {
+        Some(ext) => {
+            let header = FrameHeader {
+                corr_id,
+                flags: flags | FLAG_TRACE,
+                len: TRACE_EXT_LEN + payload_len,
+            };
+            out[..HEADER_LEN].copy_from_slice(&header.to_bytes());
+            out[HEADER_LEN..].copy_from_slice(&ext.to_bytes());
+            (out, TRACED_HEAD_MAX)
+        }
+        None => {
+            let header = FrameHeader { corr_id, flags: flags & !FLAG_TRACE, len: payload_len };
+            out[..HEADER_LEN].copy_from_slice(&header.to_bytes());
+            (out, HEADER_LEN)
+        }
+    }
+}
+
+/// [`write_frame`] with an optional trace-context extension: sets
+/// [`FLAG_TRACE`] and prepends the 24 extension bytes (inside the
+/// counted length) when `trace` is present. Still one vectored write.
+///
+/// # Errors
+///
+/// `InvalidInput` for over-long payloads; socket errors otherwise.
+pub fn write_frame_traced(
+    stream: &mut impl Write,
+    corr_id: u64,
+    flags: u8,
+    trace: Option<TraceExt>,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    if payload.len().saturating_add(TRACE_EXT_LEN) > MAX_FRAME {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    let (head, head_len) = traced_head(corr_id, flags, trace, payload.len());
+    write_all_vectored(stream, &head[..head_len], payload)?;
     stream.flush()
 }
 
@@ -431,6 +595,77 @@ mod tests {
         let err = collect_frames(&mut asm, &raw[7..]).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         assert!(asm.mid_frame());
+    }
+
+    #[test]
+    fn traced_frame_roundtrips_and_strips_cleanly() {
+        let ext = TraceExt { trace_id: 0xdead_beef_cafe_f00d, parent_span_id: 42, sampling: 1 };
+        let mut wire = Vec::new();
+        write_frame_traced(&mut wire, 9, FLAG_ONEWAY, Some(ext), b"payload").unwrap();
+        assert_eq!(wire.len(), HEADER_LEN + TRACE_EXT_LEN + 7);
+        let mut payload = Vec::new();
+        let FrameRead::Frame(h) =
+            read_frame_into(&mut std::io::Cursor::new(wire), &mut payload).unwrap()
+        else {
+            panic!("expected frame");
+        };
+        assert!(h.traced());
+        assert!(h.oneway());
+        assert_eq!(h.len, TRACE_EXT_LEN + 7);
+        let (got, rest) = split_trace_ext(&h, &payload).unwrap();
+        assert_eq!(got, Some(ext));
+        assert_eq!(rest, b"payload");
+    }
+
+    #[test]
+    fn untraced_frames_are_bit_identical_to_write_frame() {
+        let mut plain = Vec::new();
+        write_frame(&mut plain, 7, 0, b"abc").unwrap();
+        let mut traced_none = Vec::new();
+        write_frame_traced(&mut traced_none, 7, 0, None, b"abc").unwrap();
+        assert_eq!(plain, traced_none);
+        let h = FrameHeader { corr_id: 7, flags: 0, len: 3 };
+        let (ext, rest) = split_trace_ext(&h, b"abc").unwrap();
+        assert_eq!(ext, None);
+        assert_eq!(rest, b"abc");
+    }
+
+    #[test]
+    fn traced_frames_reassemble_through_the_assembler() {
+        let ext = TraceExt { trace_id: 3, parent_span_id: 4, sampling: 1 };
+        let mut wire = Vec::new();
+        write_frame_traced(&mut wire, 11, 0, Some(ext), b"xy").unwrap();
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            got.extend(collect_frames(&mut asm, std::slice::from_ref(b)).unwrap());
+        }
+        assert_eq!(got.len(), 1);
+        let (h, p) = &got[0];
+        let (stripped, rest) = split_trace_ext(h, p).unwrap();
+        assert_eq!(stripped, Some(ext));
+        assert_eq!(rest, b"xy");
+    }
+
+    #[test]
+    fn lying_trace_flag_is_invalid_data() {
+        let h = FrameHeader { corr_id: 1, flags: FLAG_TRACE, len: 5 };
+        let err = split_trace_ext(&h, &[0u8; 5]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn traced_head_matches_streamed_bytes() {
+        let ext = TraceExt { trace_id: 10, parent_span_id: 20, sampling: 1 };
+        let (head, head_len) = traced_head(5, 0, Some(ext), 3);
+        let mut wire = Vec::new();
+        write_frame_traced(&mut wire, 5, 0, Some(ext), b"abc").unwrap();
+        assert_eq!(&wire[..head_len], &head[..head_len]);
+        let (plain_head, plain_len) = traced_head(5, 0, None, 3);
+        assert_eq!(plain_len, HEADER_LEN);
+        let mut plain = Vec::new();
+        write_frame(&mut plain, 5, 0, b"abc").unwrap();
+        assert_eq!(&plain[..plain_len], &plain_head[..plain_len]);
     }
 
     #[test]

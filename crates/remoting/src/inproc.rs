@@ -48,6 +48,10 @@ struct Envelope {
     // 0 unless obs recording was enabled at send time; lets the pump
     // measure queue wait without paying for a clock read when disabled.
     enqueued_ns: u64,
+    /// Caller's trace context at send time (`None` with obs disabled):
+    /// the in-process analogue of the TCP frame's trace extension, so
+    /// server-side dispatch spans parent onto the remote caller.
+    trace: Option<parc_obs::TraceContext>,
 }
 
 struct EndpointShared {
@@ -144,11 +148,15 @@ impl InprocNetwork {
             InprocDispatch::Pool(w) => (None, w.max(1)),
         };
         let pump_scheduler = scheduler.clone();
+        // Interned once: every span dispatched on this endpoint is tagged
+        // with its name, so multi-node traces in one process stay
+        // attributable per node.
+        let node = parc_obs::trace::node_id(&name);
         let thread = std::thread::Builder::new()
             .name(format!("inproc-{name}"))
             .spawn(move || match pump_scheduler {
-                Some(sched) => pump_mailbox(rx, pump_objects, pump_shared, sched),
-                None => pump_pool(rx, pump_objects, pump_shared, pool_workers),
+                Some(sched) => pump_mailbox(rx, pump_objects, pump_shared, sched, node),
+                None => pump_pool(rx, pump_objects, pump_shared, pool_workers, node),
             })
             .expect("spawning inproc endpoint thread");
         Ok(InprocEndpoint {
@@ -197,7 +205,7 @@ impl InprocNetwork {
         shared.stopped.store(true, Ordering::Relaxed);
         // Wake the pump if it is blocked in recv; the envelope itself is
         // never processed (the stop flag is checked first).
-        let _ = shared.tx.send(Envelope { bytes: Vec::new(), reply: None, enqueued_ns: 0 });
+        let _ = shared.tx.send(Envelope { bytes: Vec::new(), reply: None, enqueued_ns: 0, trace: None });
         true
     }
 
@@ -229,6 +237,7 @@ fn pump_mailbox(
     objects: ObjectTable,
     shared: Arc<EndpointShared>,
     sched: Arc<MailboxScheduler>,
+    node: u32,
 ) {
     let formatter = BinaryFormatter::new();
     while let Ok(envelope) = rx.recv() {
@@ -237,7 +246,7 @@ fn pump_mailbox(
         }
         shared.bytes_received.fetch_add(envelope.bytes.len() as u64, Ordering::Relaxed);
         shared.messages_received.fetch_add(1, Ordering::Relaxed);
-        let Envelope { bytes, reply, enqueued_ns } = envelope;
+        let Envelope { bytes, reply, enqueued_ns, trace } = envelope;
         let call = match CallMessage::decode(&formatter, &bytes) {
             Ok(call) => call,
             Err(e) => {
@@ -255,6 +264,8 @@ fn pump_mailbox(
         let objects = objects.clone();
         let object = call.object.clone();
         sched.enqueue(&object, move || {
+            let _node = parc_obs::trace::enter_node_id(node);
+            let _trace = parc_obs::trace::with_remote_parent(trace);
             parc_obs::record_wait(parc_obs::kinds::QUEUE_WAIT, enqueued_ns);
             let out = dispatch(&objects, &call);
             if let (Some(out), Some(tx)) = (out, reply) {
@@ -277,6 +288,7 @@ fn pump_pool(
     objects: ObjectTable,
     shared: Arc<EndpointShared>,
     workers: usize,
+    node: u32,
 ) {
     let pool = ThreadPool::new(workers.max(1));
     let formatter = BinaryFormatter::new();
@@ -288,6 +300,8 @@ fn pump_pool(
         shared.messages_received.fetch_add(1, Ordering::Relaxed);
         let objects = objects.clone();
         pool.submit(move || {
+            let _node = parc_obs::trace::enter_node_id(node);
+            let _trace = parc_obs::trace::with_remote_parent(envelope.trace);
             parc_obs::record_wait(parc_obs::kinds::QUEUE_WAIT, envelope.enqueued_ns);
             let reply = match CallMessage::decode(&formatter, &envelope.bytes) {
                 Ok(call) => dispatch(&objects, &call),
@@ -387,9 +401,12 @@ impl InprocClient {
         };
         let sent = bytes.len();
         let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
+        // Captured inside the send span: the server dispatch becomes a
+        // child of this `channel.send`, mirroring the TCP transports.
+        let trace = parc_obs::trace::current_for_wire();
         self.shared
             .tx
-            .send(Envelope { bytes, reply, enqueued_ns: parc_obs::timestamp_if_enabled() })
+            .send(Envelope { bytes, reply, enqueued_ns: parc_obs::timestamp_if_enabled(), trace })
             .map(|()| sent)
             .map_err(|_| RemotingError::Transport { detail: "endpoint stopped".into() })
     }

@@ -92,4 +92,4 @@ pub use reactor::{ReactorClientChannel, ReactorServerChannel};
 pub use retry::RetryPolicy;
 pub use threadpool::ThreadPool;
 pub use uri::ObjectUri;
-pub use wellknown::{ObjectTable, WellKnownObjectMode};
+pub use wellknown::{ObjectTable, WellKnownObjectMode, TELEMETRY_OBJECT};

@@ -393,6 +393,17 @@ impl DispatchDepth {
         self.pending() > limit
     }
 
+    /// Counter snapshot through the live handle — what the telemetry
+    /// plane reads without holding the scheduler itself.
+    pub fn stats(&self) -> DispatchStats {
+        DispatchStats {
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            stolen: self.shared.stolen.load(Ordering::Relaxed),
+            pending: self.shared.pending.load(Ordering::SeqCst),
+            busy: self.shared.busy.load(Ordering::Relaxed),
+        }
+    }
+
     /// The deepest single mailbox right now — the head-of-line hotspot.
     pub fn max_object_depth(&self) -> usize {
         self.shared

@@ -58,7 +58,7 @@ use crate::bufpool;
 use crate::channel::ClientChannel;
 use crate::dispatcher::dispatch;
 use crate::error::RemotingError;
-use crate::frame::{FrameAssembler, FrameHeader, FLAG_ONEWAY, HEADER_LEN};
+use crate::frame::{self, FrameAssembler, FrameHeader, TraceExt, FLAG_ONEWAY};
 use crate::mailbox::DispatchDepth;
 use crate::message::{CallMessage, ReturnMessage};
 use crate::retry::call_timeout;
@@ -211,6 +211,7 @@ impl ReactorConn {
         &self,
         corr_id: u64,
         flags: u8,
+        trace: Option<TraceExt>,
         payload: &[u8],
     ) -> std::io::Result<()> {
         if self.is_closed() {
@@ -219,18 +220,18 @@ impl ReactorConn {
                 "reactor connection is closed",
             ));
         }
-        let header = FrameHeader { corr_id, flags, len: payload.len() }.to_bytes();
+        let (head, head_len) = frame::traced_head(corr_id, flags, trace, payload.len());
         let mut queued = false;
         {
             let mut out = self.out.lock();
             if out.queue.is_empty() {
                 // Fast path: try the socket right now.
                 let mut done = 0usize;
-                let total = HEADER_LEN + payload.len();
+                let total = head_len + payload.len();
                 loop {
                     let slices = [
-                        std::io::IoSlice::new(&header[done.min(HEADER_LEN)..]),
-                        std::io::IoSlice::new(&payload[done.saturating_sub(HEADER_LEN)..]),
+                        std::io::IoSlice::new(&head[done.min(head_len)..head_len]),
+                        std::io::IoSlice::new(&payload[done.saturating_sub(head_len)..]),
                     ];
                     match (&self.stream).write_vectored(&slices) {
                         Ok(0) => {
@@ -253,11 +254,11 @@ impl ReactorConn {
                             // finishes the job on writability.
                             let mut rest =
                                 Vec::with_capacity(total - done);
-                            if done < HEADER_LEN {
-                                rest.extend_from_slice(&header[done..]);
+                            if done < head_len {
+                                rest.extend_from_slice(&head[done..head_len]);
                                 rest.extend_from_slice(payload);
                             } else {
-                                rest.extend_from_slice(&payload[done - HEADER_LEN..]);
+                                rest.extend_from_slice(&payload[done - head_len..]);
                             }
                             out.queue.push_back(rest);
                             queued = true;
@@ -273,8 +274,8 @@ impl ReactorConn {
             } else {
                 // Slow path: frames already queued ahead of us — append
                 // in order and let the reactor drain.
-                let mut whole = Vec::with_capacity(HEADER_LEN + payload.len());
-                whole.extend_from_slice(&header);
+                let mut whole = Vec::with_capacity(head_len + payload.len());
+                whole.extend_from_slice(&head[..head_len]);
                 whole.extend_from_slice(payload);
                 out.queue.push_back(whole);
                 queued = true;
@@ -382,7 +383,19 @@ impl ReactorConn {
     /// mode runs one-ways right here (the baseline's own hazard) and
     /// two-ways on the shared pool.
     fn serve_frame(self: &Arc<ReactorConn>, h: &ServerHandler, header: FrameHeader, payload: &[u8]) {
-        let call = match CallMessage::decode(&h.formatter, payload) {
+        // Peel the optional trace-context extension off the payload and
+        // install the remote caller as the parent of whatever spans the
+        // dispatch opens (same contract as the blocking reader threads).
+        let (trace_ctx, body) = match frame::split_trace_ext(&header, payload) {
+            Ok((ext, rest)) => (ext.map(TraceExt::to_context), rest),
+            Err(e) => {
+                if !header.oneway() {
+                    send_reply(self, header.corr_id, &ReturnMessage::fault(0, e.to_string()));
+                }
+                return;
+            }
+        };
+        let call = match CallMessage::decode(&h.formatter, body) {
             Ok(call) => call,
             Err(e) => {
                 if !header.oneway() {
@@ -397,6 +410,7 @@ impl ReactorConn {
                 if header.oneway() {
                     let objects = h.objects.clone();
                     sched.enqueue(&object, move || {
+                        let _trace = parc_obs::trace::with_remote_parent(trace_ctx);
                         let _ = dispatch(&objects, &call);
                     });
                 } else {
@@ -404,6 +418,7 @@ impl ReactorConn {
                     let conn = Arc::clone(self);
                     let corr_id = header.corr_id;
                     sched.enqueue(&object, move || {
+                        let _trace = parc_obs::trace::with_remote_parent(trace_ctx);
                         let reply = dispatch_call(&objects, &call);
                         send_reply(&conn, corr_id, &reply);
                     });
@@ -411,12 +426,14 @@ impl ReactorConn {
             }
             ServerDispatch::Inline(pool) => {
                 if header.oneway() {
+                    let _trace = parc_obs::trace::with_remote_parent(trace_ctx);
                     let _ = dispatch(&h.objects, &call);
                 } else {
                     let objects = h.objects.clone();
                     let conn = Arc::clone(self);
                     let corr_id = header.corr_id;
                     pool.submit(move || {
+                        let _trace = parc_obs::trace::with_remote_parent(trace_ctx);
                         let reply = dispatch_call(&objects, &call);
                         send_reply(&conn, corr_id, &reply);
                     });
@@ -434,7 +451,9 @@ fn send_reply(conn: &Arc<ReactorConn>, corr_id: u64, reply: &ReturnMessage) {
     let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
     let mut buf = bufpool::global().checkout();
     if reply.encode_into(&formatter, &mut buf).is_ok() {
-        let _ = conn.send_frame(corr_id, 0, &buf);
+        // Replies are never traced: the caller's own span covers the
+        // round trip, so the wire stays a plain 13-byte-header frame.
+        let _ = conn.send_frame(corr_id, 0, None, &buf);
     }
     bufpool::global().checkin(buf);
 }
@@ -853,7 +872,10 @@ impl ClientCore {
         let sent = buf.len();
         let written = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
-            self.conn.send_frame(corr_id, flags, &buf)
+            // Captured inside the send span so the remote dispatch hangs
+            // off `channel.send` — the same shape the mux client emits.
+            let trace = TraceExt::capture();
+            self.conn.send_frame(corr_id, flags, trace, &buf)
         };
         pool.checkin(buf);
         written.map_err(RemotingError::from).map(|()| sent)

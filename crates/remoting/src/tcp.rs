@@ -335,6 +335,20 @@ fn serve_connection(
         if stop.load(Ordering::SeqCst) {
             break;
         }
+        // Peel the trace-context extension (if any) off the payload; the
+        // caller's context is installed around the dispatch below so the
+        // server-side spans become children of the client's send span.
+        let (trace_ctx, body_start) = match frame::split_trace_ext(&header, &payload) {
+            Ok((ext, rest)) => {
+                (ext.map(frame::TraceExt::to_context), payload.len() - rest.len())
+            }
+            Err(e) => {
+                if !header.oneway() {
+                    write_reply(&writer, header.corr_id, &ReturnMessage::fault(0, e.to_string()));
+                }
+                continue;
+            }
+        };
         // Trust the frame flag over the payload: a post never gets a
         // reply, so it can never consume (or corrupt) a caller's slot.
         match &dispatch_backend {
@@ -345,7 +359,7 @@ fn serve_connection(
             // interleaving from this connection) is preserved while
             // distinct objects run in parallel.
             ServerDispatch::Mailbox(sched) => {
-                let call = match CallMessage::decode(&formatter, &payload) {
+                let call = match CallMessage::decode(&formatter, &payload[body_start..]) {
                     Ok(call) => call,
                     Err(e) => {
                         if !header.oneway() {
@@ -362,6 +376,7 @@ fn serve_connection(
                 if header.oneway() {
                     let objects = objects.clone();
                     sched.enqueue(&object, move || {
+                        let _trace = parc_obs::trace::with_remote_parent(trace_ctx);
                         let _ = dispatch(&objects, &call);
                     });
                 } else {
@@ -369,6 +384,7 @@ fn serve_connection(
                     let writer = Arc::clone(&writer);
                     let corr_id = header.corr_id;
                     sched.enqueue(&object, move || {
+                        let _trace = parc_obs::trace::with_remote_parent(trace_ctx);
                         let reply = dispatch_call(&objects, &call);
                         write_reply(&writer, corr_id, &reply);
                     });
@@ -380,7 +396,8 @@ fn serve_connection(
             // mailbox_scaling bench measures against).
             ServerDispatch::Inline(pool) => {
                 if header.oneway() {
-                    if let Ok(call) = CallMessage::decode(&formatter, &payload) {
+                    if let Ok(call) = CallMessage::decode(&formatter, &payload[body_start..]) {
+                        let _trace = parc_obs::trace::with_remote_parent(trace_ctx);
                         let _ = dispatch(&objects, &call);
                     }
                     continue;
@@ -394,7 +411,8 @@ fn serve_connection(
                 let corr_id = header.corr_id;
                 pool.submit(move || {
                     let formatter = BinaryFormatter::new();
-                    let reply = match CallMessage::decode(&formatter, &req) {
+                    let _trace = parc_obs::trace::with_remote_parent(trace_ctx);
+                    let reply = match CallMessage::decode(&formatter, &req[body_start..]) {
                         Ok(call) => dispatch_call(&objects, &call),
                         Err(e) => ReturnMessage::fault(0, e.to_string()),
                     };
@@ -554,11 +572,22 @@ impl MuxConnection {
         }
         let sent = buf.len();
         let written = {
+            // Capture the caller context inside the send span so the
+            // server-side dispatch hangs directly under `channel.send`.
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
+            let trace = frame::TraceExt::capture();
             let mut writer = self.writer.lock();
-            frame::write_frame(&mut *writer, corr_id, flags, &buf)
+            frame::write_frame_traced(&mut *writer, corr_id, flags, trace, &buf)
         };
         pool.checkin(buf);
+        if let Err(e) = &written {
+            // A failed write is definitive: the socket is broken. Poison
+            // now instead of waiting for the reader thread to notice, so
+            // an immediate (zero-backoff) retry already sees a dead
+            // connection and revives the pool slot rather than racing the
+            // reader and burning its attempts on the same corpse.
+            self.shared.poison(&format!("send failed: {e}"));
+        }
         written.map_err(RemotingError::from).map(|()| sent)
     }
 
@@ -856,7 +885,8 @@ impl ClientChannel for LockStepClientChannel {
         let mut stream = self.stream.lock();
         {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
-            frame::write_frame(&mut *stream, corr_id, 0, &bytes)?;
+            let trace = frame::TraceExt::capture();
+            frame::write_frame_traced(&mut *stream, corr_id, 0, trace, &bytes)?;
         }
         let started = Instant::now();
         let mut payload = Vec::new();
@@ -890,7 +920,8 @@ impl ClientChannel for LockStepClientChannel {
         let corr_id = self.next_corr.fetch_add(1, Ordering::Relaxed);
         let mut stream = self.stream.lock();
         let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
-        frame::write_frame(&mut *stream, corr_id, FLAG_ONEWAY, &bytes)?;
+        let trace = frame::TraceExt::capture();
+        frame::write_frame_traced(&mut *stream, corr_id, FLAG_ONEWAY, trace, &bytes)?;
         Ok(bytes.len())
     }
 
@@ -1140,6 +1171,14 @@ mod tests {
             !overlapped.load(Ordering::SeqCst),
             "two invocations of one object ran concurrently"
         );
+        // The worker bumps `executed` *after* the job (whose reply is what
+        // unblocked the caller), so give the counter a bounded moment.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.dispatch_stats().unwrap().executed < 80
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
         assert!(server.dispatch_stats().unwrap().executed >= 80);
     }
 

@@ -2,11 +2,13 @@
 //! `PrimeServer` parallel objects (Figs. 4–7), with method-call
 //! aggregation enabled.
 //!
-//! Run with: `cargo run --example prime_sieve [limit]`
+//! Run with: `cargo run --example prime_sieve [limit] [nodes]`
 //!
 //! Set `PARC_OBS=1` to record spans/events; the run then prints the
 //! metrics summary and writes a Chrome/Perfetto trace to
-//! `target/prime_sieve_trace.json`.
+//! `target/prime_sieve_trace.json`. Set `PARC_OBS_NODE_DIR=<dir>` to
+//! additionally write one `trace-<node>.jsonl` file per node, ready for
+//! `parc-trace-merge` / `parc-trace-check --cross-node`.
 
 use parc::scoopp::{ParcRuntime, Pipeline};
 use parc::serial::Value;
@@ -15,10 +17,11 @@ use parc_apps::sieve::{reference_primes, register_prime_filter_class, PRIME_SERV
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     parc::obs::init_from_env();
     let limit: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let nodes: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(4);
     let expected = reference_primes(limit);
 
     let mut builder = ParcRuntime::builder();
-    builder.nodes(4).aggregation(16); // Fig. 7's maxCalls = 16
+    builder.nodes(nodes).aggregation(16); // Fig. 7's maxCalls = 16
     let runtime = builder.build()?;
     register_prime_filter_class(&runtime);
 
@@ -65,6 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         parc::obs::export::write_chrome_trace(trace)?;
         println!("\n{}", parc::obs::export::text_summary());
         println!("chrome trace written to {trace} (load in ui.perfetto.dev)");
+        if let Ok(dir) = std::env::var("PARC_OBS_NODE_DIR") {
+            let files = parc::obs::export::write_node_jsonl_files(&dir)?;
+            println!("{} per-node jsonl files written to {dir} (merge with parc-trace-merge)", files.len());
+        }
     }
     Ok(())
 }

@@ -22,7 +22,11 @@
 # reactor transport against the thread-per-connection mux baseline at
 # 1/64/1024 sockets — reactor_vs_mux_64_conns is the acceptance ratio
 # (must stay >= 0.9x) and reactor_resident_threads_1024_conns shows the
-# fixed-pool thread count while 1024 sockets are live.
+# fixed-pool thread count while 1024 sockets are live, and
+# obs_propagation, whose BENCH_obs_propagation.json prices cross-node
+# trace-context injection on the mux call path
+# (propagation_vs_recording_calls_ratio is the acceptance ratio: must
+# stay >= 0.95, i.e. injection costs <= 5% on top of span recording).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

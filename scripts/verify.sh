@@ -99,3 +99,25 @@ fi
 cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
     target/reactor_sieve_trace.json --min-events 10
 echo "ok: reactor transport passes (conformance suite, ${reactor_frames} reactor frames, trace valid)"
+
+# Gate 8: cross-node distributed tracing. A traced 3-node sieve writes
+# one JSONL trace file per node; parc-trace-merge must join them into a
+# single Chrome trace, and parc-trace-check --cross-node must prove the
+# causal graph: span ids unique, every remote dispatch parented under
+# the originating client's send, parent links acyclic and ordered
+# within clock skew, and at least one dispatch edge actually crossing a
+# node boundary.
+node_dir=target/obs-nodes
+rm -rf "${node_dir}"
+PARC_OBS=1 PARC_OBS_NODE_DIR="${node_dir}" \
+    cargo run --release --offline -q --example prime_sieve -- 200 3 >/dev/null
+jsonl_count=$(ls "${node_dir}"/*.jsonl 2>/dev/null | wc -l)
+if [ "${jsonl_count}" -lt 3 ]; then
+    echo "FAIL: traced 3-node sieve wrote only ${jsonl_count} per-node jsonl files" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p parc-obs --bin parc-trace-merge -- \
+    "${node_dir}" -o target/merged_trace.json
+cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
+    target/merged_trace.json --cross-node --min-events 100
+echo "ok: cross-node tracing passed (${jsonl_count} node files merged, causal graph valid)"

@@ -22,6 +22,7 @@ fn ring_keeps_the_most_recent_capacity_records() {
                     kind: kinds::TICK,
                     at_ns: i as u64,
                     tid: 0,
+                    node: parc::obs::trace::NODE_UNSET,
                     detail: i.to_string(),
                 }));
             }
