@@ -1,0 +1,214 @@
+//! Sharded-directory bench: O(1) ring placement vs the least-loaded scan,
+//! and skewed-load throughput before/during/after the rebalancer runs.
+//!
+//! Two measurements:
+//!
+//! * **create latency** at 8 nodes — `create()` under `Placement::Ring`
+//!   resolves locally (zero placement RPCs), while the uncached
+//!   `LeastLoaded` scan pays 2 load RPCs per node per create. The
+//!   acceptance ratio `create_p99_speedup_ring_vs_scan` must stay ≥ 5.
+//! * **rebalance recovery** at 3 nodes — every object starts on node 0
+//!   (`PARC_DISPATCH_WORKERS=2`, so the hot node saturates); the
+//!   rebalancer migrates objects off it, and post-rebalance throughput
+//!   must reach ≥ 0.8× the evenly-spread baseline
+//!   (`rebalance_throughput_ratio`), with at least one live migration
+//!   observed.
+//!
+//! Reported metrics: `create_p99_ring_us`, `create_p99_leastloaded_scan_us`,
+//! `create_p99_speedup_ring_vs_scan`, `throughput_skewed_calls_per_s`,
+//! `throughput_during_rebalance_calls_per_s`,
+//! `throughput_after_rebalance_calls_per_s`,
+//! `throughput_balanced_calls_per_s`, `rebalance_throughput_ratio`,
+//! `objects_migrated`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parc_bench::harness::{metric, BenchmarkId, Criterion};
+use parc_bench::{criterion_group, criterion_main};
+use parc_core::{ParcRuntime, Placement, Po, RebalanceConfig};
+use parc_remoting::dispatcher::FnInvokable;
+use parc_remoting::RemotingError;
+use parc_serial::Value;
+
+/// Nodes for the create-latency comparison: the scan cost grows with the
+/// cluster, the ring cost does not.
+const PLACEMENT_NODES: usize = 8;
+
+/// Creations measured per placement policy.
+const CREATES: usize = 300;
+
+/// Nodes for the rebalance measurement.
+const REBALANCE_NODES: usize = 3;
+
+/// Objects in the skewed population (all start on node 0).
+const OBJECTS: usize = 12;
+
+/// Client threads driving the throughput windows.
+const CLIENTS: usize = 4;
+
+/// Synchronous calls per client per measured window.
+const CALLS_PER_CLIENT: usize = 250;
+
+fn register_spinner(rt: &ParcRuntime) {
+    rt.register_class("Spinner", || {
+        Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+            "spin" => {
+                // ~tens of µs of real work so a 2-worker node saturates.
+                let mut acc = args.first().and_then(Value::as_i64).unwrap_or(1);
+                for i in 1..60_000 {
+                    acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+                }
+                Ok(Value::I64(acc))
+            }
+            "__restore" => Ok(Value::Null),
+            _ => Err(RemotingError::MethodNotFound {
+                object: "Spinner".into(),
+                method: method.into(),
+            }),
+        }))
+    });
+}
+
+/// Nearest-rank p99 over creation latencies, in microseconds.
+fn create_p99_us(placement: Placement, probe_ttl: Option<Duration>) -> f64 {
+    let mut b = ParcRuntime::builder();
+    b.nodes(PLACEMENT_NODES).placement(placement);
+    if let Some(ttl) = probe_ttl {
+        b.probe_ttl(ttl);
+    }
+    let rt = b.build().expect("bench runtime");
+    register_spinner(&rt);
+    // Warm the factory channels so both policies amortize identically.
+    for node in 0..PLACEMENT_NODES {
+        rt.create_on("Spinner", node).expect("warm create");
+    }
+    let mut samples: Vec<f64> = (0..CREATES)
+        .map(|_| {
+            let start = Instant::now();
+            rt.create("Spinner").expect("bench create");
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let rank = (0.99 * (samples.len() - 1) as f64).round() as usize;
+    samples[rank]
+}
+
+/// One throughput window: `CLIENTS` threads round-robin synchronous
+/// `spin` calls over `objects`. Returns calls per second.
+fn calls_per_s(objects: &[Po]) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let objects = &objects;
+            scope.spawn(move || {
+                for i in 0..CALLS_PER_CLIENT {
+                    objects[(c + i * CLIENTS) % objects.len()]
+                        .call("spin", vec![Value::I64(i as i64)])
+                        .expect("bench call");
+                }
+            });
+        }
+    });
+    (CLIENTS * CALLS_PER_CLIENT) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn build_rebalance_runtime(spread: bool) -> (Arc<ParcRuntime>, Vec<Po>) {
+    let mut b = ParcRuntime::builder();
+    b.nodes(REBALANCE_NODES);
+    let rt = Arc::new(b.build().expect("bench runtime"));
+    register_spinner(&rt);
+    let objects = (0..OBJECTS)
+        .map(|i| {
+            let node = if spread { i % REBALANCE_NODES } else { 0 };
+            rt.create_on("Spinner", node).expect("bench object")
+        })
+        .collect();
+    (rt, objects)
+}
+
+fn bench_placement_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    let ring = create_p99_us(Placement::Ring, None);
+    // TTL zero disables the probe cache: the paper's original full scan,
+    // the honest baseline for the O(1) claim.
+    let scan = create_p99_us(Placement::LeastLoaded, Some(Duration::ZERO));
+    metric("create_p99_ring_us", ring);
+    metric("create_p99_leastloaded_scan_us", scan);
+    let speedup = scan / ring;
+    metric("create_p99_speedup_ring_vs_scan", speedup);
+    assert!(
+        speedup >= 5.0,
+        "ring placement p99 ({ring:.1}us) must be >=5x faster than the \
+         least-loaded scan ({scan:.1}us) at {PLACEMENT_NODES} nodes"
+    );
+    group.bench_function(BenchmarkId::new("create", "ring"), |b| {
+        let mut rb = ParcRuntime::builder();
+        rb.nodes(PLACEMENT_NODES).placement(Placement::Ring);
+        let rt = rb.build().expect("bench runtime");
+        register_spinner(&rt);
+        b.iter(|| std::hint::black_box(rt.create("Spinner").expect("create")));
+    });
+    group.finish();
+}
+
+fn bench_rebalance_recovery(c: &mut Criterion) {
+    // Two dispatch workers per node: one hot node is genuinely saturated
+    // while two nodes idle, so migration has measurable headroom to win.
+    std::env::set_var("PARC_DISPATCH_WORKERS", "2");
+    let mut group = c.benchmark_group("rebalance");
+
+    // Evenly-spread baseline: the throughput rebalancing should approach.
+    let (_balanced_rt, balanced_objects) = build_rebalance_runtime(true);
+    let _ = calls_per_s(&balanced_objects); // warm
+    let balanced = calls_per_s(&balanced_objects);
+    metric("throughput_balanced_calls_per_s", balanced);
+
+    // Skewed population: everything on node 0.
+    let (rt, objects) = build_rebalance_runtime(false);
+    let _ = calls_per_s(&objects); // warm
+    let skewed = calls_per_s(&objects);
+    metric("throughput_skewed_calls_per_s", skewed);
+
+    // Measure *while* the rebalancer works: the window absorbs migration
+    // pauses, forwarding hops, and proxy repoints.
+    let migrated_before = parc_obs::counter(parc_obs::kinds::MIGRATION_COMPLETED).get();
+    let cfg = RebalanceConfig {
+        interval: Duration::from_millis(2),
+        max_migrations_per_round: 2,
+        ..RebalanceConfig::default()
+    };
+    let handle = rt.start_rebalancer(cfg);
+    let during = calls_per_s(&objects);
+    metric("throughput_during_rebalance_calls_per_s", during);
+    // Let the rebalancer converge, then stop it.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while rt.rebalance_once(&cfg) > 0 {
+        assert!(Instant::now() < deadline, "rebalancer failed to converge");
+    }
+    handle.stop();
+    let migrated = parc_obs::counter(parc_obs::kinds::MIGRATION_COMPLETED).get()
+        - migrated_before;
+    metric("objects_migrated", migrated as f64);
+    assert!(migrated >= 1, "the skewed population must trigger at least one migration");
+
+    // Post-rebalance steady state (best of 3, as fault_recovery does).
+    let after = (0..3).map(|_| calls_per_s(&objects)).fold(0.0, f64::max);
+    metric("throughput_after_rebalance_calls_per_s", after);
+    let ratio = after / balanced;
+    metric("rebalance_throughput_ratio", ratio);
+    assert!(
+        ratio >= 0.8,
+        "post-rebalance throughput ({after:.0} calls/s) fell below 80% of the \
+         balanced baseline ({balanced:.0} calls/s)"
+    );
+
+    group.bench_function(BenchmarkId::new("throughput", "rebalanced"), |b| {
+        b.iter(|| std::hint::black_box(calls_per_s(&objects)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement_latency, bench_rebalance_recovery);
+criterion_main!(benches);

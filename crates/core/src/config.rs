@@ -16,6 +16,32 @@ pub enum Placement {
     },
     /// Query every OM's load and pick the least loaded node.
     LeastLoaded,
+    /// Resolve through the sharded object directory's consistent-hash
+    /// ring — O(1), no placement RPCs; load feedback arrives out of band
+    /// as ring weight updates from the rebalancer.
+    Ring,
+}
+
+impl Placement {
+    /// Parses a policy name as accepted by the `PARC_PLACEMENT`
+    /// environment variable: `ring`, `leastloaded` (or `least-loaded`),
+    /// `rr` (or `round-robin`/`roundrobin`), and `random:SEED`.
+    pub fn parse(s: &str) -> Option<Placement> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "ring" => Some(Placement::Ring),
+            "leastloaded" | "least-loaded" => Some(Placement::LeastLoaded),
+            "rr" | "round-robin" | "roundrobin" => Some(Placement::RoundRobin),
+            other => other
+                .strip_prefix("random:")
+                .and_then(|seed| seed.parse().ok())
+                .map(|seed| Placement::Random { seed }),
+        }
+    }
+
+    /// Reads `PARC_PLACEMENT`; `None` when unset or unparseable.
+    pub fn from_env() -> Option<Placement> {
+        std::env::var("PARC_PLACEMENT").ok().and_then(|v| Placement::parse(&v))
+    }
 }
 
 impl fmt::Display for Placement {
@@ -24,6 +50,7 @@ impl fmt::Display for Placement {
             Placement::RoundRobin => f.write_str("round-robin"),
             Placement::Random { seed } => write!(f, "random(seed={seed})"),
             Placement::LeastLoaded => f.write_str("least-loaded"),
+            Placement::Ring => f.write_str("ring"),
         }
     }
 }
@@ -106,6 +133,20 @@ mod tests {
         assert_eq!(Placement::RoundRobin.to_string(), "round-robin");
         assert_eq!(Placement::Random { seed: 3 }.to_string(), "random(seed=3)");
         assert_eq!(Placement::LeastLoaded.to_string(), "least-loaded");
+        assert_eq!(Placement::Ring.to_string(), "ring");
         assert_eq!(Placement::default(), Placement::RoundRobin);
+    }
+
+    #[test]
+    fn placement_parses_env_names() {
+        assert_eq!(Placement::parse("ring"), Some(Placement::Ring));
+        assert_eq!(Placement::parse(" RING "), Some(Placement::Ring));
+        assert_eq!(Placement::parse("rr"), Some(Placement::RoundRobin));
+        assert_eq!(Placement::parse("round-robin"), Some(Placement::RoundRobin));
+        assert_eq!(Placement::parse("leastloaded"), Some(Placement::LeastLoaded));
+        assert_eq!(Placement::parse("least-loaded"), Some(Placement::LeastLoaded));
+        assert_eq!(Placement::parse("random:42"), Some(Placement::Random { seed: 42 }));
+        assert_eq!(Placement::parse("bogus"), None);
+        assert_eq!(Placement::parse("random:x"), None);
     }
 }

@@ -7,17 +7,42 @@
 //! object from the shared class registry, wraps it in the batch adapter,
 //! registers it in the node's object table under a fresh name, and returns
 //! that name to the caller (which builds the PO around it).
+//!
+//! The wrapper each IO is registered behind ([`MigratableHost`]) is also
+//! the server half of **live migration**. A two-way `__migrate(dst)` call
+//! — sent through the object's ordinary channel, so the mailbox
+//! scheduler's one-in-flight-call-per-object guarantee quiesces the
+//! object for free — snapshots the IO (`__snapshot`, optional), re-creates
+//! it on the destination factory (`create_with_state`), and swaps the old
+//! registration for a [`Forwarder`]. Calls already queued behind
+//! `__migrate` resolve the object table at dispatch time, so they hit the
+//! forwarder and relay to the new home in their original order (the
+//! forwarder relays strictly two-way). See DESIGN.md §13.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parc_remoting::{Invokable, ObjectTable, RemotingError};
+use parc_remoting::channel::RemoteObject;
+use parc_remoting::inproc::InprocNetwork;
+use parc_remoting::{ChannelProvider, Forwarder, Invokable, ObjectTable, RemotingError};
 use parc_serial::Value;
 use parc_sync::RwLock;
 
 use crate::batch::BatchDispatcher;
 use crate::om::OmState;
+
+/// Method a migratable IO implements to export its state (any [`Value`]).
+/// IOs without it migrate stateless — the re-created instance starts from
+/// the class constructor.
+pub const SNAPSHOT_METHOD: &str = "__snapshot";
+/// Method a migratable IO implements to import a previously exported
+/// state value before serving its first call on the new node.
+pub const RESTORE_METHOD: &str = "__restore";
+/// The migration trigger, served by the [`MigratableHost`] wrapper (IOs
+/// never see it). Argument: destination endpoint name (`node{i}`).
+/// Returns the object's new URI.
+pub const MIGRATE_METHOD: &str = "__migrate";
 
 /// The well-known name every node publishes its factory under.
 pub const FACTORY_OBJECT: &str = "__factory";
@@ -67,17 +92,94 @@ impl std::fmt::Debug for ClassRegistry {
 
 static NEXT_IO_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Counts every dispatch into the node's OM activity counter before
-/// delegating — the per-node calls/s signal the telemetry plane reports.
-/// (`OmState::dispatched` used to count only OM mutations, never real IO
-/// traffic.)
-struct OmCounted {
+/// The wrapper every created IO is registered behind. It counts every
+/// dispatch into the node's OM activity counter (the per-node calls/s
+/// signal the telemetry plane reports) and serves the server half of live
+/// migration: a two-way [`MIGRATE_METHOD`] call snapshots the IO,
+/// re-creates it on the destination and swaps this registration for a
+/// [`Forwarder`]. Because `__migrate` travels through the object's own
+/// mailbox, nothing else runs on the object while it executes — PR 4's
+/// one-in-flight-call guarantee is the quiesce step.
+struct MigratableHost {
+    name: String,
+    class: String,
+    node: usize,
+    objects: ObjectTable,
     om: Arc<OmState>,
+    net: InprocNetwork,
     inner: BatchDispatcher,
 }
 
-impl Invokable for OmCounted {
+impl MigratableHost {
+    /// Serves one `__migrate(dst_endpoint)` call. On any failure the
+    /// object stays registered and serving at the source — callers observe
+    /// a clean abort, never a half-moved object.
+    fn migrate(&self, dst: &str) -> Result<Value, RemotingError> {
+        let own_endpoint = format!("node{}", self.node);
+        if dst == own_endpoint {
+            // Already home — idempotent no-op.
+            return Ok(Value::Str(format!("inproc://{own_endpoint}/{}", self.name)));
+        }
+        // 1. Snapshot. IOs that expose no __snapshot migrate stateless.
+        let state = match self.inner.invoke(SNAPSHOT_METHOD, &[]) {
+            Ok(state) => state,
+            Err(RemotingError::MethodNotFound { .. }) => Value::Null,
+            Err(e) => return Err(e),
+        };
+        // 2. Re-create (and restore) on the destination factory.
+        let factory_uri: parc_remoting::ObjectUri =
+            format!("inproc://{dst}/{FACTORY_OBJECT}").parse()?;
+        let chan = self.net.open(&factory_uri)?;
+        let factory = RemoteObject::new(Arc::clone(&chan), FACTORY_OBJECT);
+        let new_name = factory
+            .call(
+                "create_with_state",
+                vec![Value::Str(self.class.clone()), state],
+            )?
+            .as_str()
+            .ok_or_else(|| RemotingError::ServerFault {
+                detail: "destination factory returned a non-string".into(),
+            })?
+            .to_string();
+        let new_uri = format!("inproc://{dst}/{new_name}");
+        // 3. Open the relay channel. If this fails the move aborts: undo
+        //    the destination copy (best effort) and keep serving here.
+        let target_uri: parc_remoting::ObjectUri = match new_uri.parse() {
+            Ok(uri) => uri,
+            Err(e) => {
+                let _ = factory.call("destroy", vec![Value::Str(new_name)]);
+                return Err(e);
+            }
+        };
+        let target = match self.net.open(&target_uri) {
+            Ok(chan) => RemoteObject::new(chan, new_name.clone()),
+            Err(e) => {
+                let _ = factory.call("destroy", vec![Value::Str(new_name)]);
+                return Err(e);
+            }
+        };
+        // 4. Swap this registration for the forwarding entry. From this
+        //    dispatch on, calls queued behind __migrate resolve the
+        //    forwarder and relay in arrival order.
+        self.objects
+            .register_singleton(&self.name, Arc::new(Forwarder::new(target, new_uri.clone())));
+        self.om.object_destroyed();
+        parc_obs::gauge(parc_obs::kinds::DIRECTORY_FORWARDS).adjust(1);
+        Ok(Value::Str(new_uri))
+    }
+}
+
+impl Invokable for MigratableHost {
     fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, RemotingError> {
+        if method == MIGRATE_METHOD {
+            let dst = args.first().and_then(Value::as_str).ok_or_else(|| {
+                RemotingError::BadArguments {
+                    method: MIGRATE_METHOD.into(),
+                    detail: "expected a destination endpoint string".into(),
+                }
+            })?;
+            return self.migrate(dst);
+        }
         self.om.call_dispatched();
         self.inner.invoke(method, args)
     }
@@ -89,30 +191,47 @@ pub struct FactoryService {
     registry: ClassRegistry,
     objects: ObjectTable,
     om: Arc<OmState>,
+    net: InprocNetwork,
 }
 
 impl FactoryService {
     /// Creates the factory for `node`, registering IOs into `objects`.
+    /// `net` lets created hosts reach destination factories during
+    /// migration.
     pub fn new(
         node: usize,
         registry: ClassRegistry,
         objects: ObjectTable,
         om: Arc<OmState>,
+        net: InprocNetwork,
     ) -> FactoryService {
-        FactoryService { node, registry, objects, om }
+        FactoryService { node, registry, objects, om, net }
     }
 
-    fn create(&self, class: &str) -> Result<String, RemotingError> {
+    /// Instantiates `class`, optionally restoring `state` into it first
+    /// (the migration path), then registers it behind a fresh
+    /// [`MigratableHost`].
+    fn create(&self, class: &str, state: Option<Value>) -> Result<String, RemotingError> {
         let _span = parc_obs::Span::enter(parc_obs::kinds::FACTORY_CREATE);
         let factory = self.registry.get(class).ok_or_else(|| RemotingError::ObjectNotFound {
             object: format!("class {class}"),
         })?;
         let io = factory();
+        if let Some(state) = state {
+            // Restore before the object becomes reachable: a failed
+            // restore aborts the creation, nothing was registered.
+            io.invoke(RESTORE_METHOD, &[state])?;
+        }
         let name = format!("io-{}-{}", self.node, NEXT_IO_ID.fetch_add(1, Ordering::Relaxed));
         self.objects.register_singleton(
             &name,
-            Arc::new(OmCounted {
+            Arc::new(MigratableHost {
+                name: name.clone(),
+                class: class.to_string(),
+                node: self.node,
+                objects: self.objects.clone(),
                 om: Arc::clone(&self.om),
+                net: self.net.clone(),
                 inner: BatchDispatcher::new(io),
             }),
         );
@@ -139,7 +258,22 @@ impl Invokable for FactoryService {
                         detail: "expected a class name string".into(),
                     }
                 })?;
-                self.create(class).map(Value::Str)
+                self.create(class, None).map(Value::Str)
+            }
+            "create_with_state" => {
+                let class = args.first().and_then(Value::as_str).ok_or_else(|| {
+                    RemotingError::BadArguments {
+                        method: "create_with_state".into(),
+                        detail: "expected a class name string".into(),
+                    }
+                })?;
+                // Null means "no snapshot" (a stateless migration): the
+                // fresh instance keeps its constructor state.
+                let state = match args.get(1) {
+                    None | Some(Value::Null) => None,
+                    Some(state) => Some(state.clone()),
+                };
+                self.create(class, state).map(Value::Str)
             }
             "destroy" => {
                 let name = args.first().and_then(Value::as_str).ok_or_else(|| {
@@ -173,7 +307,8 @@ mod tests {
         });
         let objects = ObjectTable::new();
         let om = Arc::new(OmState::new());
-        let svc = FactoryService::new(0, registry, objects.clone(), Arc::clone(&om));
+        let svc =
+            FactoryService::new(0, registry, objects.clone(), Arc::clone(&om), InprocNetwork::new());
         (svc, objects, om)
     }
 
@@ -227,6 +362,71 @@ mod tests {
             svc.invoke("destroy", &[Value::Str(name_s)]).unwrap(),
             Value::Bool(false)
         );
+    }
+
+    #[test]
+    fn create_with_state_restores_before_registering() {
+        let (svc, objects, _) = service();
+        // "Echo" echoes its first argument; a __restore call is just
+        // another method here, so use a stateful class instead.
+        let registry = ClassRegistry::new();
+        registry.register("Cell", || {
+            let cell = parc_sync::Mutex::new(Value::Null);
+            Arc::new(FnInvokable(move |method: &str, args: &[Value]| match method {
+                RESTORE_METHOD => {
+                    *cell.lock() = args.first().cloned().unwrap_or(Value::Null);
+                    Ok(Value::Null)
+                }
+                "get" => Ok(cell.lock().clone()),
+                _ => Err(RemotingError::MethodNotFound {
+                    object: "Cell".into(),
+                    method: method.into(),
+                }),
+            }))
+        });
+        let svc2 = FactoryService::new(
+            1,
+            registry,
+            objects.clone(),
+            Arc::new(OmState::new()),
+            InprocNetwork::new(),
+        );
+        let name = svc2
+            .invoke(
+                "create_with_state",
+                &[Value::Str("Cell".into()), Value::I64(42)],
+            )
+            .unwrap();
+        let io = objects.resolve(name.as_str().unwrap()).unwrap();
+        assert_eq!(io.invoke("get", &[]).unwrap(), Value::I64(42));
+        // Null state means "stateless": no __restore is attempted, which
+        // is why Echo (no __restore) still creates fine.
+        assert!(svc
+            .invoke("create_with_state", &[Value::Str("Echo".into()), Value::Null])
+            .is_ok());
+    }
+
+    #[test]
+    fn failed_restore_aborts_creation() {
+        let registry = ClassRegistry::new();
+        registry.register("NoRestore", || {
+            Arc::new(FnInvokable(|method: &str, _: &[Value]| {
+                Err(RemotingError::MethodNotFound { object: "NoRestore".into(), method: method.into() })
+            }))
+        });
+        let objects = ObjectTable::new();
+        let om = Arc::new(OmState::new());
+        let svc = FactoryService::new(
+            0,
+            registry,
+            objects.clone(),
+            Arc::clone(&om),
+            InprocNetwork::new(),
+        );
+        assert!(svc
+            .invoke("create_with_state", &[Value::Str("NoRestore".into()), Value::I64(1)])
+            .is_err());
+        assert_eq!(om.load(), 0, "aborted restore must not register the object");
     }
 
     #[test]

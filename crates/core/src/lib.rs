@@ -59,6 +59,7 @@ pub mod adapt;
 pub mod batch;
 pub mod config;
 pub mod dag;
+pub mod directory;
 pub mod error;
 pub mod factory;
 pub mod farm;
@@ -72,20 +73,22 @@ pub mod telemetry;
 pub use adapt::GrainAdapter;
 pub use config::{GrainConfig, Placement};
 pub use dag::DependenceGraph;
+pub use directory::{ObjectDirectory, PlacedObject, RingConfig};
 pub use error::ParcError;
 pub use farm::Farm;
 pub use pipeline::Pipeline;
 pub use po::Po;
-pub use runtime::{ParcRuntime, RuntimeBuilder};
+pub use runtime::{ParcRuntime, RebalanceConfig, RebalancerHandle, RuntimeBuilder};
 pub use stats::RuntimeStats;
 pub use telemetry::{ClusterTelemetry, NodeTelemetry, TelemetryService};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::config::{GrainConfig, Placement};
+    pub use crate::directory::{ObjectDirectory, RingConfig};
     pub use crate::error::ParcError;
     pub use crate::farm::Farm;
     pub use crate::pipeline::Pipeline;
     pub use crate::po::Po;
-    pub use crate::runtime::{ParcRuntime, RuntimeBuilder};
+    pub use crate::runtime::{ParcRuntime, RebalanceConfig, RuntimeBuilder};
 }

@@ -273,10 +273,20 @@ impl Po {
                         let _span = parc_obs::Span::enter(parc_obs::kinds::PO_CALL);
                         let start = Instant::now();
                         let payload = args.take().expect("args survive failed attempts");
-                        match remote.call_reclaim(method, payload) {
-                            Ok(out) => {
+                        match remote.call_reclaim_located(method, payload) {
+                            Ok((out, moved)) => {
                                 self.adapter.observe_call(start.elapsed());
                                 self.stats.record_message();
+                                drop(target);
+                                if let Some(uri) = moved {
+                                    // The reply came through a forwarding
+                                    // entry: the object migrated. Repoint
+                                    // at its new home so later calls skip
+                                    // the extra hop. Order-safe: every
+                                    // earlier post was relayed two-way
+                                    // before this reply was produced.
+                                    self.repoint(&uri);
+                                }
                                 return Ok(out);
                             }
                             Err((e, reclaimed)) => {
@@ -290,6 +300,30 @@ impl Po {
             if !self.try_failover(failed_node, &err) {
                 return Err(err);
             }
+        }
+    }
+
+    /// Points this proxy at `uri` (an object's post-migration home).
+    /// Best-effort: a proxy without a failover handle (no channel opener)
+    /// keeps calling through the forwarding entry, which stays correct.
+    fn repoint(&self, uri: &str) {
+        let Some(failover) = &self.failover else { return };
+        let Ok(new_target) = failover.target_from_uri(uri) else { return };
+        let mut target = self.target.write();
+        // Never demote a proxy that degraded to local execution.
+        if matches!(&*target, Target::Remote { .. }) {
+            *target = new_target;
+        }
+    }
+
+    /// Runtime-driven rewire after an explicit [`migrate`] — the initiator
+    /// already knows the new home, so it skips the forwarded-call hop.
+    ///
+    /// [`migrate`]: crate::ParcRuntime::migrate
+    pub(crate) fn rewire(&self, new_target: Target) {
+        let mut target = self.target.write();
+        if matches!(&*target, Target::Remote { .. }) {
+            *target = new_target;
         }
     }
 

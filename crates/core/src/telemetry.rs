@@ -31,8 +31,9 @@ pub const POLL_TIMEOUT: Duration = Duration::from_millis(250);
 /// Number of `I64` fields in the `snapshot` list, in order: node, hosted,
 /// dispatched, queue_depth, max_object_depth, executed, steals, busy,
 /// queue-wait p50 (ns), queue-wait p99 (ns), faults injected, objects
-/// failed over, async calls, sync calls, messages sent, batches sent.
-pub const SNAPSHOT_FIELDS: usize = 16;
+/// failed over, async calls, sync calls, messages sent, batches sent,
+/// migrations completed, forwarding entries outstanding, ring epoch.
+pub const SNAPSHOT_FIELDS: usize = 19;
 
 /// The published per-node telemetry service.
 pub struct TelemetryService {
@@ -76,6 +77,9 @@ impl TelemetryService {
             Value::I64(clamp(snap.sync_calls)),
             Value::I64(clamp(snap.messages_sent)),
             Value::I64(clamp(snap.batches_sent)),
+            Value::I64(clamp(parc_obs::counter(parc_obs::kinds::MIGRATION_COMPLETED).get())),
+            Value::I64(parc_obs::gauge(parc_obs::kinds::DIRECTORY_FORWARDS).get()),
+            Value::I64(parc_obs::gauge(parc_obs::kinds::RING_EPOCH).get()),
         ])
     }
 }
@@ -134,6 +138,12 @@ pub struct NodeTelemetry {
     pub messages_sent: i64,
     /// Aggregate (batched) messages sent.
     pub batches_sent: i64,
+    /// Live migrations completed so far (process-wide).
+    pub migrations: i64,
+    /// Forwarding entries currently installed (process-wide).
+    pub forwards: i64,
+    /// Current object-directory routing epoch (process-wide).
+    pub ring_epoch: i64,
 }
 
 /// Decodes one `snapshot` reply. `None` when the value is not the
@@ -165,6 +175,9 @@ pub fn decode_snapshot(value: &Value) -> Option<NodeTelemetry> {
         sync_calls: f[13],
         messages_sent: f[14],
         batches_sent: f[15],
+        migrations: f[16],
+        forwards: f[17],
+        ring_epoch: f[18],
     })
 }
 
@@ -210,7 +223,8 @@ impl ClusterTelemetry {
             .collect()
     }
 
-    fn poll_node(&self, node: usize) -> Option<NodeTelemetry> {
+    /// Polls one node; `None` when it is unreachable within the timeout.
+    pub fn poll_node(&self, node: usize) -> Option<NodeTelemetry> {
         let uri: parc_remoting::ObjectUri =
             format!("inproc://node{node}/{TELEMETRY_OBJECT}").parse().ok()?;
         // Never chaos-wrapped: the dashboard must see through injected
@@ -292,6 +306,19 @@ mod tests {
         assert!(!rows[0].alive, "killed node must probe dead");
         assert!(rows[1].alive);
         assert_eq!(rows[0].node, 0);
+    }
+
+    #[test]
+    fn migration_plane_rides_along() {
+        // Booting any runtime publishes a ring table, so the epoch gauge
+        // is live; the counters are process-wide and only grow, so the
+        // assertions stay monotone under parallel tests.
+        let rt = ParcRuntime::builder().nodes(2).build().unwrap();
+        noop_class(&rt);
+        let rows = rt.telemetry().poll();
+        assert!(rows[0].ring_epoch >= 1, "ring epoch gauge is live");
+        assert!(rows[0].migrations >= 0);
+        assert!(rows[0].forwards >= 0);
     }
 
     #[test]

@@ -104,6 +104,35 @@ pub const OBJECT_FAILED_OVER: &str = "object.failed_over";
 /// target (reconnect or failover completion).
 pub const RECOVERY_LATENCY: &str = "recovery.latency";
 
+// ---- object directory, migration & rebalancing ----
+
+/// Span: one load-probe sweep refreshing the `LeastLoaded` placement
+/// cache (the only placement path that still performs RPCs).
+pub const PLACEMENT_PROBE: &str = "placement.probe";
+/// Gauge: current epoch of the published ring routing table.
+pub const RING_EPOCH: &str = "ring.epoch";
+/// Counter/event: a live migration began (`uri=.. from=.. to=..`).
+pub const MIGRATION_STARTED: &str = "migration.started";
+/// Counter/event: a live migration installed the object at its new home
+/// (`uri=.. from=.. to=..`).
+pub const MIGRATION_COMPLETED: &str = "migration.completed";
+/// Counter/event: a live migration aborted with the object intact at the
+/// source (`uri=.. reason=..`).
+pub const MIGRATION_ABORTED: &str = "migration.aborted";
+/// Histogram: nanoseconds from migration start to directory flip.
+pub const MIGRATION_LATENCY: &str = "migration.latency";
+/// Span: one end-to-end `migrate(uri, dst)` — quiesce, snapshot,
+/// re-create, install forwarder, flip epoch.
+pub const MIGRATION_MOVE: &str = "migration.move";
+/// Counter: calls relayed through a migrated object's forwarding entry.
+pub const DIRECTORY_FORWARD: &str = "directory.forward";
+/// Gauge: forwarding entries currently installed (migrated objects whose
+/// old name is still routable).
+pub const DIRECTORY_FORWARDS: &str = "directory.forwards";
+/// Counter/event: one rebalancer round examined the cluster
+/// (`migrated=.. hot=..`).
+pub const REBALANCE_ROUND: &str = "rebalance.round";
+
 // ---- observability plane ----
 
 /// Counter: ring records lost to overwrite (truncated-trace detector).
@@ -193,6 +222,16 @@ mod tests {
             super::NODE_FAILED,
             super::OBJECT_FAILED_OVER,
             super::RECOVERY_LATENCY,
+            super::PLACEMENT_PROBE,
+            super::RING_EPOCH,
+            super::MIGRATION_STARTED,
+            super::MIGRATION_COMPLETED,
+            super::MIGRATION_ABORTED,
+            super::MIGRATION_LATENCY,
+            super::MIGRATION_MOVE,
+            super::DIRECTORY_FORWARD,
+            super::DIRECTORY_FORWARDS,
+            super::REBALANCE_ROUND,
             super::RING_DROPPED,
             super::FLIGHT_DUMP,
             super::TELEMETRY_DISPATCH,

@@ -70,7 +70,13 @@ pub fn dispatch(table: &ObjectTable, call: &CallMessage) -> Option<ReturnMessage
         return None;
     }
     Some(match outcome {
-        Ok(value) => ReturnMessage::ok(call.call_id, value),
+        // A `__moved` envelope from a forwarding entry becomes the Moved
+        // reply variant: the inner value travels as the result and the new
+        // location rides the reply's `moved_to` field.
+        Ok(value) => match crate::forward::split_moved(value) {
+            (value, Some(uri)) => ReturnMessage::ok(call.call_id, value).with_moved_to(uri),
+            (value, None) => ReturnMessage::ok(call.call_id, value),
+        },
         // Unwrap server faults so the client does not double-wrap the
         // prefix when it re-raises the fault as its own ServerFault.
         Err(RemotingError::ServerFault { detail }) => ReturnMessage::fault(call.call_id, detail),

@@ -1,0 +1,129 @@
+//! Forwarding entries for migrated objects.
+//!
+//! When an object migrates, its old registration is replaced by a
+//! [`Forwarder`]: an [`Invokable`] that relays every invocation to the
+//! object's new home as a *two-way* call and tags each reply with the new
+//! location. Two-way relaying is what preserves per-object FIFO across
+//! the move — a forwarded call occupies the source mailbox slot until the
+//! destination has executed it, so source-side arrival order equals
+//! destination-side execution order regardless of transport.
+//!
+//! The new location piggybacks on the reply as a `__moved` envelope
+//! ([`moved_value`]), which [`crate::dispatcher::dispatch`] unwraps into
+//! the [`ReturnMessage::moved_to`](crate::message::ReturnMessage) field —
+//! the `Moved` reply variant. Clients that understand it repoint their
+//! channel after the next synchronous call; clients that don't keep
+//! working through the forwarder indefinitely.
+
+use parc_serial::{StructValue, Value};
+
+use crate::channel::RemoteObject;
+use crate::dispatcher::Invokable;
+use crate::error::RemotingError;
+
+/// Struct name of the reply envelope a [`Forwarder`] wraps results in.
+pub const MOVED_STRUCT: &str = "__moved";
+
+/// Wraps a result value in a `__moved` envelope carrying the object's new
+/// URI. The envelope survives any [`Invokable`] boundary (it is a plain
+/// [`Value`]), so forwarders compose with batching and chaos wrappers.
+pub fn moved_value(uri: &str, value: Value) -> Value {
+    Value::Struct(
+        StructValue::new(MOVED_STRUCT)
+            .with_field("uri", Value::Str(uri.to_string()))
+            .with_field("value", value),
+    )
+}
+
+/// Splits a possibly-`__moved` value into `(inner value, new location)`.
+/// Non-envelope values pass through untouched with `None`.
+pub fn split_moved(value: Value) -> (Value, Option<String>) {
+    match value {
+        Value::Struct(s) if s.name() == MOVED_STRUCT => {
+            let uri = s.field("uri").and_then(Value::as_str).map(str::to_string);
+            let inner = s.field("value").cloned().unwrap_or(Value::Null);
+            match uri {
+                Some(uri) => (inner, Some(uri)),
+                // A malformed envelope (no uri) degrades to pass-through
+                // of the whole struct rather than silently dropping data.
+                None => (Value::Struct(s), None),
+            }
+        }
+        other => (other, None),
+    }
+}
+
+/// The forwarding entry installed under a migrated object's old name.
+///
+/// Every method — including one-way posts, which the dispatch layer
+/// invokes without a reply path — is relayed as a two-way call so the
+/// relay blocks until the destination executed it (the FIFO argument
+/// above). Results come back wrapped in a `__moved` envelope.
+pub struct Forwarder {
+    target: RemoteObject,
+    new_uri: String,
+}
+
+impl Forwarder {
+    /// Creates a forwarder relaying to `target` (the object's new
+    /// registration) and advertising `new_uri` as its home.
+    pub fn new(target: RemoteObject, new_uri: impl Into<String>) -> Forwarder {
+        Forwarder { target, new_uri: new_uri.into() }
+    }
+
+    /// The URI this forwarder advertises.
+    pub fn new_uri(&self) -> &str {
+        &self.new_uri
+    }
+}
+
+impl Invokable for Forwarder {
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, RemotingError> {
+        parc_obs::counter(parc_obs::kinds::DIRECTORY_FORWARD).incr();
+        let value = self.target.call(method, args.to_vec())?;
+        Ok(moved_value(&self.new_uri, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrips() {
+        let wrapped = moved_value("inproc://node1/io-1-3", Value::I32(7));
+        let (inner, moved) = split_moved(wrapped);
+        assert_eq!(inner, Value::I32(7));
+        assert_eq!(moved.as_deref(), Some("inproc://node1/io-1-3"));
+    }
+
+    #[test]
+    fn plain_values_pass_through() {
+        let (inner, moved) = split_moved(Value::Str("x".into()));
+        assert_eq!(inner, Value::Str("x".into()));
+        assert_eq!(moved, None);
+    }
+
+    #[test]
+    fn foreign_structs_pass_through() {
+        let s = Value::Struct(StructValue::new("Point").with_field("x", Value::I32(1)));
+        let (inner, moved) = split_moved(s.clone());
+        assert_eq!(inner, s);
+        assert_eq!(moved, None);
+    }
+
+    #[test]
+    fn malformed_envelope_is_not_swallowed() {
+        let s = Value::Struct(StructValue::new(MOVED_STRUCT).with_field("value", Value::I32(1)));
+        let (inner, moved) = split_moved(s.clone());
+        assert_eq!(inner, s);
+        assert_eq!(moved, None);
+    }
+
+    #[test]
+    fn null_inner_value_roundtrips() {
+        let (inner, moved) = split_moved(moved_value("uri", Value::Null));
+        assert_eq!(inner, Value::Null);
+        assert_eq!(moved.as_deref(), Some("uri"));
+    }
+}

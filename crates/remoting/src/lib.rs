@@ -65,6 +65,7 @@ pub mod delegate;
 pub mod dispatcher;
 pub mod error;
 pub mod fault;
+pub mod forward;
 pub mod frame;
 pub mod http;
 pub mod inproc;
@@ -85,6 +86,7 @@ pub use delegate::{AsyncResult, Delegate};
 pub use dispatcher::Invokable;
 pub use error::RemotingError;
 pub use fault::{ChaosChannel, FaultKind, FaultPlan, FaultSpec};
+pub use forward::Forwarder;
 pub use lease::LeaseManager;
 pub use mailbox::{DispatchDepth, DispatchStats, MailboxScheduler};
 pub use message::{CallMessage, ReturnMessage};

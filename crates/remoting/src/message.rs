@@ -107,17 +107,29 @@ pub struct ReturnMessage {
     pub call_id: u64,
     /// The outcome: a marshalled return value, or a fault description.
     pub result: Result<Value, String>,
+    /// `Moved` variant: when set, the object that served this call now
+    /// lives at the given URI (it was migrated and the reply travelled
+    /// through a forwarding entry). Clients repoint their channel at the
+    /// new home; the value itself is still authoritative. Encoded as an
+    /// optional wire field so every formatter stays backward compatible.
+    pub moved_to: Option<String>,
 }
 
 impl ReturnMessage {
     /// Creates a success reply.
     pub fn ok(call_id: u64, value: Value) -> Self {
-        ReturnMessage { call_id, result: Ok(value) }
+        ReturnMessage { call_id, result: Ok(value), moved_to: None }
     }
 
     /// Creates a fault reply.
     pub fn fault(call_id: u64, detail: impl Into<String>) -> Self {
-        ReturnMessage { call_id, result: Err(detail.into()) }
+        ReturnMessage { call_id, result: Err(detail.into()), moved_to: None }
+    }
+
+    /// Tags the reply with the object's new home (the `Moved` variant).
+    pub fn with_moved_to(mut self, uri: impl Into<String>) -> Self {
+        self.moved_to = Some(uri.into());
+        self
     }
 
     /// Encodes into a wire [`Value`].
@@ -128,6 +140,9 @@ impl ReturnMessage {
         match &self.result {
             Ok(v) => s.push_field("value", v.clone()),
             Err(e) => s.push_field("error", Value::Str(e.clone())),
+        }
+        if let Some(uri) = &self.moved_to {
+            s.push_field("moved", Value::Str(uri.clone()));
         }
         Value::Struct(s)
     }
@@ -146,7 +161,8 @@ impl ReturnMessage {
         } else {
             Err(expect_str(s, "error")?)
         };
-        Ok(ReturnMessage { call_id, result })
+        let moved_to = s.field("moved").and_then(Value::as_str).map(str::to_string);
+        Ok(ReturnMessage { call_id, result, moved_to })
     }
 
     /// Serializes through a formatter.
@@ -183,6 +199,19 @@ impl ReturnMessage {
     /// [`RemotingError::ServerFault`] when the server reported a fault.
     pub fn into_result(self) -> Result<Value, RemotingError> {
         self.result.map_err(|detail| RemotingError::ServerFault { detail })
+    }
+
+    /// Converts the reply into the caller-facing result, preserving the
+    /// `Moved` location when present.
+    ///
+    /// # Errors
+    ///
+    /// [`RemotingError::ServerFault`] when the server reported a fault.
+    pub fn into_located(self) -> Result<(Value, Option<String>), RemotingError> {
+        let moved_to = self.moved_to;
+        self.result
+            .map(|v| (v, moved_to))
+            .map_err(|detail| RemotingError::ServerFault { detail })
     }
 }
 
@@ -258,6 +287,33 @@ mod tests {
             Err(RemotingError::ServerFault { detail }) => assert_eq!(detail, "divide by zero"),
             other => panic!("expected server fault, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn moved_reply_roundtrips_through_all_formats() {
+        let ret = ReturnMessage::ok(3, Value::I64(8)).with_moved_to("inproc://node2/io-2-5");
+        let formats: [&dyn Formatter; 3] =
+            [&BinaryFormatter::new(), &SoapFormatter::new(), &JavaFormatter::new()];
+        for f in formats {
+            let back = ReturnMessage::decode(f, &ret.encode(f).unwrap()).unwrap();
+            assert_eq!(back, ret, "format {}", f.name());
+            let (value, moved) = back.into_located().unwrap();
+            assert_eq!(value, Value::I64(8));
+            assert_eq!(moved.as_deref(), Some("inproc://node2/io-2-5"));
+        }
+    }
+
+    #[test]
+    fn reply_without_moved_field_decodes_as_not_moved() {
+        // Wire compatibility: replies encoded before the Moved variant
+        // existed carry no "moved" field and must decode to None.
+        let v = Value::Struct(
+            StructValue::new("Return")
+                .with_field("id", Value::I64(1))
+                .with_field("ok", Value::Bool(true))
+                .with_field("value", Value::Null),
+        );
+        assert_eq!(ReturnMessage::from_value(&v).unwrap().moved_to, None);
     }
 
     #[test]

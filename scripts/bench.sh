@@ -26,7 +26,14 @@
 # obs_propagation, whose BENCH_obs_propagation.json prices cross-node
 # trace-context injection on the mux call path
 # (propagation_vs_recording_calls_ratio is the acceptance ratio: must
-# stay >= 0.95, i.e. injection costs <= 5% on top of span recording).
+# stay >= 0.95, i.e. injection costs <= 5% on top of span recording),
+# and rebalance, whose BENCH_rebalance.json compares O(1) ring
+# placement against the least-loaded probe scan at 8 nodes
+# (create_p99_speedup_ring_vs_scan must stay >= 5x) and measures
+# skewed-load throughput before/during/after the rebalancer
+# live-migrates the hot node's objects (rebalance_throughput_ratio:
+# post-rebalance throughput must stay >= 0.8x the evenly-spread
+# baseline, with at least one migration observed).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -121,3 +121,25 @@ cargo run --release --offline -q -p parc-obs --bin parc-trace-merge -- \
 cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
     target/merged_trace.json --cross-node --min-events 100
 echo "ok: cross-node tracing passed (${jsonl_count} node files merged, causal graph valid)"
+
+# Gate 9: sharded directory + live migration. The property suite proves
+# the consistent-hash ring (deterministic seeded lookup, minimal
+# remapping on node death, epoch safety, bounded-memory resolution at
+# 1M keys) and the migration suite proves state transfer, forwarding,
+# proxy repointing, clean aborts, and per-client FIFO across a mid-run
+# migration. Then a traced skewed run must observe the rebalancer
+# actually live-migrate objects (migration.completed > 0 in the metrics
+# summary, the example also asserts no increment was lost) and emit a
+# structurally valid Chrome trace.
+cargo test -q --offline --test directory_properties
+cargo test -q --offline --test migration
+rebalance_out=$(PARC_OBS=1 cargo run --release --offline -q --example ring_rebalance 2>&1)
+migrations=$(printf '%s\n' "$rebalance_out" | awk '$1 == "migration.completed" { print $2 }')
+if [ -z "${migrations}" ] || [ "${migrations}" -eq 0 ]; then
+    printf '%s\n' "$rebalance_out" >&2
+    echo "FAIL: traced skewed run completed no live migrations" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
+    target/ring_rebalance_trace.json --min-events 10
+echo "ok: sharded directory passed (ring + migration suites, ${migrations} live migrations, trace valid)"

@@ -3,7 +3,8 @@
 //! Boots a ParC# runtime, drives a small synthetic load against it, and
 //! polls every node's `__telemetry` object each tick, rendering a
 //! refreshing per-node table: calls/s, queue-wait p50/p99, dispatch queue
-//! depth, work steals, injected faults and object failovers. The same
+//! depth, work steals, injected faults, object failovers, live migrations,
+//! outstanding forwarding entries and the directory ring epoch. The same
 //! `ClusterTelemetry` poller works against any embedded runtime — this
 //! binary is the reference consumer.
 //!
@@ -149,7 +150,7 @@ fn render(rows: &[NodeTelemetry], last: &[NodeTelemetry], elapsed: f64, tick: u6
         elapsed * 1e3
     ));
     out.push_str(
-        "NODE   STATE  OBJECTS  CALLS/S  P50(us)  P99(us)  QDEPTH  STEALS  FAULTS  FAILOVER\n",
+        "NODE   STATE  OBJECTS  CALLS/S  P50(us)  P99(us)  QDEPTH  STEALS  FAULTS  FAILOVER  MIGR  FWD  EPOCH\n",
     );
     for row in rows {
         let prev = last.iter().find(|p| p.node == row.node);
@@ -157,7 +158,7 @@ fn render(rows: &[NodeTelemetry], last: &[NodeTelemetry], elapsed: f64, tick: u6
             .map(|p| (row.dispatched - p.dispatched).max(0) as f64 / elapsed)
             .unwrap_or(0.0);
         out.push_str(&format!(
-            "{:<6} {:<6} {:>7} {:>8.0} {:>8.1} {:>8.1} {:>7} {:>7} {:>7} {:>9}\n",
+            "{:<6} {:<6} {:>7} {:>8.0} {:>8.1} {:>8.1} {:>7} {:>7} {:>7} {:>9} {:>5} {:>4} {:>6}\n",
             row.node,
             if row.alive { "up" } else { "DOWN" },
             row.hosted,
@@ -168,6 +169,9 @@ fn render(rows: &[NodeTelemetry], last: &[NodeTelemetry], elapsed: f64, tick: u6
             row.steals,
             row.faults_injected,
             row.objects_failed_over,
+            row.migrations,
+            row.forwards,
+            row.ring_epoch,
         ));
     }
     print!("{out}");

@@ -1,0 +1,155 @@
+//! Property tests for the sharded object directory: deterministic ring
+//! lookup, bounded remapping when membership changes, epoch safety (a
+//! published table never routes to a node that was dead when it was
+//! built), and bounded-memory resolution at large key counts.
+
+use parc::scoopp::{ObjectDirectory, RingConfig};
+use parc_testkit::Config;
+
+fn keys(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("Class#{i}")).collect()
+}
+
+#[test]
+fn resolution_is_deterministic_for_a_fixed_seed() {
+    Config::cases(32).check(
+        |src| {
+            let nodes = src.usize_in(1..9);
+            let seed = src.u64_any();
+            let sample = src.vec_of(1..40, |s| s.string_of("abcdefgh0123#/", 1..24));
+            (nodes, seed, sample)
+        },
+        |(nodes, seed, sample)| {
+            let cfg = RingConfig { seed: *seed, ..RingConfig::default() };
+            let a = ObjectDirectory::new(*nodes, cfg);
+            let b = ObjectDirectory::new(*nodes, cfg);
+            for key in sample {
+                assert_eq!(a.resolve(key), b.resolve(key), "key {key:?}");
+            }
+        },
+    );
+}
+
+#[test]
+fn node_death_remaps_only_the_dead_nodes_keys() {
+    Config::cases(16).check(
+        |src| {
+            let nodes = src.usize_in(3..9);
+            let dead = src.usize_in(0..nodes);
+            (nodes, dead)
+        },
+        |&(nodes, dead)| {
+            let dir = ObjectDirectory::new(nodes, RingConfig::default());
+            let sample = keys(2000);
+            let before: Vec<usize> =
+                sample.iter().map(|k| dir.resolve(k).unwrap().0).collect();
+            dir.set_alive(dead, false);
+            let mut remapped = 0usize;
+            for (key, &was) in sample.iter().zip(&before) {
+                let (now, _) = dir.resolve(key).unwrap();
+                if was == dead {
+                    assert_ne!(now, dead, "key {key:?} still routed to the dead node");
+                    remapped += 1;
+                } else {
+                    // Consistent hashing: only the dead node's virtual
+                    // nodes leave the ring, so everyone else's keys stay.
+                    assert_eq!(now, was, "stable key {key:?} moved");
+                }
+            }
+            // The dead node owned ~1/N of the keys; allow 2× slack for
+            // hash-spread variance.
+            let bound = 2 * sample.len() / nodes;
+            assert!(
+                remapped <= bound,
+                "{remapped} of {} keys remapped, bound {bound} (N={nodes})",
+                sample.len()
+            );
+            // Revival restores the original mapping exactly.
+            dir.set_alive(dead, true);
+            for (key, &was) in sample.iter().zip(&before) {
+                assert_eq!(dir.resolve(key).unwrap().0, was);
+            }
+        },
+    );
+}
+
+#[test]
+fn published_tables_never_route_to_a_node_dead_at_their_epoch() {
+    Config::cases(24).check(
+        |src| {
+            let nodes = src.usize_in(2..6);
+            let toggles = src.vec_of(1..24, |s| {
+                let node = s.usize_in(0..5);
+                (node, s.bool_any())
+            });
+            (nodes, toggles)
+        },
+        |(nodes, toggles)| {
+            let nodes = *nodes;
+            let dir = ObjectDirectory::new(nodes, RingConfig::default());
+            let mut alive = vec![true; nodes];
+            let sample = keys(64);
+            for &(node, up) in toggles {
+                let node = node % nodes;
+                alive[node] = up;
+                let epoch = dir.set_alive(node, up);
+                assert_eq!(dir.epoch(), epoch);
+                for key in &sample {
+                    match dir.resolve(key) {
+                        Some((n, e)) => {
+                            // The resolved epoch is the published table's;
+                            // a node dead at that epoch got zero virtual
+                            // nodes, so it cannot be the answer.
+                            assert_eq!(e, epoch);
+                            assert!(
+                                alive[n],
+                                "key {key:?} routed to dead node {n} at epoch {e}"
+                            );
+                        }
+                        None => assert!(
+                            alive.iter().all(|&a| !a),
+                            "resolution failed with live nodes present"
+                        ),
+                    }
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn epoch_bump_changes_no_routing_but_advances_the_clock() {
+    let dir = ObjectDirectory::new(4, RingConfig::default());
+    let sample = keys(500);
+    let before: Vec<usize> = sample.iter().map(|k| dir.resolve(k).unwrap().0).collect();
+    let e0 = dir.epoch();
+    let e1 = dir.bump_epoch();
+    assert!(e1 > e0);
+    for (key, &was) in sample.iter().zip(&before) {
+        let (now, epoch) = dir.resolve(key).unwrap();
+        assert_eq!(now, was);
+        assert_eq!(epoch, e1);
+    }
+}
+
+#[test]
+fn a_million_keys_resolve_with_bounded_memory_and_even_spread() {
+    let nodes = 8;
+    let dir = ObjectDirectory::new(nodes, RingConfig::default());
+    let mut counts = vec![0u64; nodes];
+    for i in 0..1_000_000u64 {
+        let (node, _) = dir.resolve(&format!("obj#{i}")).expect("all nodes alive");
+        counts[node] += 1;
+    }
+    let mean = 1_000_000.0 / nodes as f64;
+    for (node, &count) in counts.iter().enumerate() {
+        let ratio = count as f64 / mean;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "node {node} holds {count} keys ({ratio:.2}× mean)"
+        );
+    }
+    // Placement is pure hashing: resolving a million keys leaves no
+    // per-key state behind.
+    assert_eq!(dir.placed_count(), 0);
+}
