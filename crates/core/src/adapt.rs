@@ -8,7 +8,14 @@
 //! an exponentially weighted moving average (EWMA) of per-call service
 //! time, compares it with the per-message overhead of the transport, and
 //! yields the two knobs of [`crate::GrainConfig`].
+//!
+//! Since the reply frames started carrying the server's dispatch depth
+//! (the `FLAG_DEPTH` extension), adaptation is no longer open-loop:
+//! [`BatchController`] closes the loop per proxy, combining the channel's
+//! RTT EWMA, the piggybacked remote queue depth and the adapter's call-cost
+//! estimate into one deterministic batch-size law (DESIGN.md §14).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use parc_sync::Mutex;
@@ -123,6 +130,168 @@ impl GrainAdapter {
         let per_call_overhead =
             self.message_overhead.as_secs_f64() / self.max_aggregation as f64;
         call < per_call_overhead
+    }
+}
+
+/// Tuning knobs of the closed-loop batch controller, read once per proxy
+/// from the `PARC_BATCH_*` environment variables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Smallest batch the controller ever targets (`PARC_BATCH_MIN`).
+    pub min: usize,
+    /// Largest batch the controller ever targets (`PARC_BATCH_MAX`).
+    pub max: usize,
+    /// Oldest a buffered one-way call may get before the buffer ships
+    /// regardless of fill (`PARC_BATCH_LINGER_US`).
+    pub linger: Duration,
+    /// Remote queue depth above which the controller halves the batch —
+    /// the server is drowning (`PARC_BATCH_DEPTH_HIGH`).
+    pub depth_high: usize,
+    /// Remote queue depth at or below which the controller doubles the
+    /// batch — the server is starved (`PARC_BATCH_DEPTH_LOW`).
+    pub depth_low: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            min: 1,
+            max: 256,
+            linger: Duration::from_micros(2_000),
+            depth_high: 256,
+            depth_low: 32,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Reads the `PARC_BATCH_*` knobs (`MIN`, `MAX`, `LINGER_US`,
+    /// `DEPTH_HIGH`, `DEPTH_LOW`), falling back to the defaults for unset
+    /// or unparseable values. `min`/`max` are forced into a sane order.
+    pub fn from_env() -> BatchConfig {
+        fn get<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok().and_then(|v| v.parse().ok())
+        }
+        let d = BatchConfig::default();
+        let min = get("PARC_BATCH_MIN").unwrap_or(d.min).max(1);
+        BatchConfig {
+            min,
+            max: get("PARC_BATCH_MAX").unwrap_or(d.max).max(min),
+            linger: get("PARC_BATCH_LINGER_US").map_or(d.linger, Duration::from_micros),
+            depth_high: get("PARC_BATCH_DEPTH_HIGH").unwrap_or(d.depth_high),
+            depth_low: get("PARC_BATCH_DEPTH_LOW").unwrap_or(d.depth_low),
+        }
+    }
+}
+
+/// The deterministic closed-loop batch-size controller.
+///
+/// Inputs per decision round:
+/// * `rtt` — the channel's round-trip EWMA ([`LinkFeedback`]'s view of how
+///   much the wire costs),
+/// * `call_cost` — the adapter's per-call service-time EWMA,
+/// * `depth` — the server dispatch depth piggybacked on the last reply.
+///
+/// Law (§14): the wire-dominance *target* is `⌈4·rtt / call_cost⌉` — pack
+/// enough work per message that the round trip stops dominating — and the
+/// backpressure bands move the current size toward it: halve above
+/// `depth_high`, double at or below `depth_low`, hold in between. The
+/// target caps every band, so for a fixed `(rtt, call_cost, current)` the
+/// decided size is monotone nonincreasing in the reported depth
+/// (`min(2c, t) ≥ min(c, t) ≥ min(⌈c/2⌉, t)`), and the whole law is a pure
+/// function of its inputs — replaying a tape of observations replays the
+/// decisions.
+///
+/// [`LinkFeedback`]: parc_remoting::channel::LinkFeedback
+#[derive(Debug)]
+pub struct BatchController {
+    cfg: BatchConfig,
+    current: AtomicU64,
+    shrinks: AtomicU64,
+    grows: AtomicU64,
+}
+
+impl BatchController {
+    /// Creates a controller starting from the smallest batch.
+    pub fn new(cfg: BatchConfig) -> BatchController {
+        BatchController {
+            current: AtomicU64::new(cfg.min as u64),
+            cfg,
+            shrinks: AtomicU64::new(0),
+            grows: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this controller runs under.
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// The batch size decided by the last [`BatchController::observe`].
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed) as usize
+    }
+
+    /// Times the controller halved its size under backpressure.
+    pub fn shrinks(&self) -> u64 {
+        self.shrinks.load(Ordering::Relaxed)
+    }
+
+    /// Times the controller doubled its size into drained queues.
+    pub fn grows(&self) -> u64 {
+        self.grows.load(Ordering::Relaxed)
+    }
+
+    /// The wire-dominance target: enough calls per message that their
+    /// summed work is ≥ 4× the round trip, clamped to `[min, max]`.
+    pub fn target(&self, rtt: Duration, call_cost: Duration) -> usize {
+        let rtt_s = rtt.as_secs_f64();
+        let cost_s = call_cost.as_secs_f64().max(1e-9);
+        let wanted = (4.0 * rtt_s / cost_s).ceil();
+        if wanted.is_finite() {
+            (wanted as usize).clamp(self.cfg.min, self.cfg.max)
+        } else {
+            self.cfg.max
+        }
+    }
+
+    /// The pure decision law: next batch size from `(current, target,
+    /// depth)`. No state is read or written — property tests drive this
+    /// directly.
+    pub fn decide(&self, current: usize, target: usize, depth: usize) -> usize {
+        let raw = if depth > self.cfg.depth_high {
+            (current / 2).max(1)
+        } else if depth <= self.cfg.depth_low {
+            current.saturating_mul(2)
+        } else {
+            current
+        };
+        raw.min(target).clamp(self.cfg.min, self.cfg.max)
+    }
+
+    /// Folds one feedback observation into the controller: runs
+    /// [`BatchController::decide`] over the live inputs, installs the
+    /// result, counts and announces direction changes, and returns the new
+    /// size.
+    pub fn observe(&self, rtt: Duration, call_cost: Duration, depth: usize) -> usize {
+        let target = self.target(rtt, call_cost);
+        let old = self.current();
+        let new = self.decide(old, target, depth);
+        self.current.store(new as u64, Ordering::Relaxed);
+        if new < old {
+            self.shrinks.fetch_add(1, Ordering::Relaxed);
+            parc_obs::counter(parc_obs::kinds::BATCH_SHRINK).incr();
+            parc_obs::event(parc_obs::kinds::BATCH_SHRINK, || {
+                format!("old={old} new={new} depth={depth} target={target}")
+            });
+        } else if new > old {
+            self.grows.fetch_add(1, Ordering::Relaxed);
+            parc_obs::counter(parc_obs::kinds::BATCH_GROW).incr();
+            parc_obs::event(parc_obs::kinds::BATCH_GROW, || {
+                format!("old={old} new={new} depth={depth} target={target}")
+            });
+        }
+        new
     }
 }
 
@@ -253,5 +422,173 @@ mod tests {
         let below = GrainAdapter::mono_default();
         below.observe_call(Duration::from_nanos(1_000));
         assert!(below.should_agglomerate());
+    }
+
+    // ---- closed-loop batch controller ---------------------------------
+
+    fn controller() -> BatchController {
+        BatchController::new(BatchConfig::default())
+    }
+
+    #[test]
+    fn controller_starts_at_min() {
+        let c = controller();
+        assert_eq!(c.current(), 1);
+        assert_eq!(c.shrinks(), 0);
+        assert_eq!(c.grows(), 0);
+    }
+
+    #[test]
+    fn drained_queues_grow_toward_the_wire_target() {
+        let c = controller();
+        // 400 µs round trips over 10 µs calls want 4·400/10 = 160 calls.
+        let rtt = Duration::from_micros(400);
+        let cost = Duration::from_micros(10);
+        assert_eq!(c.target(rtt, cost), 160);
+        let sizes: Vec<usize> = (0..9).map(|_| c.observe(rtt, cost, 0)).collect();
+        assert_eq!(sizes, vec![2, 4, 8, 16, 32, 64, 128, 160, 160]);
+        assert_eq!(c.grows(), 8, "the capped round is not a growth");
+    }
+
+    #[test]
+    fn backpressure_halves_and_recovers() {
+        let c = controller();
+        let rtt = Duration::from_micros(400);
+        let cost = Duration::from_micros(10);
+        while c.observe(rtt, cost, 0) < 160 {}
+        assert_eq!(c.observe(rtt, cost, 1000), 80);
+        assert_eq!(c.observe(rtt, cost, 1000), 40);
+        assert_eq!(c.shrinks(), 2);
+        // Mid-band holds; drained queues climb back.
+        assert_eq!(c.observe(rtt, cost, 100), 40);
+        assert_eq!(c.observe(rtt, cost, 0), 80);
+    }
+
+    #[test]
+    fn decide_is_monotone_nonincreasing_in_depth() {
+        let c = controller();
+        for current in [1usize, 3, 17, 64, 256] {
+            for target in [1usize, 8, 100, 256] {
+                let mut prev = usize::MAX;
+                for depth in 0..600 {
+                    let d = c.decide(current, target, depth);
+                    assert!(
+                        d <= prev,
+                        "decide({current},{target},{depth})={d} > {prev} at depth-1"
+                    );
+                    prev = d;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn target_never_escapes_the_configured_bounds() {
+        let c = BatchController::new(BatchConfig { min: 2, max: 16, ..BatchConfig::default() });
+        assert_eq!(c.target(Duration::from_secs(10), Duration::from_nanos(1)), 16);
+        assert_eq!(c.target(Duration::ZERO, Duration::from_secs(1)), 2);
+        assert_eq!(c.target(Duration::from_secs(1), Duration::ZERO), 16, "zero cost is clamped");
+    }
+
+    fn arbitrary_cfg(src: &mut parc_testkit::Source) -> BatchConfig {
+        let min = src.usize_in(1..8);
+        let depth_low = src.usize_in(0..64);
+        BatchConfig {
+            min,
+            max: min + src.usize_in(0..512),
+            depth_low,
+            depth_high: depth_low + src.usize_in(0..512),
+            ..BatchConfig::default()
+        }
+    }
+
+    /// Property: for any configuration and any `(current, target)`, the
+    /// decided batch size never increases as the reported queue depth
+    /// grows — deeper server backlog can only hold or shrink the batch.
+    #[test]
+    fn prop_decide_monotone_nonincreasing_in_depth() {
+        parc_testkit::Config::cases(256).check(
+            |src| {
+                let cfg = arbitrary_cfg(src);
+                let current = src.usize_in(1..1024);
+                let target = src.usize_in(1..1024);
+                let d1 = src.usize_in(0..2048);
+                let d2 = d1 + src.usize_in(0..2048);
+                (cfg, current, target, d1, d2)
+            },
+            |&(cfg, current, target, d1, d2)| {
+                let c = BatchController::new(cfg);
+                let shallow = c.decide(current, target, d1);
+                let deep = c.decide(current, target, d2);
+                assert!(
+                    deep <= shallow,
+                    "depth {d2} decided {deep} > depth {d1}'s {shallow}"
+                );
+            },
+        );
+    }
+
+    /// Property: decisions never escape `[min, max]`, whatever the
+    /// inputs — `max` is the `max_aggregation` bound of the open-loop
+    /// adapter, and the closed loop must respect the same ceiling.
+    #[test]
+    fn prop_decide_bounded_by_configured_aggregation() {
+        parc_testkit::Config::cases(256).check(
+            |src| {
+                let cfg = arbitrary_cfg(src);
+                let current = src.usize_in(0..4096);
+                let target = src.usize_in(0..4096);
+                let depth = src.usize_in(0..4096);
+                (cfg, current, target, depth)
+            },
+            |&(cfg, current, target, depth)| {
+                let c = BatchController::new(cfg);
+                let d = c.decide(current, target, depth);
+                assert!(d >= cfg.min && d <= cfg.max, "decide()={d} outside [{}, {}]", cfg.min, cfg.max);
+            },
+        );
+    }
+
+    /// Property: the controller is deterministic — replaying a fixed tape
+    /// of `(rtt, call_cost, depth)` observations through two fresh
+    /// controllers yields identical decision sequences and counters.
+    #[test]
+    fn prop_controller_deterministic_for_a_fixed_tape() {
+        parc_testkit::Config::cases(64).check(
+            |src| {
+                let cfg = arbitrary_cfg(src);
+                let tape = src.vec_of(0..48, |s| {
+                    (s.u64_in(1..5_000), s.u64_in(1..5_000), s.usize_in(0..1024))
+                });
+                (cfg, tape)
+            },
+            |(cfg, tape)| {
+                let run = || {
+                    let c = BatchController::new(*cfg);
+                    let sizes: Vec<usize> = tape
+                        .iter()
+                        .map(|&(rtt_us, cost_us, depth)| {
+                            c.observe(
+                                Duration::from_micros(rtt_us),
+                                Duration::from_micros(cost_us),
+                                depth,
+                            )
+                        })
+                        .collect();
+                    (sizes, c.shrinks(), c.grows())
+                };
+                assert_eq!(run(), run(), "same tape, same decisions");
+            },
+        );
+    }
+
+    #[test]
+    fn config_env_parsing_falls_back_to_defaults() {
+        // No PARC_BATCH_* set in the test environment: defaults apply.
+        let cfg = BatchConfig::from_env();
+        assert_eq!(cfg, BatchConfig::default());
+        assert_eq!(cfg.min, 1);
+        assert_eq!(cfg.max, 256);
+        assert_eq!(cfg.linger, Duration::from_micros(2_000));
     }
 }

@@ -256,6 +256,10 @@ mod tests {
         let out = farm.map("square", items).unwrap();
         let squares: Vec<i64> = out.iter().map(|v| v.as_i64().unwrap()).collect();
         assert_eq!(squares, (0..10).map(|i| i64::from(i) * i64::from(i)).collect::<Vec<i64>>());
+        // A worker only fails over on its next call, and a fast sibling
+        // may have drained the whole map queue first; touch every worker
+        // before checking that all of them landed on the survivor.
+        farm.gather("sum", vec![]).unwrap();
         assert!(farm.workers().iter().all(|w| w.node() == Some(1)));
     }
 

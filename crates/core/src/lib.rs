@@ -70,7 +70,7 @@ pub mod runtime;
 pub mod stats;
 pub mod telemetry;
 
-pub use adapt::GrainAdapter;
+pub use adapt::{BatchConfig, BatchController, GrainAdapter};
 pub use config::{GrainConfig, Placement};
 pub use dag::DependenceGraph;
 pub use directory::{ObjectDirectory, PlacedObject, RingConfig};

@@ -6,7 +6,17 @@
 //! On top of plain forwarding the PO performs the grain-size adaptation:
 //!
 //! * asynchronous calls ([`Po::post`]) are buffered and shipped as one
-//!   aggregate message once `maxCalls` accumulate (Fig. 7);
+//!   aggregate message once `maxCalls` accumulate (Fig. 7); on an adaptive
+//!   proxy `maxCalls` is driven by the closed-loop
+//!   [`BatchController`](crate::adapt::BatchController) once reply frames
+//!   start reporting the server's dispatch depth, and a max-linger
+//!   deadline (checked at every enqueue) ships a partial buffer whose
+//!   oldest call has waited too long, so low-rate callers are never
+//!   stranded behind a large batch target;
+//! * aggregate messages travel *flat*: each buffered call is serialized
+//!   once at enqueue time into a recycled pool buffer
+//!   ([`FLAT_BATCH_METHOD`]), so a flush ships bytes instead of
+//!   re-walking a `Value` list (DESIGN.md §14);
 //! * on an *agglomerated* (local) object, asynchronous calls execute
 //!   synchronously and serially in place — the intra-grain fast path of
 //!   Fig. 3 call *b*;
@@ -21,16 +31,17 @@
 //! object starts from the class constructor; state the lost instance had
 //! accumulated is gone. See DESIGN.md §10 for the full fault model.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parc_remoting::channel::RemoteObject;
-use parc_remoting::Invokable;
-use parc_serial::Value;
+use parc_remoting::{bufpool, Invokable};
+use parc_serial::{BinaryFormatter, Value};
 use parc_sync::{Mutex, RwLock};
 
-use crate::adapt::GrainAdapter;
-use crate::batch::{encode_batch, BatchDispatcher, BATCH_METHOD};
+use crate::adapt::{BatchConfig, BatchController, GrainAdapter};
+use crate::batch::{encode_flat_call, BatchDispatcher, FLAT_BATCH_METHOD};
 use crate::error::ParcError;
 use crate::runtime::FailoverState;
 use crate::stats::RuntimeStats;
@@ -50,15 +61,38 @@ pub(crate) enum Target {
     },
 }
 
+/// The aggregation buffer: calls awaiting shipment as one message.
+///
+/// The first call is held unserialized so a buffer holding exactly one
+/// call flushes as a plain post (aggregation factor 1 never batches, and a
+/// single-call flush carries no batch framing). From the second call on,
+/// everything is serialized *flat* into a recycled pool buffer — the first
+/// call moves in first, preserving FIFO order — and a flush ships those
+/// bytes as the one `Bytes` argument of [`FLAT_BATCH_METHOD`].
+#[derive(Default)]
+struct AggBuffer {
+    first: Option<(String, Vec<Value>)>,
+    flat: Option<Vec<u8>>,
+    count: usize,
+    /// When the oldest buffered call was enqueued — the linger clock.
+    first_at: Option<Instant>,
+}
+
 /// A proxy object for one parallel object.
 pub struct Po {
     id: u64,
     class: String,
     target: RwLock<Target>,
-    buffer: Mutex<Vec<(String, Vec<Value>)>>,
+    buffer: Mutex<AggBuffer>,
     aggregation_factor: usize,
     adaptive: bool,
     adapter: Arc<GrainAdapter>,
+    controller: BatchController,
+    /// `LinkFeedback::depth_samples()` at the controller's last decision,
+    /// so the controller steps once per fresh depth report instead of once
+    /// per post (deterministic for a fixed feedback tape).
+    feedback_seen: AtomicU64,
+    formatter: BinaryFormatter,
     stats: RuntimeStats,
     failover: Option<Arc<FailoverState>>,
 }
@@ -78,10 +112,13 @@ impl Po {
             id,
             class,
             target: RwLock::new(target),
-            buffer: Mutex::new(Vec::new()),
+            buffer: Mutex::new(AggBuffer::default()),
             aggregation_factor,
             adaptive,
             adapter,
+            controller: BatchController::new(BatchConfig::from_env()),
+            feedback_seen: AtomicU64::new(0),
+            formatter: BinaryFormatter::new(),
             stats,
             failover,
         }
@@ -124,17 +161,48 @@ impl Po {
     }
 
     /// Effective `maxCalls` for this proxy right now.
+    ///
+    /// Fixed-factor proxies return their configured factor. Adaptive
+    /// proxies start on the open-loop adapter recommendation and switch to
+    /// the closed-loop [`BatchController`] as soon as the channel has both
+    /// an RTT estimate and a piggybacked server-depth report (and the
+    /// adapter a call-cost estimate) — from then on the reply stream
+    /// drives the batch size.
     pub fn effective_aggregation(&self) -> usize {
-        if self.adaptive {
-            self.adapter.recommended_aggregation()
-        } else {
-            self.aggregation_factor
+        if !self.adaptive {
+            return self.aggregation_factor;
         }
+        if let Some(closed) = self.closed_loop_aggregation() {
+            return closed;
+        }
+        self.adapter.recommended_aggregation()
+    }
+
+    /// The closed-loop batch size, or `None` while any input signal is
+    /// still missing. The controller steps once per *fresh* depth report.
+    fn closed_loop_aggregation(&self) -> Option<usize> {
+        let feedback = match &*self.target.read() {
+            Target::Remote { remote, .. } => remote.channel().feedback()?,
+            Target::Local(_) => return None,
+        };
+        let rtt = feedback.rtt()?;
+        let (pending, _busiest) = feedback.depth()?;
+        let cost = self.adapter.estimated_call_cost()?;
+        let sample = feedback.depth_samples();
+        if self.feedback_seen.swap(sample, Ordering::Relaxed) == sample {
+            return Some(self.controller.current());
+        }
+        Some(self.controller.observe(rtt, cost, pending))
+    }
+
+    /// The closed-loop controller steering this proxy's batch size.
+    pub fn batch_controller(&self) -> &BatchController {
+        &self.controller
     }
 
     /// Buffered-but-unsent asynchronous calls.
     pub fn pending(&self) -> usize {
-        self.buffer.lock().len()
+        self.buffer.lock().count
     }
 
     /// Asynchronous method invocation — SCOOPP's "no value returned" form.
@@ -161,10 +229,52 @@ impl Po {
             }
         }
         let mut buffer = self.buffer.lock();
-        buffer.push((method.to_string(), args));
-        if buffer.len() >= self.effective_aggregation() {
+        self.enqueue(&mut buffer, method, args)?;
+        if buffer.count >= self.effective_aggregation() {
+            self.flush_buffer(&mut buffer)?;
+        } else if let Some(waited) =
+            buffer.first_at.map(|t| t.elapsed()).filter(|w| *w >= self.controller.config().linger)
+        {
+            // The oldest buffered call outlived the max-linger deadline:
+            // ship the partial batch rather than strand one-ways behind a
+            // batch target this caller's rate will never reach.
+            parc_obs::counter(parc_obs::kinds::BATCH_LINGER).incr();
+            parc_obs::event(parc_obs::kinds::BATCH_LINGER, || {
+                format!("calls={} waited_us={}", buffer.count, waited.as_micros())
+            });
             self.flush_buffer(&mut buffer)?;
         }
+        Ok(())
+    }
+
+    /// Appends one call to the aggregation buffer. The first call is held
+    /// as values; the second call's arrival moves it into the flat pool
+    /// buffer (ahead of the newcomer, preserving FIFO order) and every
+    /// later call is serialized straight in.
+    fn enqueue(
+        &self,
+        buffer: &mut AggBuffer,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<(), ParcError> {
+        if buffer.count == 0 {
+            buffer.first = Some((method.to_string(), args));
+            buffer.first_at = Some(Instant::now());
+            buffer.count = 1;
+            return Ok(());
+        }
+        if buffer.flat.is_none() {
+            // Satellite: the flat encoding goes through the channel buffer
+            // pool, so steady-state flushes reuse warmed wire buffers.
+            let mut flat = bufpool::global().checkout_with_capacity(256);
+            let (m, a) = buffer.first.take().expect("count 1 holds the first call");
+            encode_flat_call(&self.formatter, &mut flat, &m, &a)
+                .map_err(ParcError::from)?;
+            buffer.flat = Some(flat);
+        }
+        let flat = buffer.flat.as_mut().expect("installed above");
+        encode_flat_call(&self.formatter, flat, method, &args).map_err(ParcError::from)?;
+        buffer.count += 1;
         Ok(())
     }
 
@@ -178,22 +288,25 @@ impl Po {
         self.flush_buffer(&mut buffer)
     }
 
-    fn flush_buffer(&self, buffer: &mut Vec<(String, Vec<Value>)>) -> Result<(), ParcError> {
-        if buffer.is_empty() {
+    fn flush_buffer(&self, buffer: &mut AggBuffer) -> Result<(), ParcError> {
+        if buffer.count == 0 {
             return Ok(());
         }
         let _span = parc_obs::Span::enter(parc_obs::kinds::BATCH_FLUSH);
-        // Build the wire form once, by value: the buffered arguments move
-        // straight into it instead of being deep-cloned per flush. A failed
-        // send hands the payload back (`post_reclaim`), so a failover retry
-        // re-ships the same calls to the replacement target.
-        let (method, initial, n) = if buffer.len() == 1 {
-            let (m, a) = buffer.pop().expect("one element");
-            (m, a, 1u64)
+        // Build the wire form once, by value. A single call ships plain; a
+        // filled buffer ships its pre-serialized flat bytes — the per-call
+        // encoding already happened at enqueue time, so the flush itself
+        // moves one `Bytes` value. A failed send hands the payload back
+        // (`post_reclaim*`), so a failover retry re-ships the same calls
+        // to the replacement target.
+        let n = buffer.count as u64;
+        buffer.count = 0;
+        buffer.first_at = None;
+        let (method, initial) = if n == 1 {
+            buffer.first.take().expect("one buffered call")
         } else {
-            let calls = std::mem::take(buffer);
-            let n = calls.len() as u64;
-            (BATCH_METHOD.to_string(), vec![encode_batch(calls)], n)
+            let flat = buffer.flat.take().expect("multi-call buffers are flat");
+            (FLAT_BATCH_METHOD.to_string(), vec![Value::Bytes(flat)])
         };
         let mut args = Some(initial);
         loop {
@@ -206,12 +319,15 @@ impl Po {
                         // plain and aggregate calls alike.
                         let payload = args.take().expect("payload survives failed sends");
                         BatchDispatcher::new(Arc::clone(io)).invoke(&method, &payload)?;
+                        if n > 1 {
+                            Self::reclaim_flat(payload);
+                        }
                         return Ok(());
                     }
                     Target::Remote { remote, node, .. } => {
                         let payload = args.take().expect("payload survives failed sends");
-                        match remote.post_reclaim(&method, payload) {
-                            Ok(bytes) => {
+                        match remote.post_reclaim_always(&method, payload) {
+                            Ok((bytes, sent)) => {
                                 if n == 1 {
                                     self.stats.record_message();
                                 } else {
@@ -219,7 +335,11 @@ impl Po {
                                 }
                                 // The channel reports the encoded size it
                                 // put on the wire, so instrumentation never
-                                // serializes a second time.
+                                // serializes a second time; the flat buffer
+                                // comes back for pool recycling.
+                                if n > 1 {
+                                    Self::reclaim_flat(sent);
+                                }
                                 parc_obs::event(parc_obs::kinds::BATCH_FLUSHED, || {
                                     format!("calls={n} bytes={bytes}")
                                 });
@@ -235,6 +355,17 @@ impl Po {
             };
             if !self.try_failover(failed_node, &err) {
                 return Err(err);
+            }
+        }
+    }
+
+    /// Returns a shipped flat batch buffer to the channel buffer pool
+    /// (callers only pass multi-call payloads, whose single value is the
+    /// flat `Bytes` buffer).
+    fn reclaim_flat(mut payload: Vec<Value>) {
+        if payload.len() == 1 {
+            if let Some(Value::Bytes(flat)) = payload.pop() {
+                bufpool::global().checkin(flat);
             }
         }
     }
@@ -399,7 +530,16 @@ impl std::fmt::Debug for Po {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    use parc_remoting::channel::ClientChannel;
     use parc_remoting::dispatcher::FnInvokable;
+    use parc_remoting::inproc::InprocNetwork;
+    use parc_remoting::tcp::{DispatchMode, TcpClientChannel, TcpServerChannel};
+    use parc_remoting::{
+        ChaosChannel, FaultPlan, FaultSpec, ObjectUri, ReactorClientChannel,
+        ReactorServerChannel,
+    };
 
     fn local_po(factor: usize) -> (Po, Arc<Mutex<Vec<i32>>>) {
         let log = Arc::new(Mutex::new(Vec::new()));
@@ -461,4 +601,173 @@ mod tests {
     // calls) and failover (node death, re-creation, local degradation) are
     // exercised end-to-end in runtime.rs tests, where real inproc
     // endpoints host the IOs.
+
+    /// A server-side recorder: `work` appends its first argument, `len`
+    /// returns how many calls have applied so far. Wrapped in a
+    /// [`BatchDispatcher`] (like the runtime wraps every IO) so it
+    /// understands flat aggregate messages.
+    fn recorder() -> (Arc<dyn Invokable>, Arc<Mutex<Vec<i32>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        let io: Arc<dyn Invokable> = Arc::new(FnInvokable(move |method: &str, args: &[Value]| {
+            let mut log = log2.lock();
+            match method {
+                "len" => Ok(Value::I32(log.len() as i32)),
+                _ => {
+                    log.push(args.first().and_then(Value::as_i32).unwrap_or(-1));
+                    Ok(Value::Null)
+                }
+            }
+        }));
+        (Arc::new(BatchDispatcher::new(io)) as Arc<dyn Invokable>, log)
+    }
+
+    fn remote_po(
+        channel: Arc<dyn ClientChannel>,
+        factor: usize,
+        adaptive: bool,
+        adapter: Arc<GrainAdapter>,
+        stats: RuntimeStats,
+    ) -> Po {
+        Po::new(
+            9,
+            "Test".into(),
+            Target::Remote {
+                remote: RemoteObject::new(channel, "obj"),
+                node: 0,
+                io_name: "obj".into(),
+            },
+            factor,
+            adaptive,
+            adapter,
+            stats,
+            None,
+        )
+    }
+
+    #[test]
+    fn linger_deadline_ships_partial_buffers() {
+        let net = InprocNetwork::new();
+        let ep = net.create_endpoint_with_workers("linger", 2).unwrap();
+        let (io, log) = recorder();
+        ep.objects().register_singleton("obj", io);
+        let uri: ObjectUri = "inproc://linger/obj".parse().unwrap();
+        let chan = net.open_with_timeout(&uri, Duration::from_secs(5)).unwrap();
+        let stats = RuntimeStats::new();
+        let mut po = remote_po(chan, 100, false, Arc::new(GrainAdapter::mono_default()), stats.clone());
+        po.controller = BatchController::new(BatchConfig {
+            linger: Duration::from_millis(1),
+            ..BatchConfig::default()
+        });
+
+        po.post("work", vec![Value::I32(0)]).unwrap();
+        assert_eq!(po.pending(), 1, "far below the factor, the first call waits");
+        std::thread::sleep(Duration::from_millis(3));
+        po.post("work", vec![Value::I32(1)]).unwrap();
+        assert_eq!(po.pending(), 0, "the second enqueue found the deadline expired");
+
+        // The returned sync call proves both posts applied, in order.
+        assert_eq!(po.call("len", vec![]).unwrap(), Value::I32(2));
+        assert_eq!(*log.lock(), vec![0, 1]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.batches_sent, 1, "the linger flush shipped one aggregate");
+        assert_eq!(snap.calls_in_batches, 2);
+    }
+
+    #[test]
+    fn closed_loop_controller_engages_once_feedback_arrives() {
+        let net = InprocNetwork::new();
+        let ep = net.create_endpoint_with_workers("closed", 2).unwrap();
+        let (io, _log) = recorder();
+        ep.objects().register_singleton("obj", io);
+        let uri: ObjectUri = "inproc://closed/obj".parse().unwrap();
+        let chan = net.open_with_timeout(&uri, Duration::from_secs(5)).unwrap();
+        let adapter = Arc::new(GrainAdapter::mono_default());
+        let po = remote_po(chan, 1, true, Arc::clone(&adapter), RuntimeStats::new());
+
+        assert!(
+            po.closed_loop_aggregation().is_none(),
+            "before any reply there is no RTT or depth signal"
+        );
+        for _ in 0..8 {
+            adapter.observe_call(Duration::from_micros(1));
+        }
+        // One sync call populates the channel's RTT EWMA and piggybacked
+        // depth report; the loop closes on the next sizing decision.
+        po.call("len", vec![]).unwrap();
+        let agg = po.effective_aggregation();
+        assert!(agg >= 2, "cheap calls over a real wire should batch, got {agg}");
+        assert!(po.batch_controller().grows() >= 1, "drained queues grow the target");
+    }
+
+    /// Delay-only chaos: messages are slowed (on the sending thread, like
+    /// a congested link) but never dropped or duplicated, so exact FIFO
+    /// assertions remain valid.
+    fn chaos(inner: Arc<dyn ClientChannel>) -> Arc<dyn ClientChannel> {
+        let spec = FaultSpec { delay: 0.5, delay_ms: 2, ..FaultSpec::default() };
+        Arc::new(ChaosChannel::new(inner, Arc::new(FaultPlan::new(7, spec))))
+    }
+
+    /// Drives a Po through full-batch flushes, linger flushes and
+    /// sync-triggered flushes over `channel`, asserting per-object FIFO
+    /// and sync-after-async ordering throughout.
+    fn ordering_survives_chaos(channel: Arc<dyn ClientChannel>, log: Arc<Mutex<Vec<i32>>>) {
+        let mut po =
+            remote_po(channel, 8, false, Arc::new(GrainAdapter::mono_default()), RuntimeStats::new());
+        po.controller = BatchController::new(BatchConfig {
+            linger: Duration::from_millis(1),
+            ..BatchConfig::default()
+        });
+        let mut posted = 0;
+        for burst in 0..6 {
+            for _ in 0..3 {
+                po.post("work", vec![Value::I32(posted)]).unwrap();
+                posted += 1;
+            }
+            if burst % 2 == 0 {
+                // Outlive the linger deadline, then let the next enqueue
+                // discover it and ship a partial (4 < 8) batch.
+                std::thread::sleep(Duration::from_millis(3));
+                po.post("work", vec![Value::I32(posted)]).unwrap();
+                posted += 1;
+                assert_eq!(po.pending(), 0, "linger flush shipped the partial buffer");
+            } else {
+                // Sync-after-async: the call first flushes the buffer,
+                // and its reply proves every earlier post applied.
+                assert_eq!(po.call("len", vec![]).unwrap(), Value::I32(posted));
+            }
+        }
+        po.flush().unwrap();
+        assert_eq!(po.call("len", vec![]).unwrap(), Value::I32(posted));
+        assert_eq!(*log.lock(), (0..posted).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn chaos_delays_never_reorder_mux_batches() {
+        let server =
+            TcpServerChannel::bind_with_mode("127.0.0.1:0", DispatchMode::Mailbox { workers: 2 })
+                .unwrap();
+        let (io, log) = recorder();
+        server.objects().register_singleton("obj", io);
+        let addr = server.local_addr().to_string();
+        // Pool pinned to one socket: a wider pool may legally spread
+        // one-way posts across connections, voiding the FIFO assertion.
+        let client =
+            TcpClientChannel::connect_pooled_with_timeout(&addr, 1, Duration::from_secs(5))
+                .unwrap();
+        ordering_survives_chaos(chaos(Arc::new(client)), log);
+    }
+
+    #[test]
+    fn chaos_delays_never_reorder_reactor_batches() {
+        let server =
+            ReactorServerChannel::bind_with_mode("127.0.0.1:0", DispatchMode::Mailbox { workers: 2 })
+                .unwrap();
+        let (io, log) = recorder();
+        server.objects().register_singleton("obj", io);
+        let addr = server.local_addr().to_string();
+        let client =
+            ReactorClientChannel::connect_with_timeout(&addr, Duration::from_secs(5)).unwrap();
+        ordering_survives_chaos(chaos(Arc::new(client)), log);
+    }
 }

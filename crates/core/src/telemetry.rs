@@ -32,8 +32,9 @@ pub const POLL_TIMEOUT: Duration = Duration::from_millis(250);
 /// dispatched, queue_depth, max_object_depth, executed, steals, busy,
 /// queue-wait p50 (ns), queue-wait p99 (ns), faults injected, objects
 /// failed over, async calls, sync calls, messages sent, batches sent,
+/// calls in batches, batch-controller shrinks, batch-controller grows,
 /// migrations completed, forwarding entries outstanding, ring epoch.
-pub const SNAPSHOT_FIELDS: usize = 19;
+pub const SNAPSHOT_FIELDS: usize = 22;
 
 /// The published per-node telemetry service.
 pub struct TelemetryService {
@@ -77,6 +78,9 @@ impl TelemetryService {
             Value::I64(clamp(snap.sync_calls)),
             Value::I64(clamp(snap.messages_sent)),
             Value::I64(clamp(snap.batches_sent)),
+            Value::I64(clamp(snap.calls_in_batches)),
+            Value::I64(clamp(parc_obs::counter(parc_obs::kinds::BATCH_SHRINK).get())),
+            Value::I64(clamp(parc_obs::counter(parc_obs::kinds::BATCH_GROW).get())),
             Value::I64(clamp(parc_obs::counter(parc_obs::kinds::MIGRATION_COMPLETED).get())),
             Value::I64(parc_obs::gauge(parc_obs::kinds::DIRECTORY_FORWARDS).get()),
             Value::I64(parc_obs::gauge(parc_obs::kinds::RING_EPOCH).get()),
@@ -138,6 +142,15 @@ pub struct NodeTelemetry {
     pub messages_sent: i64,
     /// Aggregate (batched) messages sent.
     pub batches_sent: i64,
+    /// Asynchronous calls those aggregates carried (mean batch size is
+    /// `calls_in_batches / batches_sent`).
+    pub calls_in_batches: i64,
+    /// Times the closed-loop batch controller halved its target under
+    /// server backpressure (process-wide).
+    pub batch_shrinks: i64,
+    /// Times the closed-loop batch controller doubled its target with the
+    /// remote queues drained (process-wide).
+    pub batch_grows: i64,
     /// Live migrations completed so far (process-wide).
     pub migrations: i64,
     /// Forwarding entries currently installed (process-wide).
@@ -175,9 +188,12 @@ pub fn decode_snapshot(value: &Value) -> Option<NodeTelemetry> {
         sync_calls: f[13],
         messages_sent: f[14],
         batches_sent: f[15],
-        migrations: f[16],
-        forwards: f[17],
-        ring_epoch: f[18],
+        calls_in_batches: f[16],
+        batch_shrinks: f[17],
+        batch_grows: f[18],
+        migrations: f[19],
+        forwards: f[20],
+        ring_epoch: f[21],
     })
 }
 
@@ -319,6 +335,23 @@ mod tests {
         assert!(rows[0].ring_epoch >= 1, "ring epoch gauge is live");
         assert!(rows[0].migrations >= 0);
         assert!(rows[0].forwards >= 0);
+    }
+
+    #[test]
+    fn batching_counters_ride_along() {
+        let mut builder = ParcRuntime::builder();
+        builder.nodes(2).aggregation(4);
+        let rt = builder.build().unwrap();
+        noop_class(&rt);
+        let po = rt.create_on("Noop", 1).unwrap();
+        for _ in 0..8 {
+            po.post("tick", vec![]).unwrap();
+        }
+        po.flush().unwrap();
+        let rows = rt.telemetry().poll();
+        assert!(rows[1].batches_sent >= 2, "saw {}", rows[1].batches_sent);
+        assert!(rows[1].calls_in_batches >= 8, "saw {}", rows[1].calls_in_batches);
+        assert!(rows[1].batch_shrinks >= 0 && rows[1].batch_grows >= 0);
     }
 
     #[test]

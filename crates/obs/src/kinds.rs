@@ -82,6 +82,16 @@ pub const AGG_SIZE_CHANGED: &str = "agg_size_changed";
 pub const AGGLOMERATE: &str = "agglomerate";
 /// Event: an aggregation buffer was shipped (`calls=.. bytes=..`).
 pub const BATCH_FLUSHED: &str = "batch_flushed";
+/// Counter/event: the closed-loop batch controller halved its target
+/// under server backpressure (`old=.. new=.. depth=..`).
+pub const BATCH_SHRINK: &str = "batch.shrink";
+/// Counter/event: the closed-loop batch controller doubled its target
+/// with the remote queues drained (`old=.. new=.. depth=..`).
+pub const BATCH_GROW: &str = "batch.grow";
+/// Counter/event: an aggregation buffer was shipped because its oldest
+/// call hit the max-linger deadline, not because it filled
+/// (`calls=.. waited_us=..`).
+pub const BATCH_LINGER: &str = "batch.linger_flush";
 
 // ---- fault injection & recovery ----
 
@@ -216,6 +226,9 @@ mod tests {
             super::AGG_SIZE_CHANGED,
             super::AGGLOMERATE,
             super::BATCH_FLUSHED,
+            super::BATCH_SHRINK,
+            super::BATCH_GROW,
+            super::BATCH_LINGER,
             super::FAULT_INJECTED,
             super::CALL_RETRIED,
             super::CONN_RECONNECTED,

@@ -12,7 +12,6 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 use crate::ring::{Record, SpanRecord};
 
@@ -30,7 +29,6 @@ pub fn thread_id() -> u64 {
 
 struct ActiveSpan {
     kind: &'static str,
-    start: Instant,
     start_ns: u64,
     depth: u32,
     trace_id: u64,
@@ -66,7 +64,6 @@ impl Span {
         Span {
             active: Some(ActiveSpan {
                 kind,
-                start: Instant::now(),
                 start_ns: crate::now_ns(),
                 depth,
                 trace_id,
@@ -90,7 +87,9 @@ impl Drop for Span {
         };
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         crate::trace::end_span(active.span_id);
-        let dur_ns = active.start.elapsed().as_nanos() as u64;
+        // Same clock as `start_ns`, so a parent's end can never precede
+        // a nested child's end no matter how the threads are scheduled.
+        let dur_ns = crate::now_ns().saturating_sub(active.start_ns);
         crate::histogram(active.kind).record(dur_ns);
         crate::recorder().push(Record::Span(SpanRecord {
             kind: active.kind,

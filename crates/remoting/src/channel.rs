@@ -49,6 +49,93 @@ pub trait ClientChannel: Send + Sync {
 
     /// Short transport name for diagnostics ("inproc", "tcp", "http").
     fn scheme(&self) -> &'static str;
+
+    /// Live link feedback — per-call RTT and the dispatch backlog the
+    /// server piggybacks on its reply frames — when the transport
+    /// collects it. The handle is stable for the channel's lifetime
+    /// (feedback survives reconnects); `None` means the transport has no
+    /// feedback path and callers should fall back to open-loop batching.
+    fn feedback(&self) -> Option<Arc<LinkFeedback>> {
+        None
+    }
+}
+
+/// EWMA smoothing denominator for the link RTT: `alpha = 1/RTT_EWMA_DIV`.
+const RTT_EWMA_DIV: u64 = 5;
+
+/// What one client channel has learned about its link and its server:
+/// a round-trip-time EWMA sampled on every two-way call, and the
+/// server's dispatch backlog as piggybacked on reply frames (the
+/// [`crate::frame::DepthExt`] extension). One instance per channel,
+/// shared across reconnects, read lock-free by the aggregation
+/// controller.
+#[derive(Debug, Default)]
+pub struct LinkFeedback {
+    /// RTT EWMA in nanoseconds; 0 until the first sample.
+    rtt_ewma_ns: AtomicU64,
+    rtt_samples: AtomicU64,
+    /// Last reported scheduler-wide pending jobs.
+    pending: AtomicU64,
+    /// Last reported deepest single mailbox.
+    busiest: AtomicU64,
+    depth_samples: AtomicU64,
+}
+
+impl LinkFeedback {
+    /// A fresh, sample-free feedback handle.
+    pub fn new() -> LinkFeedback {
+        LinkFeedback::default()
+    }
+
+    /// Folds one measured round trip into the EWMA (`alpha = 0.2`,
+    /// integer arithmetic so replayed tapes stay deterministic).
+    pub fn record_rtt(&self, rtt: std::time::Duration) {
+        let sample = rtt.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let prev = self.rtt_ewma_ns.load(Ordering::Relaxed);
+        let next = if self.rtt_samples.fetch_add(1, Ordering::Relaxed) == 0 || prev == 0 {
+            sample
+        } else {
+            prev - prev / RTT_EWMA_DIV + sample / RTT_EWMA_DIV
+        };
+        self.rtt_ewma_ns.store(next.max(1), Ordering::Relaxed);
+    }
+
+    /// Records a backlog report peeled off a reply frame.
+    pub fn record_depth(&self, pending: usize, busiest: usize) {
+        self.pending.store(pending as u64, Ordering::Relaxed);
+        self.busiest.store(busiest as u64, Ordering::Relaxed);
+        self.depth_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Smoothed round-trip time; `None` before the first two-way call.
+    pub fn rtt(&self) -> Option<std::time::Duration> {
+        match self.rtt_ewma_ns.load(Ordering::Relaxed) {
+            0 => None,
+            ns => Some(std::time::Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Last server backlog report `(pending, busiest_mailbox)`; `None`
+    /// until the server has piggybacked at least one depth extension.
+    pub fn depth(&self) -> Option<(usize, usize)> {
+        if self.depth_samples.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        Some((
+            self.pending.load(Ordering::Relaxed) as usize,
+            self.busiest.load(Ordering::Relaxed) as usize,
+        ))
+    }
+
+    /// Total RTT samples folded in so far.
+    pub fn rtt_samples(&self) -> u64 {
+        self.rtt_samples.load(Ordering::Relaxed)
+    }
+
+    /// Total depth reports received so far.
+    pub fn depth_samples(&self) -> u64 {
+        self.depth_samples.load(Ordering::Relaxed)
+    }
 }
 
 /// Resolves object URIs to client channels.
@@ -232,6 +319,29 @@ impl RemoteObject {
             Err(e) => Err((e, msg.args)),
         }
     }
+
+    /// Like [`RemoteObject::post_reclaim`], but hands the argument vector
+    /// back on **success** as well: channels take the message by
+    /// reference, so the arguments survive serialization untouched. The
+    /// batch flush path uses this to check its pooled flat-encoded buffer
+    /// back into the buffer pool once the bytes are on the wire.
+    ///
+    /// # Errors
+    ///
+    /// The last send failure paired with the untouched arguments.
+    pub fn post_reclaim_always(
+        &self,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<(usize, Vec<Value>), (RemotingError, Vec<Value>)> {
+        let _span = parc_obs::Span::enter(parc_obs::kinds::POST);
+        let mut msg = CallMessage::one_way(self.object.clone(), method, args);
+        msg.call_id = next_call_id();
+        match self.retry.run(|| self.channel.post(&msg)) {
+            Ok(n) => Ok((n, msg.args)),
+            Err(e) => Err((e, msg.args)),
+        }
+    }
 }
 
 impl std::fmt::Debug for RemoteObject {
@@ -395,6 +505,44 @@ mod tests {
         let healthy = flaky_object(0, 1);
         assert_eq!(healthy.call_reclaim("m", args.clone()).unwrap(), Value::I32(1));
         assert_eq!(healthy.post_reclaim("m", args).unwrap(), 1);
+    }
+
+    #[test]
+    fn feedback_defaults_to_none() {
+        let chan: Arc<dyn ClientChannel> =
+            Arc::new(FakeChannel { posted: Mutex::new(vec![]), reply_with_wrong_id: false });
+        assert!(chan.feedback().is_none());
+    }
+
+    #[test]
+    fn link_feedback_tracks_rtt_and_depth() {
+        use std::time::Duration;
+        let fb = LinkFeedback::new();
+        assert_eq!(fb.rtt(), None);
+        assert_eq!(fb.depth(), None);
+        fb.record_rtt(Duration::from_micros(100));
+        assert_eq!(fb.rtt(), Some(Duration::from_micros(100)), "first sample is adopted as-is");
+        fb.record_rtt(Duration::from_micros(200));
+        // 100_000 - 20_000 + 40_000 = 120_000 ns: integer EWMA, alpha 1/5.
+        assert_eq!(fb.rtt(), Some(Duration::from_nanos(120_000)));
+        fb.record_depth(40, 7);
+        assert_eq!(fb.depth(), Some((40, 7)));
+        fb.record_depth(0, 0);
+        assert_eq!(fb.depth(), Some((0, 0)), "a zero report is still a report");
+        assert_eq!(fb.rtt_samples(), 2);
+        assert_eq!(fb.depth_samples(), 2);
+    }
+
+    #[test]
+    fn post_reclaim_always_returns_args_on_success() {
+        let obj = flaky_object(0, 1);
+        let args = vec![Value::Bytes(vec![1, 2, 3])];
+        let (n, back) = obj.post_reclaim_always("m", args.clone()).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(back, args);
+        let failing = flaky_object(10, 1);
+        let (_, back) = failing.post_reclaim_always("m", args.clone()).unwrap_err();
+        assert_eq!(back, args);
     }
 
     #[test]

@@ -369,6 +369,12 @@ impl ClientChannel for ChaosChannel {
     fn scheme(&self) -> &'static str {
         self.inner.scheme()
     }
+
+    fn feedback(&self) -> Option<Arc<crate::channel::LinkFeedback>> {
+        // Feedback is an observation plane, not a delivery path: chaos
+        // perturbs calls, the inner channel still reports what it saw.
+        self.inner.feedback()
+    }
 }
 
 /// Wraps `channel` in a [`ChaosChannel`] when `PARC_CHAOS` armed a

@@ -25,6 +25,16 @@
 //! A receiver that ignores the flag still sees a well-formed frame; it
 //! just fails to decode the payload, exactly as for any version skew.
 //!
+//! When [`FLAG_DEPTH`] is set, the first [`DEPTH_EXT_LEN`] payload bytes
+//! are a dispatch-depth extension (scheduler-wide pending jobs and the
+//! deepest single mailbox, each u32 big-endian): the server's live
+//! backlog piggybacked on a **reply** so clients can drive batching
+//! decisions off real backpressure instead of guessing. Same discipline
+//! as the trace extension — counted inside the length, peeled with
+//! [`split_depth_ext`]. Requests carry trace context, replies carry
+//! depth; a frame never carries both in practice, but if it did the
+//! canonical order is trace extension first, depth extension second.
+//!
 //! Writes are vectored: header and payload go to the socket in one
 //! `write_all`-equivalent call with no intermediate concatenation. Reads
 //! land in a caller-supplied buffer so one allocation serves a whole
@@ -44,6 +54,13 @@ pub const FLAG_TRACE: u8 = 0b0000_0010;
 
 /// Size of the trace-context extension (three u64 words).
 pub const TRACE_EXT_LEN: usize = 24;
+
+/// Flag bit: the payload starts with a [`DEPTH_EXT_LEN`]-byte
+/// dispatch-depth extension (set on replies only).
+pub const FLAG_DEPTH: u8 = 0b0000_0100;
+
+/// Size of the dispatch-depth extension (two u32 words).
+pub const DEPTH_EXT_LEN: usize = 8;
 
 /// Upper bound on a single frame's payload; larger lengths indicate
 /// corruption (or an unframed peer) and poison the connection.
@@ -146,6 +163,73 @@ pub fn split_trace_ext<'a>(
     Ok((Some(ext), &payload[TRACE_EXT_LEN..]))
 }
 
+/// The dispatch-depth extension a reply frame carries ahead of its
+/// formatter bytes: the serving scheduler's backlog at reply-write time,
+/// the feedback half of the closed-loop aggregation controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthExt {
+    /// Jobs enqueued and not yet finished, scheduler-wide.
+    pub pending: u32,
+    /// Queued jobs in the deepest single mailbox (the hotspot).
+    pub busiest: u32,
+}
+
+impl DepthExt {
+    /// Captures the current backlog of a mailbox scheduler through its
+    /// depth handle.
+    pub fn capture(depth: &crate::mailbox::DispatchDepth) -> DepthExt {
+        DepthExt {
+            pending: depth.pending().min(u32::MAX as usize) as u32,
+            busiest: depth.max_object_depth().min(u32::MAX as usize) as u32,
+        }
+    }
+
+    /// Encodes the extension into its 8 wire bytes.
+    pub fn to_bytes(&self) -> [u8; DEPTH_EXT_LEN] {
+        let mut out = [0u8; DEPTH_EXT_LEN];
+        out[0..4].copy_from_slice(&self.pending.to_be_bytes());
+        out[4..8].copy_from_slice(&self.busiest.to_be_bytes());
+        out
+    }
+
+    /// Decodes an extension from its 8 wire bytes.
+    pub fn from_bytes(raw: &[u8; DEPTH_EXT_LEN]) -> DepthExt {
+        DepthExt {
+            pending: u32::from_be_bytes(raw[0..4].try_into().expect("4-byte word")),
+            busiest: u32::from_be_bytes(raw[4..8].try_into().expect("4-byte word")),
+        }
+    }
+}
+
+/// Peels a [`DepthExt`] off the front of a received payload when the
+/// header's [`FLAG_DEPTH`] bit is set, returning the extension (if any)
+/// and the formatter bytes proper. When a frame also carries a trace
+/// extension, peel that first ([`split_trace_ext`]) and hand the
+/// remainder here.
+///
+/// # Errors
+///
+/// `InvalidData` when the flag is set but the payload is shorter than
+/// the extension — a corrupt or lying frame.
+pub fn split_depth_ext<'a>(
+    header: &FrameHeader,
+    payload: &'a [u8],
+) -> std::io::Result<(Option<DepthExt>, &'a [u8])> {
+    if header.flags & FLAG_DEPTH == 0 {
+        return Ok((None, payload));
+    }
+    if payload.len() < DEPTH_EXT_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame shorter than its depth extension",
+        ));
+    }
+    let ext = DepthExt::from_bytes(
+        payload[..DEPTH_EXT_LEN].try_into().expect("checked length"),
+    );
+    Ok((Some(ext), &payload[DEPTH_EXT_LEN..]))
+}
+
 impl FrameHeader {
     /// True when the one-way bit is set.
     pub fn oneway(&self) -> bool {
@@ -155,6 +239,11 @@ impl FrameHeader {
     /// True when the trace-context bit is set.
     pub fn traced(&self) -> bool {
         self.flags & FLAG_TRACE != 0
+    }
+
+    /// True when the dispatch-depth bit is set.
+    pub fn has_depth(&self) -> bool {
+        self.flags & FLAG_DEPTH != 0
     }
 
     /// Encodes the header into its 13 wire bytes.
@@ -259,6 +348,62 @@ pub fn write_frame_traced(
         return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"));
     }
     let (head, head_len) = traced_head(corr_id, flags, trace, payload.len());
+    write_all_vectored(stream, &head[..head_len], payload)?;
+    stream.flush()
+}
+
+/// Maximum reply-head size: fixed header plus the depth extension.
+pub const DEPTH_HEAD_MAX: usize = HEADER_LEN + DEPTH_EXT_LEN;
+
+/// Builds the wire head (header, plus extension when `depth` is present)
+/// for a reply frame with `payload_len` formatter bytes. Returns the
+/// buffer and the number of valid bytes in it — [`HEADER_LEN`] plain,
+/// [`DEPTH_HEAD_MAX`] with backlog feedback. The reply analogue of
+/// [`traced_head`].
+pub fn depth_head(
+    corr_id: u64,
+    flags: u8,
+    depth: Option<DepthExt>,
+    payload_len: usize,
+) -> ([u8; DEPTH_HEAD_MAX], usize) {
+    let mut out = [0u8; DEPTH_HEAD_MAX];
+    match depth {
+        Some(ext) => {
+            let header = FrameHeader {
+                corr_id,
+                flags: flags | FLAG_DEPTH,
+                len: DEPTH_EXT_LEN + payload_len,
+            };
+            out[..HEADER_LEN].copy_from_slice(&header.to_bytes());
+            out[HEADER_LEN..].copy_from_slice(&ext.to_bytes());
+            (out, DEPTH_HEAD_MAX)
+        }
+        None => {
+            let header = FrameHeader { corr_id, flags: flags & !FLAG_DEPTH, len: payload_len };
+            out[..HEADER_LEN].copy_from_slice(&header.to_bytes());
+            (out, HEADER_LEN)
+        }
+    }
+}
+
+/// [`write_frame`] with an optional dispatch-depth extension: sets
+/// [`FLAG_DEPTH`] and prepends the 8 extension bytes (inside the counted
+/// length) when `depth` is present. Still one vectored write.
+///
+/// # Errors
+///
+/// `InvalidInput` for over-long payloads; socket errors otherwise.
+pub fn write_frame_depth(
+    stream: &mut impl Write,
+    corr_id: u64,
+    flags: u8,
+    depth: Option<DepthExt>,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    if payload.len().saturating_add(DEPTH_EXT_LEN) > MAX_FRAME {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    let (head, head_len) = depth_head(corr_id, flags, depth, payload.len());
     write_all_vectored(stream, &head[..head_len], payload)?;
     stream.flush()
 }
@@ -662,6 +807,77 @@ mod tests {
         write_frame_traced(&mut wire, 5, 0, Some(ext), b"abc").unwrap();
         assert_eq!(&wire[..head_len], &head[..head_len]);
         let (plain_head, plain_len) = traced_head(5, 0, None, 3);
+        assert_eq!(plain_len, HEADER_LEN);
+        let mut plain = Vec::new();
+        write_frame(&mut plain, 5, 0, b"abc").unwrap();
+        assert_eq!(&plain[..plain_len], &plain_head[..plain_len]);
+    }
+
+    #[test]
+    fn depth_frame_roundtrips_and_strips_cleanly() {
+        let ext = DepthExt { pending: 4096, busiest: 37 };
+        let mut wire = Vec::new();
+        write_frame_depth(&mut wire, 13, 0, Some(ext), b"reply").unwrap();
+        assert_eq!(wire.len(), HEADER_LEN + DEPTH_EXT_LEN + 5);
+        let mut payload = Vec::new();
+        let FrameRead::Frame(h) =
+            read_frame_into(&mut std::io::Cursor::new(wire), &mut payload).unwrap()
+        else {
+            panic!("expected frame");
+        };
+        assert!(h.has_depth());
+        assert!(!h.traced());
+        assert_eq!(h.len, DEPTH_EXT_LEN + 5);
+        let (got, rest) = split_depth_ext(&h, &payload).unwrap();
+        assert_eq!(got, Some(ext));
+        assert_eq!(rest, b"reply");
+    }
+
+    #[test]
+    fn depthless_frames_are_bit_identical_to_write_frame() {
+        let mut plain = Vec::new();
+        write_frame(&mut plain, 8, 0, b"abc").unwrap();
+        let mut depth_none = Vec::new();
+        write_frame_depth(&mut depth_none, 8, 0, None, b"abc").unwrap();
+        assert_eq!(plain, depth_none);
+        let h = FrameHeader { corr_id: 8, flags: 0, len: 3 };
+        let (ext, rest) = split_depth_ext(&h, b"abc").unwrap();
+        assert_eq!(ext, None);
+        assert_eq!(rest, b"abc");
+    }
+
+    #[test]
+    fn depth_frames_reassemble_through_the_assembler() {
+        let ext = DepthExt { pending: 9, busiest: 3 };
+        let mut wire = Vec::new();
+        write_frame_depth(&mut wire, 21, 0, Some(ext), b"xy").unwrap();
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            got.extend(collect_frames(&mut asm, std::slice::from_ref(b)).unwrap());
+        }
+        assert_eq!(got.len(), 1);
+        let (h, p) = &got[0];
+        let (stripped, rest) = split_depth_ext(h, p).unwrap();
+        assert_eq!(stripped, Some(ext));
+        assert_eq!(rest, b"xy");
+    }
+
+    #[test]
+    fn lying_depth_flag_is_invalid_data() {
+        let h = FrameHeader { corr_id: 1, flags: FLAG_DEPTH, len: 4 };
+        let err = split_depth_ext(&h, &[0u8; 4]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn depth_head_matches_streamed_bytes() {
+        let ext = DepthExt { pending: 100, busiest: 7 };
+        let (head, head_len) = depth_head(5, 0, Some(ext), 3);
+        let mut wire = Vec::new();
+        write_frame_depth(&mut wire, 5, 0, Some(ext), b"abc").unwrap();
+        assert_eq!(&wire[..head_len], &head[..head_len]);
+        let (plain_head, plain_len) = depth_head(5, 0, None, 3);
         assert_eq!(plain_len, HEADER_LEN);
         let mut plain = Vec::new();
         write_frame(&mut plain, 5, 0, b"abc").unwrap();

@@ -27,7 +27,7 @@ use parc_sync::channel::{bounded, unbounded, Receiver, Sender};
 use parc_serial::BinaryFormatter;
 use parc_sync::RwLock;
 
-use crate::channel::{ChannelProvider, ClientChannel};
+use crate::channel::{ChannelProvider, ClientChannel, LinkFeedback};
 use crate::dispatcher::dispatch;
 use crate::error::RemotingError;
 use crate::mailbox::{DispatchDepth, MailboxScheduler};
@@ -42,9 +42,19 @@ use crate::wellknown::ObjectTable;
 /// [`crate::retry::call_timeout`].
 pub const DEFAULT_TIMEOUT: Duration = crate::retry::DEFAULT_CALL_TIMEOUT;
 
+/// One reply travelling back to a parked caller. The in-process
+/// analogue of a reply frame with a [`crate::frame::DepthExt`]: mailbox
+/// endpoints stamp their live backlog on every reply so the caller's
+/// aggregation controller sees backpressure; pool-baseline endpoints
+/// send `None`, like an inline TCP server's bare frames.
+struct InprocReply {
+    bytes: Vec<u8>,
+    depth: Option<(usize, usize)>,
+}
+
 struct Envelope {
     bytes: Vec<u8>,
-    reply: Option<Sender<Vec<u8>>>,
+    reply: Option<Sender<InprocReply>>,
     // 0 unless obs recording was enabled at send time; lets the pump
     // measure queue wait without paying for a clock read when disabled.
     enqueued_ns: u64,
@@ -240,6 +250,9 @@ fn pump_mailbox(
     node: u32,
 ) {
     let formatter = BinaryFormatter::new();
+    // Sampled at reply time by every dispatch closure — the same
+    // write-time freshness the TCP reply path's DepthExt gets.
+    let depth = sched.depth_handle();
     while let Ok(envelope) = rx.recv() {
         if shared.stopped.load(Ordering::Relaxed) {
             break;
@@ -255,7 +268,10 @@ fn pump_mailbox(
                 if let Some(tx) = reply {
                     let fault = crate::message::ReturnMessage::fault(0, e.to_string());
                     if let Ok(bytes) = fault.encode(&formatter) {
-                        let _ = tx.send(bytes);
+                        let _ = tx.send(InprocReply {
+                            bytes,
+                            depth: Some((depth.pending(), depth.max_object_depth())),
+                        });
                     }
                 }
                 continue;
@@ -263,6 +279,7 @@ fn pump_mailbox(
         };
         let objects = objects.clone();
         let object = call.object.clone();
+        let depth = depth.clone();
         sched.enqueue(&object, move || {
             let _node = parc_obs::trace::enter_node_id(node);
             let _trace = parc_obs::trace::with_remote_parent(trace);
@@ -271,7 +288,10 @@ fn pump_mailbox(
             if let (Some(out), Some(tx)) = (out, reply) {
                 let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
                 if let Ok(bytes) = out.encode(&BinaryFormatter::new()) {
-                    let _ = tx.send(bytes);
+                    let _ = tx.send(InprocReply {
+                        bytes,
+                        depth: Some((depth.pending(), depth.max_object_depth())),
+                    });
                 }
             }
         });
@@ -314,7 +334,8 @@ fn pump_pool(
             if let (Some(reply), Some(tx)) = (reply, envelope.reply) {
                 let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
                 if let Ok(bytes) = reply.encode(&formatter) {
-                    let _ = tx.send(bytes);
+                    // The pool baseline has no scheduler to report.
+                    let _ = tx.send(InprocReply { bytes, depth: None });
                 }
             }
         });
@@ -377,6 +398,7 @@ impl std::fmt::Debug for InprocEndpoint {
 pub struct InprocClient {
     shared: Arc<EndpointShared>,
     timeout: Duration,
+    feedback: Arc<LinkFeedback>,
 }
 
 impl InprocClient {
@@ -385,7 +407,7 @@ impl InprocClient {
     fn send(
         &self,
         msg: &CallMessage,
-        reply: Option<Sender<Vec<u8>>>,
+        reply: Option<Sender<InprocReply>>,
     ) -> Result<usize, RemotingError> {
         // A stopped endpoint's pump may not have drained its queue yet;
         // without this check a one-way post would be accepted and then
@@ -417,14 +439,18 @@ impl ClientChannel for InprocClient {
         let (reply_tx, reply_rx) = bounded(1);
         let started = std::time::Instant::now();
         self.send(msg, Some(reply_tx))?;
-        let bytes = {
+        let reply = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
             reply_rx
                 .recv_timeout(self.timeout)
                 .map_err(|_| RemotingError::timed_out(started.elapsed(), self.timeout))?
         };
+        self.feedback.record_rtt(started.elapsed());
+        if let Some((pending, busiest)) = reply.depth {
+            self.feedback.record_depth(pending, busiest);
+        }
         let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
-        Ok(crate::message::ReturnMessage::decode(&BinaryFormatter::new(), &bytes)?)
+        Ok(crate::message::ReturnMessage::decode(&BinaryFormatter::new(), &reply.bytes)?)
     }
 
     fn post(&self, msg: &CallMessage) -> Result<usize, RemotingError> {
@@ -433,6 +459,10 @@ impl ClientChannel for InprocClient {
 
     fn scheme(&self) -> &'static str {
         "inproc"
+    }
+
+    fn feedback(&self) -> Option<Arc<LinkFeedback>> {
+        Some(Arc::clone(&self.feedback))
     }
 }
 
@@ -451,6 +481,7 @@ impl ChannelProvider for InprocNetwork {
         Ok(crate::fault::wrap_if_chaotic(Arc::new(InprocClient {
             shared: Arc::clone(shared),
             timeout: crate::retry::call_timeout(),
+            feedback: Arc::new(LinkFeedback::new()),
         })))
     }
 }
@@ -478,7 +509,11 @@ impl InprocNetwork {
         let shared = endpoints.get(uri.authority()).ok_or_else(|| {
             RemotingError::EndpointNotFound { endpoint: uri.authority().to_string() }
         })?;
-        Ok(Arc::new(InprocClient { shared: Arc::clone(shared), timeout }))
+        Ok(Arc::new(InprocClient {
+            shared: Arc::clone(shared),
+            timeout,
+            feedback: Arc::new(LinkFeedback::new()),
+        }))
     }
 }
 
@@ -696,6 +731,37 @@ mod tests {
             }
             other => panic!("expected a timeout, got {other:?}"),
         }
+    }
+
+    /// Mailbox endpoints report their backlog on every reply; the inproc
+    /// channel surfaces it (plus RTT) through `feedback()`, while
+    /// pool-baseline endpoints report none (like an inline TCP server).
+    #[test]
+    fn mailbox_replies_carry_depth_feedback() {
+        let (net, _ep) = adder_network();
+        let uri: ObjectUri = "inproc://node0/Adder".parse().unwrap();
+        let chan = net.open(&uri).unwrap();
+        let feedback = chan.feedback().expect("inproc channel exposes feedback");
+        let adder = RemoteObject::new(chan, "Adder");
+        adder.call("add", vec![Value::I32(1), Value::I32(2)]).unwrap();
+        assert!(feedback.rtt().is_some(), "call recorded no RTT sample");
+        assert!(feedback.depth().is_some(), "mailbox reply carried no depth report");
+
+        let pool_net = InprocNetwork::new();
+        let pool_ep = pool_net.create_endpoint_with_pool("pooled", 2).unwrap();
+        pool_ep.objects().register_singleton(
+            "Echo",
+            Arc::new(FnInvokable(|_m: &str, args: &[Value]| {
+                Ok(args.first().cloned().unwrap_or(Value::Null))
+            })),
+        );
+        let uri: ObjectUri = "inproc://pooled/Echo".parse().unwrap();
+        let chan = pool_net.open(&uri).unwrap();
+        let feedback = chan.feedback().unwrap();
+        let echo = RemoteObject::new(chan, "Echo");
+        echo.call("e", vec![Value::I32(4)]).unwrap();
+        assert!(feedback.rtt().is_some());
+        assert!(feedback.depth().is_none(), "pool baseline should report no depth");
     }
 
     #[test]

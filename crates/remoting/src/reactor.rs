@@ -55,10 +55,10 @@ use parc_serial::BinaryFormatter;
 use parc_sync::{Condvar, Mutex};
 
 use crate::bufpool;
-use crate::channel::ClientChannel;
+use crate::channel::{ClientChannel, LinkFeedback};
 use crate::dispatcher::dispatch;
 use crate::error::RemotingError;
-use crate::frame::{self, FrameAssembler, FrameHeader, TraceExt, FLAG_ONEWAY};
+use crate::frame::{self, FrameAssembler, FrameHeader, TraceExt, FLAG_DEPTH, FLAG_ONEWAY};
 use crate::mailbox::DispatchDepth;
 use crate::message::{CallMessage, ReturnMessage};
 use crate::retry::call_timeout;
@@ -138,8 +138,12 @@ enum Handler {
     Server(ServerHandler),
     /// Client side: completed frames are replies, routed to parked
     /// callers by correlation ID through the same [`MuxShared`] the
-    /// thread-per-connection mux client uses.
-    Client(Arc<MuxShared>),
+    /// thread-per-connection mux client uses. Depth reports piggybacked
+    /// on replies land in the channel-level [`LinkFeedback`].
+    Client {
+        shared: Arc<MuxShared>,
+        feedback: Arc<LinkFeedback>,
+    },
 }
 
 /// Outbound bytes not yet accepted by the socket, in frame order.
@@ -182,7 +186,7 @@ impl ReactorConn {
         if self.closed.swap(true, Ordering::SeqCst) {
             return;
         }
-        if let Handler::Client(shared) = &self.handler {
+        if let Handler::Client { shared, .. } = &self.handler {
             shared.poison(detail);
         }
     }
@@ -199,7 +203,7 @@ impl ReactorConn {
             Handler::Server(h) => {
                 h.depth.as_ref().is_some_and(|d| d.saturated(BACKPRESSURE_HIGH_WATER))
             }
-            Handler::Client(_) => false,
+            Handler::Client { .. } => false,
         }
     }
 
@@ -361,7 +365,20 @@ impl ReactorConn {
             parc_obs::counter(parc_obs::kinds::REACTOR_FRAMES).incr();
         }
         match &self.handler {
-            Handler::Client(shared) => {
+            Handler::Client { shared, feedback } => {
+                // Peel the server's backlog report (if any) off the reply
+                // before the caller sees the payload.
+                let body = match frame::split_depth_ext(&header, payload) {
+                    Ok((Some(ext), rest)) => {
+                        feedback.record_depth(ext.pending as usize, ext.busiest as usize);
+                        rest
+                    }
+                    Ok((None, rest)) => rest,
+                    Err(_) => {
+                        self.fail("malformed depth extension");
+                        return;
+                    }
+                };
                 // An id missing from the table is a reply that raced a
                 // caller's timeout — dropped, and the stream stays healthy.
                 if let Some(slot) = shared.pending.lock().remove(&header.corr_id) {
@@ -369,8 +386,8 @@ impl ReactorConn {
                     // owner outlives this sweep. Pool-recycled, and
                     // checked back in by the caller after decode.
                     let mut buf =
-                        bufpool::global().checkout_with_capacity(payload.len());
-                    buf.extend_from_slice(payload);
+                        bufpool::global().checkout_with_capacity(body.len());
+                    buf.extend_from_slice(body);
                     slot.complete(Ok(buf));
                 }
             }
@@ -449,11 +466,24 @@ impl ReactorConn {
 fn send_reply(conn: &Arc<ReactorConn>, corr_id: u64, reply: &ReturnMessage) {
     let formatter = BinaryFormatter::new();
     let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
+    // Mailbox-mode servers stamp their live backlog onto every reply
+    // (sampled at write time, the freshest signal the client can get).
+    // The ext bytes ride at the front of the frame body with FLAG_DEPTH
+    // set; `send_frame` counts them in the length like any payload.
+    let depth_ext = match &conn.handler {
+        Handler::Server(h) => h.depth.as_ref().map(frame::DepthExt::capture),
+        Handler::Client { .. } => None,
+    };
     let mut buf = bufpool::global().checkout();
+    let mut flags = 0;
+    if let Some(ext) = depth_ext {
+        buf.extend_from_slice(&ext.to_bytes());
+        flags |= FLAG_DEPTH;
+    }
     if reply.encode_into(&formatter, &mut buf).is_ok() {
         // Replies are never traced: the caller's own span covers the
-        // round trip, so the wire stays a plain 13-byte-header frame.
-        let _ = conn.send_frame(corr_id, 0, None, &buf);
+        // round trip.
+        let _ = conn.send_frame(corr_id, flags, None, &buf);
     }
     bufpool::global().checkin(buf);
 }
@@ -827,16 +857,22 @@ struct ClientCore {
     conn: Arc<ReactorConn>,
     shared: Arc<MuxShared>,
     next_corr: AtomicU64,
+    /// Channel-level feedback sink (survives revives): reply RTT plus
+    /// the server's piggybacked backlog reports.
+    feedback: Arc<LinkFeedback>,
 }
 
 impl ClientCore {
-    fn connect(addr: &str) -> Result<ClientCore, RemotingError> {
+    fn connect(addr: &str, feedback: Arc<LinkFeedback>) -> Result<ClientCore, RemotingError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
         let shared = MuxShared::new();
-        let conn = global().register_conn(stream, Handler::Client(Arc::clone(&shared)));
-        Ok(ClientCore { conn, shared, next_corr: AtomicU64::new(1) })
+        let conn = global().register_conn(
+            stream,
+            Handler::Client { shared: Arc::clone(&shared), feedback: Arc::clone(&feedback) },
+        );
+        Ok(ClientCore { conn, shared, next_corr: AtomicU64::new(1), feedback })
     }
 
     fn is_dead(&self) -> bool {
@@ -911,11 +947,13 @@ impl ClientCore {
         slot: &Arc<Slot>,
         timeout: Duration,
     ) -> Result<ReturnMessage, RemotingError> {
+        let started = Instant::now();
         self.send(formatter, msg, corr_id, 0)?;
         let payload = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
             slot.wait(timeout)?
         };
+        self.feedback.record_rtt(started.elapsed());
         let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
         let reply = ReturnMessage::decode(formatter, &payload);
         bufpool::global().checkin(payload);
@@ -950,6 +988,7 @@ pub struct ReactorClientChannel {
     timeout: Duration,
     formatter: BinaryFormatter,
     core: Mutex<Arc<ClientCore>>,
+    feedback: Arc<LinkFeedback>,
 }
 
 impl ReactorClientChannel {
@@ -973,12 +1012,14 @@ impl ReactorClientChannel {
         addr: &str,
         timeout: Duration,
     ) -> Result<ReactorClientChannel, RemotingError> {
-        let core = Arc::new(ClientCore::connect(addr)?);
+        let feedback = Arc::new(LinkFeedback::new());
+        let core = Arc::new(ClientCore::connect(addr, Arc::clone(&feedback))?);
         Ok(ReactorClientChannel {
             addr: addr.to_string(),
             timeout,
             formatter: BinaryFormatter::new(),
             core: Mutex::new(core),
+            feedback,
         })
     }
 
@@ -1013,7 +1054,7 @@ impl ReactorClientChannel {
         if !Arc::ptr_eq(&*guard, stale) && !guard.is_dead() {
             return Ok(Arc::clone(&*guard));
         }
-        let fresh = Arc::new(ClientCore::connect(&self.addr)?);
+        let fresh = Arc::new(ClientCore::connect(&self.addr, Arc::clone(&self.feedback))?);
         *guard = Arc::clone(&fresh);
         drop(guard);
         parc_obs::counter(parc_obs::kinds::CONN_RECONNECTED).incr();
@@ -1052,6 +1093,10 @@ impl ClientChannel for ReactorClientChannel {
 
     fn scheme(&self) -> &'static str {
         "tcp"
+    }
+
+    fn feedback(&self) -> Option<Arc<LinkFeedback>> {
+        Some(Arc::clone(&self.feedback))
     }
 }
 
@@ -1194,6 +1239,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Reactor replies from a mailbox server carry the depth report and
+    /// the channel surfaces it (plus RTT) through `feedback()`.
+    #[test]
+    fn reactor_replies_carry_depth_feedback() {
+        let server = start_echo_server();
+        let chan = Arc::new(
+            ReactorClientChannel::connect(&server.local_addr().to_string()).unwrap(),
+        );
+        let feedback = chan.feedback().expect("reactor channel exposes feedback");
+        let proxy = RemoteObject::new(Arc::clone(&chan) as Arc<dyn ClientChannel>, "Echo");
+        assert_eq!(proxy.call("echo", vec![Value::I32(5)]).unwrap(), Value::I32(5));
+        assert!(feedback.rtt().is_some(), "call recorded no RTT sample");
+        assert!(feedback.depth().is_some(), "reactor reply carried no depth report");
     }
 
     #[test]

@@ -41,10 +41,10 @@ use parc_serial::BinaryFormatter;
 use parc_sync::{Condvar, Mutex};
 
 use crate::bufpool;
-use crate::channel::{ChannelProvider, ClientChannel};
+use crate::channel::{ChannelProvider, ClientChannel, LinkFeedback};
 use crate::dispatcher::dispatch;
 use crate::error::RemotingError;
-use crate::frame::{self, FrameRead, FLAG_ONEWAY};
+use crate::frame::{self, DepthExt, FrameRead, FLAG_ONEWAY};
 use crate::mailbox::{DispatchDepth, MailboxScheduler};
 use crate::message::{CallMessage, ReturnMessage};
 use crate::retry::call_timeout;
@@ -289,14 +289,23 @@ fn accept_loop(
 
 /// Encodes `reply` and writes it as one frame under the connection's
 /// write mutex, tearing the connection down on a failed write (a
-/// half-written reply stream cannot be resynced).
-fn write_reply(writer: &Arc<Mutex<TcpStream>>, corr_id: u64, reply: &ReturnMessage) {
+/// half-written reply stream cannot be resynced). When the server runs a
+/// mailbox scheduler, its live queue depth is sampled *at reply-write
+/// time* and piggybacked as a [`DepthExt`] so the client's aggregation
+/// controller sees backpressure with zero extra round trips.
+fn write_reply(
+    writer: &Arc<Mutex<TcpStream>>,
+    corr_id: u64,
+    reply: &ReturnMessage,
+    depth: Option<&DispatchDepth>,
+) {
     let formatter = BinaryFormatter::new();
     let _span = parc_obs::Span::enter(parc_obs::kinds::REPLY);
     let mut reply_buf = bufpool::global().checkout();
     if reply.encode_into(&formatter, &mut reply_buf).is_ok() {
+        let ext = depth.map(DepthExt::capture);
         let mut w = writer.lock();
-        if frame::write_frame(&mut *w, corr_id, 0, &reply_buf).is_err() {
+        if frame::write_frame_depth(&mut *w, corr_id, 0, ext, &reply_buf).is_err() {
             let _ = w.shutdown(std::net::Shutdown::Both);
         }
     }
@@ -318,6 +327,9 @@ fn serve_connection(
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
+    // Mailbox servers report their live backlog on every reply; the
+    // inline baseline has no scheduler and sends bare frames.
+    let depth = dispatch_backend.scheduler().map(|s| s.depth_handle());
     // The request buffer is recycled through the global pool. In mailbox
     // mode every frame is decoded right here (the decoded call is what
     // routes to a mailbox), so the buffer is reusable immediately; in
@@ -344,7 +356,12 @@ fn serve_connection(
             }
             Err(e) => {
                 if !header.oneway() {
-                    write_reply(&writer, header.corr_id, &ReturnMessage::fault(0, e.to_string()));
+                    write_reply(
+                        &writer,
+                        header.corr_id,
+                        &ReturnMessage::fault(0, e.to_string()),
+                        depth.as_ref(),
+                    );
                 }
                 continue;
             }
@@ -367,6 +384,7 @@ fn serve_connection(
                                 &writer,
                                 header.corr_id,
                                 &ReturnMessage::fault(0, e.to_string()),
+                                depth.as_ref(),
                             );
                         }
                         continue;
@@ -383,10 +401,11 @@ fn serve_connection(
                     let objects = objects.clone();
                     let writer = Arc::clone(&writer);
                     let corr_id = header.corr_id;
+                    let depth = depth.clone();
                     sched.enqueue(&object, move || {
                         let _trace = parc_obs::trace::with_remote_parent(trace_ctx);
                         let reply = dispatch_call(&objects, &call);
-                        write_reply(&writer, corr_id, &reply);
+                        write_reply(&writer, corr_id, &reply, depth.as_ref());
                     });
                 }
             }
@@ -417,7 +436,7 @@ fn serve_connection(
                         Err(e) => ReturnMessage::fault(0, e.to_string()),
                     };
                     bufpool::global().checkin(req);
-                    write_reply(&writer, corr_id, &reply);
+                    write_reply(&writer, corr_id, &reply, None);
                 });
             }
         }
@@ -509,11 +528,19 @@ struct MuxConnection {
     formatter: BinaryFormatter,
     /// Per-call reply deadline for every call on this connection.
     timeout: Duration,
+    /// Channel-level feedback sink (RTT + server depth reports). Shared
+    /// by every pooled connection and surviving revives, so the
+    /// aggregation controller's view is per-authority, not per-socket.
+    feedback: Arc<LinkFeedback>,
     reader: Option<std::thread::JoinHandle<()>>,
 }
 
 impl MuxConnection {
-    fn connect(addr: &str, timeout: Duration) -> Result<MuxConnection, RemotingError> {
+    fn connect(
+        addr: &str,
+        timeout: Duration,
+        feedback: Arc<LinkFeedback>,
+    ) -> Result<MuxConnection, RemotingError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         // The reader thread treats a timeout at a frame boundary as "idle"
@@ -523,9 +550,10 @@ impl MuxConnection {
         let reader_stream = stream.try_clone()?;
         let shared = MuxShared::new();
         let reader_shared = Arc::clone(&shared);
+        let reader_feedback = Arc::clone(&feedback);
         let reader = std::thread::Builder::new()
             .name("tcp-mux-reader".into())
-            .spawn(move || reader_loop(reader_stream, &reader_shared))
+            .spawn(move || reader_loop(reader_stream, &reader_shared, &reader_feedback))
             .expect("spawning tcp mux reader");
         Ok(MuxConnection {
             writer: Mutex::new(stream),
@@ -533,6 +561,7 @@ impl MuxConnection {
             next_corr: AtomicU64::new(1),
             formatter: BinaryFormatter::new(),
             timeout,
+            feedback,
             reader: Some(reader),
         })
     }
@@ -616,11 +645,13 @@ impl MuxConnection {
         corr_id: u64,
         slot: &Arc<Slot>,
     ) -> Result<ReturnMessage, RemotingError> {
+        let started = Instant::now();
         self.send_frame(msg, corr_id, 0)?;
         let payload = {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
             slot.wait(self.timeout)?
         };
+        self.feedback.record_rtt(started.elapsed());
         let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
         let reply = ReturnMessage::decode(&self.formatter, &payload);
         bufpool::global().checkin(payload);
@@ -647,7 +678,7 @@ impl Drop for MuxConnection {
     }
 }
 
-fn reader_loop(mut stream: TcpStream, shared: &Arc<MuxShared>) {
+fn reader_loop(mut stream: TcpStream, shared: &Arc<MuxShared>, feedback: &LinkFeedback) {
     let pool = bufpool::global();
     loop {
         let mut payload = pool.checkout();
@@ -668,6 +699,20 @@ fn reader_loop(mut stream: TcpStream, shared: &Arc<MuxShared>) {
                 return;
             }
         };
+        // Peel the server's backlog report (if any) off the reply and
+        // strip its bytes so callers decode a bare payload.
+        match frame::split_depth_ext(&header, &payload) {
+            Ok((Some(ext), _)) => {
+                feedback.record_depth(ext.pending as usize, ext.busiest as usize);
+                payload.drain(..frame::DEPTH_EXT_LEN);
+            }
+            Ok((None, _)) => {}
+            Err(e) => {
+                pool.checkin(payload);
+                shared.poison(&format!("malformed depth extension: {e}"));
+                return;
+            }
+        }
         match shared.pending.lock().remove(&header.corr_id) {
             Some(slot) => slot.complete(Ok(payload)),
             // Unknown id: a reply that raced a caller's timeout (its slot
@@ -693,6 +738,7 @@ pub struct TcpClientChannel {
     timeout: Duration,
     connections: Vec<Mutex<Arc<MuxConnection>>>,
     next: AtomicUsize,
+    feedback: Arc<LinkFeedback>,
 }
 
 impl TcpClientChannel {
@@ -728,15 +774,21 @@ impl TcpClientChannel {
         timeout: Duration,
     ) -> Result<TcpClientChannel, RemotingError> {
         let pool = pool.max(1);
+        let feedback = Arc::new(LinkFeedback::new());
         let mut connections = Vec::with_capacity(pool);
         for _ in 0..pool {
-            connections.push(Mutex::new(Arc::new(MuxConnection::connect(addr, timeout)?)));
+            connections.push(Mutex::new(Arc::new(MuxConnection::connect(
+                addr,
+                timeout,
+                Arc::clone(&feedback),
+            )?)));
         }
         Ok(TcpClientChannel {
             addr: addr.to_string(),
             timeout,
             connections,
             next: AtomicUsize::new(0),
+            feedback,
         })
     }
 
@@ -788,7 +840,11 @@ impl TcpClientChannel {
         if !Arc::ptr_eq(&guard, stale) && !guard.is_dead() {
             return Ok(Arc::clone(&guard));
         }
-        let fresh = Arc::new(MuxConnection::connect(&self.addr, self.timeout)?);
+        let fresh = Arc::new(MuxConnection::connect(
+            &self.addr,
+            self.timeout,
+            Arc::clone(&self.feedback),
+        )?);
         *guard = Arc::clone(&fresh);
         drop(guard);
         parc_obs::counter(parc_obs::kinds::CONN_RECONNECTED).incr();
@@ -833,6 +889,10 @@ impl ClientChannel for TcpClientChannel {
     fn scheme(&self) -> &'static str {
         "tcp"
     }
+
+    fn feedback(&self) -> Option<Arc<LinkFeedback>> {
+        Some(Arc::clone(&self.feedback))
+    }
 }
 
 impl std::fmt::Debug for TcpClientChannel {
@@ -852,6 +912,7 @@ pub struct LockStepClientChannel {
     formatter: BinaryFormatter,
     next_corr: AtomicU64,
     timeout: Duration,
+    feedback: Arc<LinkFeedback>,
 }
 
 impl LockStepClientChannel {
@@ -871,6 +932,7 @@ impl LockStepClientChannel {
             formatter: BinaryFormatter::new(),
             next_corr: AtomicU64::new(1),
             timeout,
+            feedback: Arc::new(LinkFeedback::new()),
         })
     }
 }
@@ -882,6 +944,7 @@ impl ClientChannel for LockStepClientChannel {
             msg.encode(&self.formatter)?
         };
         let corr_id = self.next_corr.fetch_add(1, Ordering::Relaxed);
+        let rtt_started = Instant::now();
         let mut stream = self.stream.lock();
         {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_SEND);
@@ -890,11 +953,15 @@ impl ClientChannel for LockStepClientChannel {
         }
         let started = Instant::now();
         let mut payload = Vec::new();
+        let header;
         {
             let _span = parc_obs::Span::enter(parc_obs::kinds::CHANNEL_RECV);
             loop {
                 match frame::read_frame_into(&mut *stream, &mut payload)? {
-                    FrameRead::Frame(h) if h.corr_id == corr_id => break,
+                    FrameRead::Frame(h) if h.corr_id == corr_id => {
+                        header = h;
+                        break;
+                    }
                     // Stale reply from a timed-out predecessor: skip it.
                     FrameRead::Frame(_) => continue,
                     FrameRead::Idle => {
@@ -908,8 +975,13 @@ impl ClientChannel for LockStepClientChannel {
                 }
             }
         }
+        self.feedback.record_rtt(rtt_started.elapsed());
+        let (ext, body) = frame::split_depth_ext(&header, &payload)?;
+        if let Some(ext) = ext {
+            self.feedback.record_depth(ext.pending as usize, ext.busiest as usize);
+        }
         let _span = parc_obs::Span::enter(parc_obs::kinds::DESERIALIZE);
-        Ok(ReturnMessage::decode(&self.formatter, &payload)?)
+        Ok(ReturnMessage::decode(&self.formatter, body)?)
     }
 
     fn post(&self, msg: &CallMessage) -> Result<usize, RemotingError> {
@@ -927,6 +999,10 @@ impl ClientChannel for LockStepClientChannel {
 
     fn scheme(&self) -> &'static str {
         "tcp"
+    }
+
+    fn feedback(&self) -> Option<Arc<LinkFeedback>> {
+        Some(Arc::clone(&self.feedback))
     }
 }
 
@@ -1382,6 +1458,64 @@ mod tests {
             started.elapsed() < Duration::from_secs(5),
             "per-call deadline was ignored"
         );
+    }
+
+    /// Every reply from a mailbox-mode server reports its scheduler
+    /// backlog; the mux channel surfaces it (plus RTT) through
+    /// [`ClientChannel::feedback`] without disturbing the payload.
+    #[test]
+    fn mux_replies_carry_depth_feedback() {
+        let server = start_echo_server();
+        let chan = Arc::new(
+            TcpClientChannel::connect_pooled(&server.local_addr().to_string(), 1).unwrap(),
+        );
+        let feedback = chan.feedback().expect("mux channel exposes feedback");
+        let proxy = crate::channel::RemoteObject::new(
+            Arc::clone(&chan) as Arc<dyn ClientChannel>,
+            "Echo",
+        );
+        assert_eq!(proxy.call("echo", vec![Value::I32(9)]).unwrap(), Value::I32(9));
+        assert!(feedback.rtt().is_some(), "call recorded no RTT sample");
+        assert!(feedback.depth().is_some(), "mailbox reply carried no depth report");
+    }
+
+    #[test]
+    fn lockstep_replies_carry_depth_feedback() {
+        let server = start_echo_server();
+        let chan = Arc::new(
+            LockStepClientChannel::connect(&server.local_addr().to_string()).unwrap(),
+        );
+        let feedback = chan.feedback().expect("lockstep channel exposes feedback");
+        let proxy =
+            crate::channel::RemoteObject::new(Arc::clone(&chan) as Arc<dyn ClientChannel>, "Echo");
+        assert_eq!(proxy.call("echo", vec![Value::I32(3)]).unwrap(), Value::I32(3));
+        assert!(feedback.rtt().is_some());
+        assert!(feedback.depth().is_some());
+    }
+
+    /// Inline-mode servers have no scheduler: replies stay bare frames
+    /// and the client's depth view stays `None` (RTT still accrues).
+    #[test]
+    fn inline_replies_report_no_depth() {
+        let server =
+            TcpServerChannel::bind_with_mode("127.0.0.1:0", DispatchMode::Inline).unwrap();
+        server.objects().register_singleton(
+            "Echo",
+            Arc::new(FnInvokable(|_m: &str, args: &[Value]| {
+                Ok(args.first().cloned().unwrap_or(Value::Null))
+            })),
+        );
+        let chan = Arc::new(
+            TcpClientChannel::connect_pooled(&server.local_addr().to_string(), 1).unwrap(),
+        );
+        let feedback = chan.feedback().unwrap();
+        let proxy = crate::channel::RemoteObject::new(
+            Arc::clone(&chan) as Arc<dyn ClientChannel>,
+            "Echo",
+        );
+        proxy.call("echo", vec![Value::I32(1)]).unwrap();
+        assert!(feedback.rtt().is_some());
+        assert!(feedback.depth().is_none(), "inline server should send no depth ext");
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Closed-loop adaptive call aggregation, end to end.
+//!
+//! A worker object on a remote node serves cheap-but-not-free calls while
+//! the client runs two phases:
+//!
+//! 1. **drained** — paced posts with an interleaved synchronous probe per
+//!    round. Every probe reply piggybacks the server's dispatch depth
+//!    (empty queues) and refreshes the RTT EWMA, so the closed-loop
+//!    [`BatchController`] grows its target (`batch.grow`);
+//! 2. **backlogged** — a producer thread floods one-way posts faster than
+//!    the server drains them while probes keep sampling. Now the
+//!    piggybacked depth exceeds the (deliberately low) `depth_high`
+//!    threshold and the controller halves its target (`batch.shrink`).
+//!
+//! The run asserts no call was lost either way, prints the controller's
+//! grow/shrink counts, and — with `PARC_OBS=1` — writes a Chrome trace to
+//! `target/adaptive_batch_trace.json` plus the metrics summary (used by
+//! the verification gate to check `batch_flushed` and `batch.shrink`).
+//!
+//! [`BatchController`]: parc::scoopp::BatchController
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parc::remoting::dispatcher::FnInvokable;
+use parc::scoopp::{GrainConfig, ParcRuntime};
+use parc::serial::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    parc::obs::init_from_env();
+    // Tighten the controller so a short demo run exercises both
+    // directions of the loop: a tiny backlog already counts as
+    // backpressure, and recovery needs truly drained queues.
+    std::env::set_var("PARC_BATCH_DEPTH_HIGH", "4");
+    std::env::set_var("PARC_BATCH_DEPTH_LOW", "1");
+
+    let mut builder = ParcRuntime::builder();
+    builder.nodes(2).grain(GrainConfig { adaptive: true, ..GrainConfig::default() });
+    let runtime = Arc::new(builder.build()?);
+    runtime.register_class("Worker", || {
+        let done = AtomicI64::new(0);
+        Arc::new(FnInvokable(move |method: &str, _args: &[Value]| match method {
+            "work" => {
+                // Slow enough that a flooding producer outruns the drain.
+                std::thread::sleep(Duration::from_micros(100));
+                done.fetch_add(1, Ordering::Relaxed);
+                Ok(Value::Null)
+            }
+            "total" => Ok(Value::I64(done.load(Ordering::Relaxed))),
+            _ => Err(parc::remoting::RemotingError::MethodNotFound {
+                object: "Worker".into(),
+                method: method.into(),
+            }),
+        }))
+    });
+    let po = Arc::new(runtime.create_on("Worker", 1)?);
+    let mut posted: i64 = 0;
+
+    // Phase 1: paced traffic over drained queues. Each probe reply
+    // reports depth 0, so the controller grows toward the wire target.
+    for _ in 0..12 {
+        po.post("work", vec![])?;
+        posted += 1;
+        po.call("total", vec![])?;
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let grows = po.batch_controller().grows();
+    println!(
+        "drained phase: target {} after {} grows",
+        po.batch_controller().current(),
+        grows
+    );
+    assert!(grows >= 1, "drained queues must grow the batch target");
+
+    // Phase 2: a producer floods one-ways while probes keep sampling.
+    // Posts enqueued behind each in-flight probe show up in its reply's
+    // depth report, tripping the backpressure threshold.
+    let producing = Arc::new(AtomicBool::new(true));
+    let producer = {
+        let po = Arc::clone(&po);
+        let producing = Arc::clone(&producing);
+        std::thread::spawn(move || {
+            // Bounded flood: far faster than the ~100µs/call drain rate
+            // so a backlog builds, but small enough that the tail drains
+            // well inside the sync-call deadline.
+            let mut n: i64 = 0;
+            for burst in 0..40 {
+                for _ in 0..100 {
+                    if po.post("work", vec![]).is_err() {
+                        producing.store(false, Ordering::Relaxed);
+                        return n;
+                    }
+                    n += 1;
+                }
+                let _ = burst;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            producing.store(false, Ordering::Relaxed);
+            n
+        })
+    };
+    let mut probes = 0;
+    while po.batch_controller().shrinks() == 0 && producing.load(Ordering::Relaxed) {
+        po.call("total", vec![])?;
+        probes += 1;
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    posted += producer.join().expect("producer thread");
+    let shrinks = po.batch_controller().shrinks();
+    println!(
+        "backlogged phase: target {} after {} shrinks ({} probes)",
+        po.batch_controller().current(),
+        shrinks,
+        probes
+    );
+    assert!(shrinks >= 1, "backpressure must shrink the batch target");
+
+    // No call may be lost to batching, lingering or controller swings.
+    po.flush()?;
+    let total = po.call("total", vec![])?.as_i64().expect("total is numeric");
+    assert_eq!(total, posted, "every posted call must execute");
+
+    let stats = runtime.stats().snapshot();
+    println!(
+        "traffic: {} async calls became {} wire messages ({} aggregated batches, {:.1} calls/msg)",
+        stats.async_calls,
+        stats.messages_sent,
+        stats.batches_sent,
+        stats.calls_per_message(),
+    );
+
+    if parc::obs::is_enabled() {
+        let trace = "target/adaptive_batch_trace.json";
+        parc::obs::export::write_chrome_trace(trace)?;
+        println!("\n{}", parc::obs::export::text_summary());
+        println!("chrome trace written to {trace} (load in ui.perfetto.dev)");
+    }
+    Ok(())
+}

@@ -33,7 +33,14 @@
 # skewed-load throughput before/during/after the rebalancer
 # live-migrates the hot node's objects (rebalance_throughput_ratio:
 # post-rebalance throughput must stay >= 0.8x the evenly-spread
-# baseline, with at least one migration observed).
+# baseline, with at least one migration observed), and
+# adaptive_batching, whose BENCH_adaptive_batching.json races the
+# closed-loop batch controller against fixed batch sizes {1, 8, 64}
+# over mux and reactor (uniform_controller_vs_best_fixed must stay
+# >= 0.9; bursty_controller_vs_best_fixed, deadline goodput under
+# periodic floods, must stay >= 1.5) and pins the flat batch wire
+# path >= 1.3x the Value-list encoding at batch size 64
+# (flat_vs_list_flush_ratio).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -143,3 +143,26 @@ fi
 cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
     target/ring_rebalance_trace.json --min-events 10
 echo "ok: sharded directory passed (ring + migration suites, ${migrations} live migrations, trace valid)"
+
+# Gate 10: closed-loop adaptive aggregation. A traced adaptive run must
+# ship aggregate messages (batch_flushed > 0), and the batch controller
+# must actually close the loop in both directions — the example asserts
+# at least one grow over drained queues, and the metrics summary must
+# show at least one shrink under backlog (batch.shrink > 0). The trace
+# must stay structurally valid.
+adaptive_out=$(PARC_OBS=1 cargo run --release --offline -q --example adaptive_batch 2>&1)
+flushed=$(printf '%s\n' "$adaptive_out" | awk '$1 == "batch_flushed" { print $2 }')
+shrinks=$(printf '%s\n' "$adaptive_out" | awk '$1 == "batch.shrink" { print $2 }')
+if [ -z "${flushed}" ] || [ "${flushed}" -eq 0 ]; then
+    printf '%s\n' "$adaptive_out" >&2
+    echo "FAIL: adaptive run shipped no aggregate messages" >&2
+    exit 1
+fi
+if [ -z "${shrinks}" ] || [ "${shrinks}" -eq 0 ]; then
+    printf '%s\n' "$adaptive_out" >&2
+    echo "FAIL: adaptive run never shrank the batch target under backlog" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
+    target/adaptive_batch_trace.json --min-events 10
+echo "ok: adaptive aggregation passed (${flushed} flushes, ${shrinks} controller shrinks, trace valid)"

@@ -3,8 +3,9 @@
 //! Boots a ParC# runtime, drives a small synthetic load against it, and
 //! polls every node's `__telemetry` object each tick, rendering a
 //! refreshing per-node table: calls/s, queue-wait p50/p99, dispatch queue
-//! depth, work steals, injected faults, object failovers, live migrations,
-//! outstanding forwarding entries and the directory ring epoch. The same
+//! depth, work steals, mean batch size over the interval, injected faults,
+//! object failovers, live migrations, outstanding forwarding entries and
+//! the directory ring epoch. The same
 //! `ClusterTelemetry` poller works against any embedded runtime — this
 //! binary is the reference consumer.
 //!
@@ -150,15 +151,24 @@ fn render(rows: &[NodeTelemetry], last: &[NodeTelemetry], elapsed: f64, tick: u6
         elapsed * 1e3
     ));
     out.push_str(
-        "NODE   STATE  OBJECTS  CALLS/S  P50(us)  P99(us)  QDEPTH  STEALS  FAULTS  FAILOVER  MIGR  FWD  EPOCH\n",
+        "NODE   STATE  OBJECTS  CALLS/S  P50(us)  P99(us)  QDEPTH  STEALS  BATCH  FAULTS  FAILOVER  MIGR  FWD  EPOCH\n",
     );
     for row in rows {
         let prev = last.iter().find(|p| p.node == row.node);
         let calls_per_s = prev
             .map(|p| (row.dispatched - p.dispatched).max(0) as f64 / elapsed)
             .unwrap_or(0.0);
+        // Mean batch size over the last interval: aggregated calls per
+        // aggregate message. Blank intervals (no batches) render 0.
+        let batch = prev
+            .map(|p| {
+                let batches = (row.batches_sent - p.batches_sent).max(0) as f64;
+                let calls = (row.calls_in_batches - p.calls_in_batches).max(0) as f64;
+                if batches > 0.0 { calls / batches } else { 0.0 }
+            })
+            .unwrap_or(0.0);
         out.push_str(&format!(
-            "{:<6} {:<6} {:>7} {:>8.0} {:>8.1} {:>8.1} {:>7} {:>7} {:>7} {:>9} {:>5} {:>4} {:>6}\n",
+            "{:<6} {:<6} {:>7} {:>8.0} {:>8.1} {:>8.1} {:>7} {:>7} {:>6.1} {:>7} {:>9} {:>5} {:>4} {:>6}\n",
             row.node,
             if row.alive { "up" } else { "DOWN" },
             row.hosted,
@@ -167,6 +177,7 @@ fn render(rows: &[NodeTelemetry], last: &[NodeTelemetry], elapsed: f64, tick: u6
             row.queue_wait_p99_ns as f64 / 1e3,
             row.queue_depth,
             row.steals,
+            batch,
             row.faults_injected,
             row.objects_failed_over,
             row.migrations,
