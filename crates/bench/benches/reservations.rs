@@ -1,0 +1,167 @@
+//! Reservation-plane bench: multi-object claims vs a coarse global lock.
+//!
+//! The obvious way to make compound operations atomic is one big mutex
+//! around every compound op — correct, trivially deadlock-free, and
+//! serializing everything. The reservation plane claims exactly the
+//! objects an operation touches, so disjoint compound ops overlap. This
+//! bench prices both halves of that trade.
+//!
+//! The measured op holds its object for a fixed wall-clock window
+//! (`HOLD`, a sleep inside the object's method) — the model is a
+//! compound-op leg awaiting downstream replies, which is what real
+//! claim-hold windows look like. Wall-clock holds overlap regardless of
+//! core count, so the comparison is meaningful on a single-CPU runner
+//! too (a spin workload would make "parallelism" physically impossible
+//! there):
+//!
+//! * **contended** — 8 clients hammering ONE object. Claims buy nothing
+//!   here (the object serializes everything either way) and pay the
+//!   claim/release round-trips; the acceptance ratio
+//!   `reservation_ratio_1obj` must stay ≥ 0.5 (overhead bounded at 2×).
+//! * **disjoint** — 8 clients, 8 objects, one each. The global lock
+//!   still serializes every hold; claims let them overlap (bounded by
+//!   the claim-lane width). `reservation_ratio_8obj` must be ≥ 2.0.
+//!
+//! Reported metrics: `throughput_coarse_1obj_calls_per_s`,
+//! `throughput_reserved_1obj_calls_per_s`, `reservation_ratio_1obj`,
+//! `throughput_coarse_8obj_calls_per_s`,
+//! `throughput_reserved_8obj_calls_per_s`, `reservation_ratio_8obj`.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use parc_bench::harness::{metric, BenchmarkId, Criterion};
+use parc_bench::{criterion_group, criterion_main};
+use parc_core::{ParcRuntime, Po};
+use parc_remoting::dispatcher::FnInvokable;
+use parc_remoting::RemotingError;
+use parc_serial::Value;
+
+/// Client threads driving each measured window.
+const CLIENTS: usize = 8;
+
+/// Compound operations per client per window.
+const OPS_PER_CLIENT: usize = 25;
+
+/// Nodes hosting the objects.
+const NODES: usize = 2;
+
+/// How long one compound-op leg holds its object.
+const HOLD: Duration = Duration::from_micros(500);
+
+/// The coarse baseline: one process-wide lock around every compound op.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn register_slot(rt: &ParcRuntime) {
+    rt.register_class("Slot", || {
+        Arc::new(FnInvokable(|method: &str, args: &[Value]| match method {
+            "work" => {
+                // The hold window: the object is busy (its mailbox slot
+                // occupied) for HOLD of wall time, like a transfer leg
+                // waiting on a downstream reply.
+                std::thread::sleep(HOLD);
+                Ok(Value::I64(args.first().and_then(Value::as_i64).unwrap_or(0)))
+            }
+            "__restore" => Ok(Value::Null),
+            _ => Err(RemotingError::MethodNotFound {
+                object: "Slot".into(),
+                method: method.into(),
+            }),
+        }))
+    });
+}
+
+fn build_runtime(objects: usize) -> (ParcRuntime, Vec<Po>, Vec<String>) {
+    let rt = ParcRuntime::builder().nodes(NODES).build().expect("bench runtime");
+    register_slot(&rt);
+    let pos: Vec<Po> = (0..objects)
+        .map(|i| rt.create_on("Slot", i % NODES).expect("bench object"))
+        .collect();
+    let uris = pos.iter().map(|po| po.uri().expect("remote uri")).collect();
+    (rt, pos, uris)
+}
+
+/// Coarse window: every client takes the global lock around its call.
+/// Client `c` works on object `c % objects` — with one object everyone
+/// collides; with `CLIENTS` objects each client has its own, but the
+/// lock serializes the holds anyway. Returns calls per second.
+fn coarse_calls_per_s(pos: &[Po]) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let po = &pos[c % pos.len()];
+            scope.spawn(move || {
+                for i in 0..OPS_PER_CLIENT {
+                    let guard = GLOBAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    po.call("work", vec![Value::I64(i as i64)]).expect("bench call");
+                    drop(guard);
+                }
+            });
+        }
+    });
+    (CLIENTS * OPS_PER_CLIENT) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Reservation window: every client claims exactly the object it
+/// touches — the claim/release round-trips are part of the measured op.
+fn reserved_calls_per_s(rt: &ParcRuntime, uris: &[String]) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let uri = &uris[c % uris.len()];
+            scope.spawn(move || {
+                for i in 0..OPS_PER_CLIENT {
+                    let res = rt.reserve(&[uri.as_str()]).expect("bench reserve");
+                    res.call(uri, "work", vec![Value::I64(i as i64)]).expect("bench call");
+                    res.release().expect("bench release");
+                }
+            });
+        }
+    });
+    (CLIENTS * OPS_PER_CLIENT) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench_reservations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reservations");
+
+    // Contended: one object, everyone collides.
+    let (rt, pos, uris) = build_runtime(1);
+    let _ = coarse_calls_per_s(&pos); // warm
+    let coarse_1 = coarse_calls_per_s(&pos);
+    let _ = reserved_calls_per_s(&rt, &uris); // warm
+    let reserved_1 = reserved_calls_per_s(&rt, &uris);
+    metric("throughput_coarse_1obj_calls_per_s", coarse_1);
+    metric("throughput_reserved_1obj_calls_per_s", reserved_1);
+    let ratio_1 = reserved_1 / coarse_1;
+    metric("reservation_ratio_1obj", ratio_1);
+    assert!(
+        ratio_1 >= 0.5,
+        "claim overhead on a fully contended object ({reserved_1:.0} calls/s) \
+         fell below half the coarse-lock baseline ({coarse_1:.0} calls/s)"
+    );
+
+    // Disjoint: one object per client. The global lock still serializes
+    // the holds; reservations overlap them.
+    let (rt, pos, uris) = build_runtime(CLIENTS);
+    let _ = coarse_calls_per_s(&pos); // warm
+    let coarse_8 = coarse_calls_per_s(&pos);
+    let _ = reserved_calls_per_s(&rt, &uris); // warm
+    let reserved_8 = reserved_calls_per_s(&rt, &uris);
+    metric("throughput_coarse_8obj_calls_per_s", coarse_8);
+    metric("throughput_reserved_8obj_calls_per_s", reserved_8);
+    let ratio_8 = reserved_8 / coarse_8;
+    metric("reservation_ratio_8obj", ratio_8);
+    assert!(
+        ratio_8 >= 2.0,
+        "disjoint reservations ({reserved_8:.0} calls/s) must beat the coarse \
+         global lock ({coarse_8:.0} calls/s) by >=2x across {CLIENTS} objects"
+    );
+
+    group.bench_function(BenchmarkId::new("compound_op", "reserved_disjoint"), |b| {
+        b.iter(|| std::hint::black_box(reserved_calls_per_s(&rt, &uris)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reservations);
+criterion_main!(benches);

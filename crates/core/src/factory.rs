@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use parc_remoting::channel::RemoteObject;
 use parc_remoting::inproc::InprocNetwork;
+use parc_remoting::reserve::{ClaimGate, ClaimTable};
 use parc_remoting::{ChannelProvider, Forwarder, Invokable, ObjectTable, RemotingError};
 use parc_serial::Value;
 use parc_sync::RwLock;
@@ -192,20 +193,24 @@ pub struct FactoryService {
     objects: ObjectTable,
     om: Arc<OmState>,
     net: InprocNetwork,
+    claims: Arc<ClaimTable>,
 }
 
 impl FactoryService {
     /// Creates the factory for `node`, registering IOs into `objects`.
     /// `net` lets created hosts reach destination factories during
-    /// migration.
+    /// migration; `claims` is the node's claim table — every created IO
+    /// is registered behind a [`ClaimGate`] so it supports multi-object
+    /// reservations out of the box.
     pub fn new(
         node: usize,
         registry: ClassRegistry,
         objects: ObjectTable,
         om: Arc<OmState>,
         net: InprocNetwork,
+        claims: Arc<ClaimTable>,
     ) -> FactoryService {
-        FactoryService { node, registry, objects, om, net }
+        FactoryService { node, registry, objects, om, net, claims }
     }
 
     /// Instantiates `class`, optionally restoring `state` into it first
@@ -223,17 +228,23 @@ impl FactoryService {
             io.invoke(RESTORE_METHOD, &[state])?;
         }
         let name = format!("io-{}-{}", self.node, NEXT_IO_ID.fetch_add(1, Ordering::Relaxed));
+        let host: Arc<dyn Invokable> = Arc::new(MigratableHost {
+            name: name.clone(),
+            class: class.to_string(),
+            node: self.node,
+            objects: self.objects.clone(),
+            om: Arc::clone(&self.om),
+            net: self.net.clone(),
+            inner: BatchDispatcher::new(io),
+        });
+        // The gate makes every IO claimable (`__claim`/`__release`).
+        // While claimed, foreign calls — `__migrate` included, so a
+        // migration can never split an in-progress reservation — park in
+        // the object's mailbox slot; the holder's calls flow through the
+        // claim alias straight to the host.
         self.objects.register_singleton(
             &name,
-            Arc::new(MigratableHost {
-                name: name.clone(),
-                class: class.to_string(),
-                node: self.node,
-                objects: self.objects.clone(),
-                om: Arc::clone(&self.om),
-                net: self.net.clone(),
-                inner: BatchDispatcher::new(io),
-            }),
+            Arc::new(ClaimGate::new(name.clone(), self.objects.clone(), Arc::clone(&self.claims), host)),
         );
         self.om.object_created();
         Ok(name)
@@ -307,8 +318,14 @@ mod tests {
         });
         let objects = ObjectTable::new();
         let om = Arc::new(OmState::new());
-        let svc =
-            FactoryService::new(0, registry, objects.clone(), Arc::clone(&om), InprocNetwork::new());
+        let svc = FactoryService::new(
+            0,
+            registry,
+            objects.clone(),
+            Arc::clone(&om),
+            InprocNetwork::new(),
+            Arc::new(ClaimTable::new()),
+        );
         (svc, objects, om)
     }
 
@@ -390,6 +407,7 @@ mod tests {
             objects.clone(),
             Arc::new(OmState::new()),
             InprocNetwork::new(),
+            Arc::new(ClaimTable::new()),
         );
         let name = svc2
             .invoke(
@@ -422,6 +440,7 @@ mod tests {
             objects.clone(),
             Arc::clone(&om),
             InprocNetwork::new(),
+            Arc::new(ClaimTable::new()),
         );
         assert!(svc
             .invoke("create_with_state", &[Value::Str("NoRestore".into()), Value::I64(1)])

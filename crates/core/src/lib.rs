@@ -69,6 +69,7 @@ pub mod po;
 pub mod runtime;
 pub mod stats;
 pub mod telemetry;
+pub mod txn;
 
 pub use adapt::{BatchConfig, BatchController, GrainAdapter};
 pub use config::{GrainConfig, Placement};
@@ -81,6 +82,7 @@ pub use po::Po;
 pub use runtime::{ParcRuntime, RebalanceConfig, RebalancerHandle, RuntimeBuilder};
 pub use stats::RuntimeStats;
 pub use telemetry::{ClusterTelemetry, NodeTelemetry, TelemetryService};
+pub use txn::Reservation;
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -91,4 +93,5 @@ pub mod prelude {
     pub use crate::pipeline::Pipeline;
     pub use crate::po::Po;
     pub use crate::runtime::{ParcRuntime, RebalanceConfig, RuntimeBuilder};
+    pub use crate::txn::Reservation;
 }

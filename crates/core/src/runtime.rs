@@ -53,6 +53,8 @@ pub struct RuntimeBuilder {
     placement: Placement,
     placement_explicit: bool,
     node_lease_ttl: Duration,
+    node_lease_ttl_explicit: bool,
+    claim_ttl: Option<Duration>,
     probe_ttl: Option<Duration>,
     ring: RingConfig,
 }
@@ -65,6 +67,8 @@ impl Default for RuntimeBuilder {
             placement: Placement::default(),
             placement_explicit: false,
             node_lease_ttl: Duration::ZERO,
+            node_lease_ttl_explicit: false,
+            claim_ttl: None,
             probe_ttl: None,
             ring: RingConfig::default(),
         }
@@ -121,9 +125,22 @@ impl RuntimeBuilder {
     /// successful probe) has lapsed. The default of zero makes
     /// [`ParcRuntime::detect_failures`] act on the first failed probe —
     /// deterministic for tests; chaos runs set a TTL so injected transient
-    /// faults do not kill healthy nodes.
+    /// faults do not kill healthy nodes. An explicit setting here wins
+    /// over the shared `PARC_LEASE_TTL_MS` environment knob
+    /// ([`parc_remoting::lease::LEASE_TTL_ENV`]).
     pub fn node_lease_ttl(&mut self, ttl: Duration) -> &mut Self {
         self.node_lease_ttl = ttl;
+        self.node_lease_ttl_explicit = true;
+        self
+    }
+
+    /// TTL of the leases carried by multi-object reservation claims
+    /// ([`crate::txn`]). A claim whose holder stops renewing — client
+    /// death, node kill mid-reservation — lapses after this long and the
+    /// object's mailbox slot is reclaimed. Defaults to the shared
+    /// `PARC_LEASE_TTL_MS` knob, else one second.
+    pub fn claim_lease_ttl(&mut self, ttl: Duration) -> &mut Self {
+        self.claim_ttl = Some(ttl);
         self
     }
 
@@ -149,6 +166,15 @@ impl RuntimeBuilder {
                 .and_then(|v| v.parse().ok())
                 .map_or(DEFAULT_PROBE_TTL, Duration::from_millis)
         });
+        let claim_ttl = self.claim_ttl.unwrap_or_else(parc_remoting::lease::claim_ttl);
+        // One env knob serves both lease domains: without an explicit
+        // builder setting, PARC_LEASE_TTL_MS also becomes the node
+        // liveness grace period.
+        let node_lease_ttl = if self.node_lease_ttl_explicit {
+            self.node_lease_ttl
+        } else {
+            parc_remoting::lease::ttl_from_env().unwrap_or(self.node_lease_ttl)
+        };
         let net = InprocNetwork::new();
         let registry = ClassRegistry::new();
         // Created before the nodes boot: every node's telemetry service
@@ -158,11 +184,11 @@ impl RuntimeBuilder {
         let mut endpoints = Vec::with_capacity(self.nodes);
         let mut om_states = Vec::with_capacity(self.nodes);
         for node in 0..self.nodes {
-            let (ep, om_state) = boot_node(&net, &registry, node, &stats)?;
+            let (ep, om_state) = boot_node(&net, &registry, node, &stats, claim_ttl)?;
             endpoints.push(Some(ep));
             om_states.push(om_state);
         }
-        let ttl_nanos = u64::try_from(self.node_lease_ttl.as_nanos()).unwrap_or(u64::MAX);
+        let ttl_nanos = u64::try_from(node_lease_ttl.as_nanos()).unwrap_or(u64::MAX);
         let failover = Arc::new(FailoverState {
             net: net.clone(),
             registry: registry.clone(),
@@ -172,6 +198,7 @@ impl RuntimeBuilder {
             rescue: Mutex::new(None),
             stats: stats.clone(),
             directory: Arc::clone(&directory),
+            claim_ttl,
         });
         for node in 0..self.nodes {
             failover.leases.grant(format!("node{node}"), failover.now());
@@ -211,12 +238,16 @@ fn boot_node(
     registry: &ClassRegistry,
     node: usize,
     stats: &RuntimeStats,
+    claim_ttl: Duration,
 ) -> Result<(InprocEndpoint, Arc<OmState>), ParcError> {
     let ep = net.create_endpoint(format!("node{node}"))?;
     let om_state = Arc::new(OmState::new());
     if let Some(depth) = ep.dispatch_depth() {
         om_state.attach_dispatch_depth(depth);
     }
+    // Per-node claim table: every IO the factory creates is claimable,
+    // and its claim leases expire against this node's clock.
+    let claims = Arc::new(parc_remoting::ClaimTable::with_ttl(claim_ttl));
     ep.objects()
         .register_singleton(OM_OBJECT, Arc::new(OmService::new(node, Arc::clone(&om_state))));
     ep.objects().register_singleton(
@@ -227,6 +258,7 @@ fn boot_node(
             ep.objects().clone(),
             Arc::clone(&om_state),
             net.clone(),
+            claims,
         )),
     );
     // The telemetry plane: every node answers `snapshot` on the
@@ -300,6 +332,9 @@ pub(crate) struct FailoverState {
     /// The sharded object directory: ring routing plus the location index.
     /// Failover keeps it honest — a dead node must stop receiving keys.
     directory: Arc<ObjectDirectory>,
+    /// Claim-lease TTL handed to rescue-booted nodes, matching the TTL
+    /// the real nodes were booted with.
+    claim_ttl: Duration,
 }
 
 impl FailoverState {
@@ -380,8 +415,13 @@ impl FailoverState {
         {
             let mut rescue = self.rescue.lock();
             if rescue.is_none() {
-                let (ep, _om_state) =
-                    boot_node(&self.net, &self.registry, self.rescue_node(), &self.stats)?;
+                let (ep, _om_state) = boot_node(
+                    &self.net,
+                    &self.registry,
+                    self.rescue_node(),
+                    &self.stats,
+                    self.claim_ttl,
+                )?;
                 *rescue = Some(ep);
             }
         }

@@ -33,8 +33,9 @@ pub const POLL_TIMEOUT: Duration = Duration::from_millis(250);
 /// queue-wait p50 (ns), queue-wait p99 (ns), faults injected, objects
 /// failed over, async calls, sync calls, messages sent, batches sent,
 /// calls in batches, batch-controller shrinks, batch-controller grows,
-/// migrations completed, forwarding entries outstanding, ring epoch.
-pub const SNAPSHOT_FIELDS: usize = 22;
+/// migrations completed, forwarding entries outstanding, ring epoch,
+/// claims acquired, claims aborted, claim-wait p99 (ns).
+pub const SNAPSHOT_FIELDS: usize = 25;
 
 /// The published per-node telemetry service.
 pub struct TelemetryService {
@@ -84,6 +85,11 @@ impl TelemetryService {
             Value::I64(clamp(parc_obs::counter(parc_obs::kinds::MIGRATION_COMPLETED).get())),
             Value::I64(parc_obs::gauge(parc_obs::kinds::DIRECTORY_FORWARDS).get()),
             Value::I64(parc_obs::gauge(parc_obs::kinds::RING_EPOCH).get()),
+            Value::I64(clamp(parc_obs::counter(parc_obs::kinds::CLAIM_ACQUIRED).get())),
+            Value::I64(clamp(parc_obs::counter(parc_obs::kinds::CLAIM_ABORTED).get())),
+            Value::I64(clamp(
+                parc_obs::histogram(parc_obs::kinds::CLAIM_WAIT).percentile(99.0),
+            )),
         ])
     }
 }
@@ -157,6 +163,13 @@ pub struct NodeTelemetry {
     pub forwards: i64,
     /// Current object-directory routing epoch (process-wide).
     pub ring_epoch: i64,
+    /// Reservation claims granted so far (process-wide).
+    pub claims_acquired: i64,
+    /// Reservation claims aborted — lease expiry or partial-acquire
+    /// rollback (process-wide).
+    pub claims_aborted: i64,
+    /// Tail wait for a claim grant, nanoseconds (process-wide histogram).
+    pub claim_wait_p99_ns: i64,
 }
 
 /// Decodes one `snapshot` reply. `None` when the value is not the
@@ -194,6 +207,9 @@ pub fn decode_snapshot(value: &Value) -> Option<NodeTelemetry> {
         migrations: f[19],
         forwards: f[20],
         ring_epoch: f[21],
+        claims_acquired: f[22],
+        claims_aborted: f[23],
+        claim_wait_p99_ns: f[24],
     })
 }
 

@@ -114,6 +114,19 @@ pub const OBJECT_FAILED_OVER: &str = "object.failed_over";
 /// target (reconnect or failover completion).
 pub const RECOVERY_LATENCY: &str = "recovery.latency";
 
+// ---- multi-object reservations (claim/release) ----
+
+/// Counter/event: a claim was granted on an object (`object=..`).
+pub const CLAIM_ACQUIRED: &str = "claim.acquired";
+/// Counter/event: a claim or reservation aborted — lease lapsed or a
+/// partial acquisition was rolled back (`object=..`).
+pub const CLAIM_ABORTED: &str = "claim.aborted";
+/// Counter/event: a claim was released by its holder.
+pub const CLAIM_RELEASED: &str = "claim.released";
+/// Histogram: nanoseconds a claim request waited for the object to
+/// become unclaimed before its grant.
+pub const CLAIM_WAIT: &str = "claim.wait";
+
 // ---- object directory, migration & rebalancing ----
 
 /// Span: one load-probe sweep refreshing the `LeastLoaded` placement
@@ -235,6 +248,10 @@ mod tests {
             super::NODE_FAILED,
             super::OBJECT_FAILED_OVER,
             super::RECOVERY_LATENCY,
+            super::CLAIM_ACQUIRED,
+            super::CLAIM_ABORTED,
+            super::CLAIM_RELEASED,
+            super::CLAIM_WAIT,
             super::PLACEMENT_PROBE,
             super::RING_EPOCH,
             super::MIGRATION_STARTED,

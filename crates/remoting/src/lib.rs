@@ -74,6 +74,7 @@ pub mod macros;
 pub mod mailbox;
 pub mod message;
 pub mod reactor;
+pub mod reserve;
 pub mod retry;
 pub mod tcp;
 pub mod threadpool;
@@ -91,6 +92,10 @@ pub use lease::LeaseManager;
 pub use mailbox::{DispatchDepth, DispatchStats, MailboxScheduler};
 pub use message::{CallMessage, ReturnMessage};
 pub use reactor::{ReactorClientChannel, ReactorServerChannel};
+pub use reserve::{
+    claim_alias, is_claim_plane, register_claimable, ClaimGate, ClaimStats, ClaimTable,
+    CLAIM_METHOD, RELEASE_METHOD,
+};
 pub use retry::RetryPolicy;
 pub use threadpool::ThreadPool;
 pub use uri::ObjectUri;

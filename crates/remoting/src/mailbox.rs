@@ -55,6 +55,11 @@ pub const MIN_DEFAULT_WORKERS: usize = 4;
 /// it, so a hot object cannot starve the others parked behind it.
 const BATCH_LIMIT: usize = 32;
 
+/// Threads on the claim-plane lane. Two is enough: lane jobs (alias
+/// calls, releases) are short, and the lane exists for isolation, not
+/// throughput.
+const CLAIM_LANE_THREADS: usize = 2;
+
 /// The configured dispatch worker count: `PARC_DISPATCH_WORKERS` when set
 /// and positive, otherwise `available_parallelism` floored at
 /// [`MIN_DEFAULT_WORKERS`].
@@ -227,11 +232,52 @@ impl Shared {
     }
 }
 
+/// The claim-plane lane: a tiny dedicated executor for claim alias
+/// objects (`__claim.*`). Claim waits *block* mailbox workers by design
+/// — that is how a claim occupies an object's one-in-flight slot — so
+/// the release that would unblock them must never depend on those same
+/// workers. Routing alias traffic here makes the claim protocol
+/// deadlock-free even with every pool worker parked in a claim wait.
+struct ClaimLane {
+    tx: std::sync::mpsc::Sender<Job>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ClaimLane {
+    fn spawn() -> ClaimLane {
+        let (tx, rx) = std::sync::mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let threads = (0..CLAIM_LANE_THREADS)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("parc-claim-lane-{i}"))
+                    .spawn(move || loop {
+                        let job = { rx.lock().recv() };
+                        match job {
+                            Ok(job) => {
+                                parc_obs::record_wait(
+                                    parc_obs::kinds::MAILBOX_WAIT,
+                                    job.enqueued_ns,
+                                );
+                                let _ = std::panic::catch_unwind(AssertUnwindSafe(job.run));
+                            }
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawning claim lane thread")
+            })
+            .collect();
+        ClaimLane { tx, threads }
+    }
+}
+
 /// The work-stealing per-object mailbox scheduler. Dropping it drains
 /// every queued job, then joins the workers.
 pub struct MailboxScheduler {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    claim_lane: Mutex<Option<ClaimLane>>,
 }
 
 impl MailboxScheduler {
@@ -265,7 +311,7 @@ impl MailboxScheduler {
                     .expect("spawning mailbox worker")
             })
             .collect();
-        MailboxScheduler { shared, workers: handles }
+        MailboxScheduler { shared, workers: handles, claim_lane: Mutex::new(None) }
     }
 
     /// Number of worker threads.
@@ -276,11 +322,21 @@ impl MailboxScheduler {
     /// Appends an invocation to `object`'s mailbox. Jobs for one object
     /// run strictly in enqueue order, one at a time; jobs for distinct
     /// objects run in parallel. Enqueues after shutdown began are dropped.
+    ///
+    /// Claim-plane objects ([`crate::reserve::is_claim_plane`]) bypass
+    /// the worker pool onto a dedicated lane: claim waits occupy pool
+    /// workers on purpose, so the releases that end those waits must not
+    /// compete with them for workers.
     pub fn enqueue(&self, object: &str, run: impl FnOnce() + Send + 'static) {
         if self.shared.stop.load(Ordering::SeqCst) {
             return;
         }
         let job = Job { run: Box::new(run), enqueued_ns: parc_obs::timestamp_if_enabled() };
+        if crate::reserve::is_claim_plane(object) {
+            let mut lane = self.claim_lane.lock();
+            let _ = lane.get_or_insert_with(ClaimLane::spawn).tx.send(job);
+            return;
+        }
         let mb = self.shared.mailbox(object);
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
         if parc_obs::is_enabled() {
@@ -334,6 +390,15 @@ impl Drop for MailboxScheduler {
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // The lane outlives the workers: a worker parked in a claim wait
+        // can need a lane-borne release to finish draining. Only once
+        // every worker has joined is it safe to retire the lane.
+        if let Some(lane) = self.claim_lane.lock().take() {
+            drop(lane.tx);
+            for t in lane.threads {
+                let _ = t.join();
+            }
         }
     }
 }
@@ -584,6 +649,25 @@ mod tests {
         gate_tx.send(()).unwrap();
         drop(sched);
         assert_eq!(depth.pending(), 0);
+    }
+
+    #[test]
+    fn claim_plane_jobs_run_even_with_every_worker_blocked() {
+        // The deadlock the lane exists to prevent: the only pool worker
+        // is parked (a claim wait), and the job that would unpark it is
+        // claim-plane traffic. It must run anyway.
+        let sched = MailboxScheduler::with_workers(1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        sched.enqueue("claimed-object", move || {
+            gate_rx.recv_timeout(Duration::from_secs(10)).expect("release arrived");
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        sched.enqueue("__claim.c1.claimed-object", move || {
+            gate_tx.send(()).unwrap();
+        });
+        // Drop drains: it only returns if the release ran and the worker
+        // unblocked, i.e. the lane made progress with zero free workers.
+        drop(sched);
     }
 
     #[test]

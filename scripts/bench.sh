@@ -40,7 +40,11 @@
 # >= 0.9; bursty_controller_vs_best_fixed, deadline goodput under
 # periodic floods, must stay >= 1.5) and pins the flat batch wire
 # path >= 1.3x the Value-list encoding at batch size 64
-# (flat_vs_list_flush_ratio).
+# (flat_vs_list_flush_ratio), and reservations, whose
+# BENCH_reservations.json prices multi-object claims against a coarse
+# global lock (reservation_ratio_1obj >= 0.5: claim overhead bounded
+# at 2x under full contention; reservation_ratio_8obj >= 2.0: disjoint
+# compound ops must overlap where the global lock serializes them).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -166,3 +166,42 @@ fi
 cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
     target/adaptive_batch_trace.json --min-events 10
 echo "ok: adaptive aggregation passed (${flushed} flushes, ${shrinks} controller shrinks, trace valid)"
+
+# Gate 11: multi-object reservations. The integration suite proves
+# deadlock freedom under adversarial acquisition orders (canonical-order
+# claims), conservation + same-seed replay under per-client seeded chaos,
+# lease reclaim of leaked claims, fencing of stalled holders, the
+# never-split migration interaction, and the dropped-guard-during-failover
+# regression. Then the bank-transfer example runs under two fixed
+# PARC_CHAOS seeds (drops + delays on every channel): faults must
+# actually be injected, the claim plane must be exercised
+# (claim.acquired > 0), the conservation invariant must hold
+# (invariant_violations == 0 — the example also asserts it), and the
+# trace must stay structurally valid.
+cargo test -q --offline --test reservations
+for seed in 21 22; do
+    bank_out=$(PARC_OBS=1 PARC_CHAOS="${seed}:drop=0.05,delay=0.3:1" \
+        cargo run --release --offline -q --example bank_transfer 2>&1)
+    bank_injected=$(printf '%s\n' "$bank_out" | awk '$1 == "fault.injected" { print $2 }')
+    bank_claims=$(printf '%s\n' "$bank_out" | awk '$1 == "claim.acquired" { print $2 }')
+    violations=$(printf '%s\n' "$bank_out" \
+        | awk '$1 == "bank_transfer:" && $2 == "invariant_violations" { print $3 }')
+    if [ -z "${bank_injected}" ] || [ "${bank_injected}" -eq 0 ]; then
+        printf '%s\n' "$bank_out" >&2
+        echo "FAIL: chaos bank-transfer run (seed ${seed}) injected no faults" >&2
+        exit 1
+    fi
+    if [ -z "${bank_claims}" ] || [ "${bank_claims}" -eq 0 ]; then
+        printf '%s\n' "$bank_out" >&2
+        echo "FAIL: chaos bank-transfer run (seed ${seed}) acquired no claims" >&2
+        exit 1
+    fi
+    if [ "${violations:-1}" -ne 0 ]; then
+        printf '%s\n' "$bank_out" >&2
+        echo "FAIL: chaos bank-transfer run (seed ${seed}) violated conservation" >&2
+        exit 1
+    fi
+    cargo run --release --offline -q -p parc-obs --bin parc-trace-check -- \
+        target/bank_transfer_trace.json --min-events 10
+    echo "ok: chaos bank transfer (seed ${seed}) injected ${bank_injected} faults, ${bank_claims} claims, conserved, trace valid"
+done

@@ -151,7 +151,7 @@ fn render(rows: &[NodeTelemetry], last: &[NodeTelemetry], elapsed: f64, tick: u6
         elapsed * 1e3
     ));
     out.push_str(
-        "NODE   STATE  OBJECTS  CALLS/S  P50(us)  P99(us)  QDEPTH  STEALS  BATCH  FAULTS  FAILOVER  MIGR  FWD  EPOCH\n",
+        "NODE   STATE  OBJECTS  CALLS/S  P50(us)  P99(us)  QDEPTH  STEALS  BATCH  FAULTS  FAILOVER  MIGR  FWD  CLAIMS  ABRT  EPOCH\n",
     );
     for row in rows {
         let prev = last.iter().find(|p| p.node == row.node);
@@ -168,7 +168,7 @@ fn render(rows: &[NodeTelemetry], last: &[NodeTelemetry], elapsed: f64, tick: u6
             })
             .unwrap_or(0.0);
         out.push_str(&format!(
-            "{:<6} {:<6} {:>7} {:>8.0} {:>8.1} {:>8.1} {:>7} {:>7} {:>6.1} {:>7} {:>9} {:>5} {:>4} {:>6}\n",
+            "{:<6} {:<6} {:>7} {:>8.0} {:>8.1} {:>8.1} {:>7} {:>7} {:>6.1} {:>7} {:>9} {:>5} {:>4} {:>6} {:>5} {:>6}\n",
             row.node,
             if row.alive { "up" } else { "DOWN" },
             row.hosted,
@@ -182,6 +182,8 @@ fn render(rows: &[NodeTelemetry], last: &[NodeTelemetry], elapsed: f64, tick: u6
             row.objects_failed_over,
             row.migrations,
             row.forwards,
+            row.claims_acquired,
+            row.claims_aborted,
             row.ring_epoch,
         ));
     }

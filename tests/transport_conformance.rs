@@ -340,6 +340,154 @@ fn unknown_corr_id_frames_are_skipped_on_every_transport() {
 }
 
 // ---------------------------------------------------------------------------
+// Contract: claim/release (multi-object reservations)
+// ---------------------------------------------------------------------------
+
+/// Runs `check` once per transport with mailbox dispatch — the mode the
+/// claim plane is specified against (claims park in the one-in-flight
+/// mailbox slot; the scheduler routes alias traffic on its own lane).
+/// The transport is passed through so a check can open extra
+/// connections: a parked foreign call must not share a lock-step
+/// channel with the holder that will unblock it.
+fn for_each_mailbox_combo(check: impl Fn(&str, &Server, Transport)) {
+    for transport in TRANSPORTS {
+        let server = Server::bind(transport, DispatchMode::Mailbox { workers: 4 });
+        check(&format!("{transport:?}/mailbox"), &server, transport);
+    }
+}
+
+/// `__claim` grants a private alias, the holder's calls flow through it,
+/// releasing through the alias reopens the object — identically on every
+/// transport.
+#[test]
+fn claim_grants_alias_and_release_reopens_on_every_transport() {
+    for_each_mailbox_combo(|combo, server, transport| {
+        let (object, log) = recorder();
+        let claims = Arc::new(parc::remoting::ClaimTable::new());
+        parc::remoting::register_claimable(server.objects(), "Recorder", object, &claims);
+
+        let chan = connect(transport, &server.addr());
+        let gate = RemoteObject::new(Arc::clone(&chan), "Recorder");
+        let alias = gate
+            .call(parc::remoting::CLAIM_METHOD, vec![Value::Str("c1".into())])
+            .unwrap_or_else(|e| panic!("[{combo}] claim failed: {e}"));
+        let alias = alias.as_str().expect("alias name").to_string();
+        assert!(
+            parc::remoting::is_claim_plane(&alias),
+            "[{combo}] grant returned a non-claim-plane alias {alias:?}"
+        );
+
+        let holder = RemoteObject::new(Arc::clone(&chan), alias.clone());
+        for i in 0..4 {
+            holder
+                .call("note", vec![Value::I32(i)])
+                .unwrap_or_else(|e| panic!("[{combo}] holder call {i} failed: {e}"));
+        }
+        assert_eq!(log.lock().unwrap().clone(), vec![0, 1, 2, 3], "[{combo}] holder calls lost");
+
+        let released = holder
+            .call(parc::remoting::RELEASE_METHOD, vec![])
+            .unwrap_or_else(|e| panic!("[{combo}] release failed: {e}"));
+        assert_eq!(released, Value::Bool(true), "[{combo}] release reported no claim");
+        // Object is open again: a plain (foreign) call completes.
+        assert_eq!(
+            gate.call("drain", vec![]).unwrap_or_else(|e| {
+                panic!("[{combo}] post-release foreign call failed: {e}")
+            }),
+            Value::I32(4),
+            "[{combo}] foreign call after release saw the wrong state"
+        );
+        assert_eq!(claims.stats().active, 0, "[{combo}] claim table still holds the claim");
+    });
+}
+
+/// While claimed, a foreign call parks in the object's mailbox slot and
+/// only runs after the holder releases — on every transport.
+#[test]
+fn foreign_calls_park_until_release_on_every_transport() {
+    for_each_mailbox_combo(|combo, server, transport| {
+        let (object, log) = recorder();
+        let claims = Arc::new(parc::remoting::ClaimTable::new());
+        parc::remoting::register_claimable(server.objects(), "Recorder", object, &claims);
+
+        let chan = connect(transport, &server.addr());
+        let gate = RemoteObject::new(Arc::clone(&chan), "Recorder");
+        let alias = gate
+            .call(parc::remoting::CLAIM_METHOD, vec![Value::Str("c2".into())])
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let holder = RemoteObject::new(Arc::clone(&chan), alias);
+
+        // The foreign caller gets its own connection: while its call is
+        // parked server-side it would otherwise pin a lock-step channel
+        // shut and the release could never be sent.
+        let foreign_chan = connect(transport, &server.addr());
+        let foreign_done = Arc::new(Mutex::new(false));
+        let observer = std::thread::spawn({
+            let foreign_done = Arc::clone(&foreign_done);
+            let combo = combo.to_string();
+            move || {
+                let foreign = RemoteObject::new(foreign_chan, "Recorder");
+                foreign
+                    .call("note", vec![Value::I32(99)])
+                    .unwrap_or_else(|e| panic!("[{combo}] parked foreign call failed: {e}"));
+                *foreign_done.lock().unwrap() = true;
+            }
+        });
+        // Give the foreign call ample time to park, then prove it has
+        // not run: the holder still owns the object.
+        std::thread::sleep(Duration::from_millis(60));
+        holder.call("note", vec![Value::I32(1)]).unwrap();
+        assert!(
+            !*foreign_done.lock().unwrap(),
+            "[{combo}] foreign call ran while the object was claimed"
+        );
+        assert_eq!(
+            log.lock().unwrap().clone(),
+            vec![1],
+            "[{combo}] foreign note executed under the claim"
+        );
+        holder.call(parc::remoting::RELEASE_METHOD, vec![]).unwrap();
+        observer.join().expect("observer thread");
+        assert_eq!(
+            log.lock().unwrap().clone(),
+            vec![1, 99],
+            "[{combo}] parked call did not run after release"
+        );
+    });
+}
+
+/// `__claim` is idempotent per claim id: a retry (reply lost) re-grants
+/// the same alias; a different claim id must wait its turn.
+#[test]
+fn claim_is_idempotent_per_claim_id_on_every_transport() {
+    for_each_mailbox_combo(|combo, server, transport| {
+        let (object, _log) = recorder();
+        let claims = Arc::new(parc::remoting::ClaimTable::new());
+        parc::remoting::register_claimable(server.objects(), "Recorder", object, &claims);
+
+        let chan = connect(transport, &server.addr());
+        let gate = RemoteObject::new(Arc::clone(&chan), "Recorder");
+        let first = gate
+            .call(parc::remoting::CLAIM_METHOD, vec![Value::Str("same".into())])
+            .unwrap();
+        let second = gate
+            .call(parc::remoting::CLAIM_METHOD, vec![Value::Str("same".into())])
+            .unwrap_or_else(|e| panic!("[{combo}] idempotent re-claim failed: {e}"));
+        assert_eq!(first, second, "[{combo}] re-claim granted a different alias");
+        assert_eq!(
+            claims.stats().acquired,
+            1,
+            "[{combo}] idempotent re-claim double-counted the grant"
+        );
+        let holder = RemoteObject::new(chan, first.as_str().unwrap().to_string());
+        holder.call(parc::remoting::RELEASE_METHOD, vec![]).unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------------
 // Property tapes: incremental frame reassembly
 // ---------------------------------------------------------------------------
 
